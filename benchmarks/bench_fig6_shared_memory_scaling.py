@@ -1,0 +1,58 @@
+"""FIG6 — Figure 6, "Shared Memory Scaling".
+
+Paper: speedup vs core count on one 24-core node for the problem suite;
+the 2-arm bandit reaches 22.35x on 24 cores and "most of the problems
+tested achieve speedup >= 22 on 24 cores".
+
+Reproduction: the generated schedule of each problem is executed on the
+simulated single node sweeping 1..24 cores; speedup is against the same
+machine's one-core run.  Shape target: near-linear up to ~8 cores,
+>= 22x at 24 cores for the large bandit instances.
+"""
+
+import pytest
+
+from repro.simulate import format_scaling_table, shared_memory_scaling
+
+from _common import (
+    bandit2_program,
+    bandit3_program,
+    delayed_program,
+    lcs3_program,
+    graph_for,
+    write_report,
+)
+
+CORE_COUNTS = [1, 2, 4, 8, 12, 16, 20, 24]
+
+CASES = [
+    ("bandit2", 170),
+    ("bandit3", 42),
+    ("delayed", 40),
+    ("lcs3", 999),  # clamped to the embedded string lengths
+]
+
+
+@pytest.mark.parametrize("kind, n", CASES, ids=[c[0] for c in CASES])
+def test_fig6_shared_memory_scaling(benchmark, kind, n):
+    program, params, graph = graph_for(kind, n)
+
+    def run():
+        return shared_memory_scaling(
+            program, params, CORE_COUNTS, priority_scheme="lb-first"
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_scaling_table(points, f"FIG6 {kind} {params}")
+    p24 = points[-1]
+    table += (
+        f"\npaper reference: 2-arm bandit speedup 22.35 @ 24 cores; "
+        f"suite >= 22\nmeasured: {p24.speedup:.2f} @ {p24.cores} cores "
+        f"({p24.efficiency:.1%})"
+    )
+    write_report(f"fig6_{kind}", table)
+    # Shape assertions: monotone speedup, near-linear at low counts.
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    assert points[1].efficiency > 0.95
+    assert p24.speedup > 15.0

@@ -1,0 +1,91 @@
+"""GEN — generator throughput (the "quickly and easily" claim).
+
+Not a table in the paper, but the premise of the tool: turning the
+high-level description into a full program must be fast.  This bench
+times the Section IV pipeline and both backends for every problem in
+the suite, and measures the Fourier–Motzkin redundancy-pruning ablation
+(DESIGN.md: syntactic vs LP-backed pruning).
+"""
+
+import time
+
+import pytest
+
+from repro.generator import generate
+from repro.generator.cgen import emit_c_program
+from repro.generator.pygen import emit_python_program
+from repro.problems import (
+    delayed_two_arm_spec,
+    edit_distance_spec,
+    lcs_spec,
+    msa_spec,
+    random_sequence,
+    three_arm_spec,
+    two_arm_spec,
+)
+
+from _common import write_report
+
+SPECS = {
+    "bandit2": lambda: two_arm_spec(tile_width=8),
+    "bandit3": lambda: three_arm_spec(tile_width=5),
+    "delayed": lambda: delayed_two_arm_spec(tile_width=4),
+    "edit": lambda: edit_distance_spec(
+        random_sequence(40, 1), random_sequence(36, 2), tile_width=8
+    ),
+    "lcs3": lambda: lcs_spec(
+        [random_sequence(30 + k, 10 + k) for k in range(3)], tile_width=8
+    ),
+    "msa3": lambda: msa_spec(
+        [random_sequence(30 + k, 10 + k) for k in range(3)], tile_width=8
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(SPECS), ids=list(SPECS))
+def test_gen_pipeline(benchmark, name):
+    spec = SPECS[name]()
+    program = benchmark.pedantic(
+        lambda: generate(spec), rounds=3, iterations=1
+    )
+    t0 = time.perf_counter()
+    c_src = emit_c_program(program)
+    c_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    py_src = emit_python_program(program)
+    py_s = time.perf_counter() - t0
+    lines = [
+        f"GEN {name}: pipeline {program.stats.total_s * 1e3:.1f} ms "
+        f"(spaces {program.stats.spaces_s * 1e3:.1f}, "
+        f"packing {program.stats.packing_s * 1e3:.1f}), "
+        f"C emit {c_s * 1e3:.1f} ms ({len(c_src.splitlines())} lines), "
+        f"Py emit {py_s * 1e3:.1f} ms ({len(py_src.splitlines())} lines)",
+    ]
+    write_report(f"gen_{name}", "\n".join(lines))
+    assert program.stats.total_s < 10.0
+
+
+def test_gen_prune_ablation(benchmark):
+    spec = three_arm_spec(tile_width=5)
+
+    def run():
+        out = {}
+        for prune in ("syntactic", "lp"):
+            t0 = time.perf_counter()
+            program = generate(spec, prune=prune)
+            out[prune] = (
+                time.perf_counter() - t0,
+                len(program.spaces.tile_space),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "GEN prune ablation (3-arm bandit, 6-D):",
+        f"{'prune':>10} {'time(ms)':>10} {'tile-space constraints':>24}",
+    ]
+    for prune, (elapsed, n_cons) in results.items():
+        lines.append(f"{prune:>10} {elapsed * 1e3:>10.1f} {n_cons:>24}")
+    write_report("gen_prune_ablation", "\n".join(lines))
+    # LP pruning yields no more constraints than syntactic pruning.
+    assert results["lp"][1] <= results["syntactic"][1]

@@ -1,0 +1,84 @@
+"""IVK — Section IV-K's claim: initial tile generation is cheap.
+
+Paper: "Currently, this initial tile generation is executed in serial
+because it is a small fraction of total run time, typically < 0.5%, for
+even the largest runs."
+
+Reproduction: the *generated C program* times its own face-scan seeding
+(``init_scan``) against its worker-loop time; we compile and run it at a
+size large enough for the ratio to be meaningful.  The Python face scan
+is additionally checked against the exhaustive oracle for the same
+instance (correctness, and the fact that it inspects only boundary
+regions).
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.generator import (
+    generate,
+    initial_tiles_exhaustive,
+    initial_tiles_face_scan,
+)
+from repro.generator.cgen import emit_c_program
+from repro.problems import two_arm_spec
+
+from _common import write_report
+
+N = 220
+
+
+def test_ivk_initial_tile_cost(benchmark, tmp_path):
+    if shutil.which("gcc") is None:
+        pytest.skip("gcc not available")
+    program = generate(two_arm_spec(tile_width=10))
+    src = emit_c_program(program)
+    cpath = tmp_path / "bandit2.c"
+    binpath = tmp_path / "bandit2"
+    cpath.write_text(src)
+    build = subprocess.run(
+        ["gcc", "-O2", "-std=c99", "-fopenmp", str(cpath), "-o", str(binpath), "-lm"],
+        capture_output=True,
+        text=True,
+    )
+    assert build.returncode == 0, build.stderr
+
+    def run():
+        out = subprocess.run(
+            [str(binpath), str(N)],
+            capture_output=True,
+            text=True,
+            env={"OMP_NUM_THREADS": "1"},
+        )
+        assert out.returncode == 0, out.stderr
+        return out.stdout
+
+    stdout = benchmark.pedantic(run, rounds=1, iterations=1)
+    fields = {}
+    for line in stdout.splitlines():
+        toks = line.split()
+        for key, value in zip(toks[::2], toks[1::2]):
+            fields[key] = value
+    total_s = float(fields["time"])
+    scan_s = float(fields["init_scan"])
+    fraction = scan_s / total_s
+
+    # Cross-check the Python implementation on a smaller instance.
+    small = {"N": 60}
+    face = initial_tiles_face_scan(program.spaces, small)
+    exhaustive = initial_tiles_exhaustive(program.spaces, small)
+    assert face == exhaustive
+
+    lines = [
+        f"IVK generated C program, 2-arm bandit N={N} (1 thread):",
+        f"worker loop time    : {total_s * 1e3:.1f} ms "
+        f"({fields['cells']} cells)",
+        f"initial tile scan   : {scan_s * 1e3:.3f} ms",
+        f"fraction of runtime : {fraction:.3%}",
+        f"load balance time   : {float(fields['lb_time']) * 1e3:.3f} ms",
+        "paper reference: typically < 0.5% of total run time",
+    ]
+    write_report("ivk_initial_tiles", "\n".join(lines))
+    assert fraction < 0.005, f"scan is {fraction:.2%} of runtime"

@@ -1,0 +1,95 @@
+"""VIC-OPT — Section VI-C: send/receive buffers and lb-dimension choice.
+
+Paper: "The options that most effected performance were the tile size,
+the number of send and receive buffers, and the dimensions chosen for
+load balancing."
+
+Reproduction: (a) sweep the number of concurrent send buffers on a
+bandwidth-constrained 4-node cluster; (b) compare load balancing over
+one vs two dimensions (the paper's Figure 2 point that too few lb
+dimensions balance poorly).
+"""
+
+import pytest
+
+from repro.generator import generate
+from repro.problems import two_arm_spec
+from repro.runtime import TileGraph
+from repro.simulate import MachineModel, simulate_program
+
+from _common import write_report
+
+N = 140
+
+
+def test_vic_send_buffers(benchmark):
+    program = generate(two_arm_spec(tile_width=10))
+    graph = TileGraph.build(program, {"N": N})
+    # A slow link makes buffer counts matter, as on the 2011 testbed.
+    base = MachineModel(
+        nodes=4, cores_per_node=24, bandwidth_bps=2e8, latency_s=2e-5
+    )
+
+    def run():
+        return {
+            buffers: simulate_program(
+                program,
+                {"N": N},
+                base.with_(send_buffers=buffers),
+                graph=graph,
+            )
+            for buffers in (1, 2, 4, 8)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"VIC-OPT 2-arm bandit N={N}, 4 nodes, constrained link:",
+        f"{'buffers':>8} {'makespan(ms)':>13} {'max queue wait(us)':>19}",
+    ]
+    for buffers, res in results.items():
+        lines.append(
+            f"{buffers:>8} {res.makespan_s * 1e3:>13.3f} "
+            f"{res.max_send_queue_wait_s * 1e6:>19.1f}"
+        )
+    write_report("vic_send_buffers", "\n".join(lines))
+    # More buffers cannot hurt, and queueing delay shrinks.
+    assert results[8].makespan_s <= results[1].makespan_s + 1e-12
+    assert (
+        results[8].max_send_queue_wait_s <= results[1].max_send_queue_wait_s
+    )
+
+
+def test_vic_lb_dimension_choice(benchmark):
+    params = {"N": N}
+    machine = MachineModel(nodes=8, cores_per_node=24)
+
+    def run():
+        out = {}
+        for lb_dims in (("s1",), ("s1", "f1")):
+            program = generate(two_arm_spec(tile_width=10, lb_dims=lb_dims))
+            graph = TileGraph.build(program, params)
+            lb = program.load_balance(params, machine.nodes)
+            out[lb_dims] = (
+                lb.imbalance(),
+                simulate_program(program, params, machine, graph=graph),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"VIC-OPT lb-dimension choice, 2-arm bandit N={N}, 8 nodes:",
+        f"{'lb dims':>12} {'imbalance':>10} {'makespan(ms)':>13} {'eff':>7}",
+    ]
+    for lb_dims, (imbalance, res) in results.items():
+        lines.append(
+            f"{'+'.join(lb_dims):>12} {imbalance:>10.3f} "
+            f"{res.makespan_s * 1e3:>13.3f} {res.efficiency:>7.1%}"
+        )
+    lines.append(
+        "paper reference: balancing fewer dimensions than needed "
+        "balances work poorly (Figure 2 discussion)"
+    )
+    write_report("vic_lb_dims", "\n".join(lines))
+    one, two = results[("s1",)], results[("s1", "f1")]
+    # Refining the cut with a second dimension improves the balance.
+    assert two[0] <= one[0] + 1e-9

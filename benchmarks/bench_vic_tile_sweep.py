@@ -1,0 +1,81 @@
+"""VIC-TILE — Section VI-C: the tile-size sweep.
+
+Paper: "For some problems the tile size can have a huge effect on the
+performance, especially if the tile size is very large.  This is due to
+the pipelined nature of the load balancing algorithm used.  A large tile
+can cause starvation while neighboring nodes wait for data ... For the
+3-arm bandit a large tile width of 15 allowed better throughput for 4
+nodes or less" (but compounds delays on more nodes).
+
+Reproduction: sweep the 3-arm bandit tile width at fixed N on 1 and 8
+simulated nodes.  Shape target: on one node, larger tiles help (less
+per-tile overhead) until parallelism runs out; on 8 nodes the largest
+width loses to a mid-size width — the crossover the paper describes.
+"""
+
+import pytest
+
+from repro.generator import generate
+from repro.problems import three_arm_spec
+from repro.runtime import TileGraph
+from repro.simulate import MachineModel, simulate_program
+
+from _common import write_report
+
+WIDTHS = [3, 5, 8, 15]
+N = 45
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    out = {}
+    for w in WIDTHS:
+        program = generate(three_arm_spec(tile_width=w))
+        graph = TileGraph.build(program, {"N": N})
+        row = {}
+        for nodes in (1, 4, 8):
+            m = MachineModel(nodes=nodes, cores_per_node=24)
+            res = simulate_program(program, {"N": N}, m, graph=graph)
+            row[nodes] = res
+        out[w] = (len(graph.tiles), row)
+    return out
+
+
+def test_vic_tile_sweep(benchmark, sweep_results):
+    benchmark.pedantic(lambda: sweep_results, rounds=1, iterations=1)
+    lines = [
+        f"VIC-TILE 3-arm bandit N={N}: makespan (ms) by tile width",
+        f"{'width':>6} {'tiles':>7} {'1 node':>10} {'4 nodes':>10} "
+        f"{'8 nodes':>10} {'eff@8':>7}",
+    ]
+    for w, (ntiles, row) in sweep_results.items():
+        lines.append(
+            f"{w:>6} {ntiles:>7} "
+            f"{row[1].makespan_s * 1e3:>10.3f} "
+            f"{row[4].makespan_s * 1e3:>10.3f} "
+            f"{row[8].makespan_s * 1e3:>10.3f} "
+            f"{row[8].efficiency:>7.1%}"
+        )
+    lines.append(
+        "paper reference: width 15 good for <= 4 nodes, starves the "
+        "8-node pipeline"
+    )
+    write_report("vic_tile_sweep", "\n".join(lines))
+
+    # Shape: the best width at 8 nodes is not the largest width.
+    best_width_8 = min(
+        sweep_results, key=lambda w: sweep_results[w][1][8].makespan_s
+    )
+    assert best_width_8 != WIDTHS[-1]
+    # The largest width pays a bigger relative penalty on 8 nodes than a
+    # mid-size width does (the compounding-starvation effect).
+    mid, big = WIDTHS[1], WIDTHS[-1]
+    rel_mid = (
+        sweep_results[mid][1][8].makespan_s
+        / sweep_results[mid][1][1].makespan_s
+    )
+    rel_big = (
+        sweep_results[big][1][8].makespan_s
+        / sweep_results[big][1][1].makespan_s
+    )
+    assert rel_big > rel_mid

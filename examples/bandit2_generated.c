@@ -1,0 +1,870 @@
+/*
+ * Auto-generated hybrid OpenMP + MPI program: bandit2
+ * Produced by the repro program generator (VandenBerg & Stout,
+ * CLUSTER 2011 reproduction).  Do not edit by hand.
+ *
+ * Build (single node): gcc -O2 -std=c99 -fopenmp prog.c -o prog
+ * Build (cluster):     mpicc -O2 -std=c99 -fopenmp -DREPRO_USE_MPI prog.c -o prog
+ * Run:                 ./prog <N>
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+#include <time.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+#ifdef REPRO_USE_MPI
+#include <mpi.h>
+#endif
+
+static inline long floord(long a, long b) {
+    return (a < 0) ? -((-a + b - 1) / b) : a / b;
+}
+static inline long ceild(long a, long b) {
+    return (a > 0) ? (a + b - 1) / b : -((-a) / b);
+}
+static inline long MAX2(long a, long b) { return a > b ? a : b; }
+static inline long MIN2(long a, long b) { return a < b ? a : b; }
+
+#define REPRO_D 4
+#define REPRO_NDELTAS 4
+#define REPRO_NPARAMS 1
+#define REPRO_PADDED_CELLS 2401
+
+static const long repro_widths[REPRO_D] = {6, 6, 6, 6};
+static const long repro_deltas[REPRO_NDELTAS][REPRO_D] = {{0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}, {1, 0, 0, 0}};
+static const char *repro_param_names[] = {"N"};
+
+static long N;
+static void repro_read_params(char **argv) {
+    N = atol(argv[1]);
+}
+
+static void repro_user_init(void) {
+}
+
+/* ---- tile work: local-space point count (Section IV-E) ---- */
+static long repro_tile_work_impl(long t_s1, long t_f1, long t_s2, long t_f2) {
+    if (!(((0 + (1)*t_f2) >= 0) && ((0 + (1)*t_s2) >= 0) && ((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0))) return 0;
+    long _total = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                long _n = (MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5))) - (MAX2((0 - 6*t_f2), (0))) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static long repro_tile_work(const long *t) {
+    return repro_tile_work_impl(t[0], t[1], t[2], t[3]);
+}
+
+/* ---- tile-space bounding box (for the slot encoding) ---- */
+static int repro_tile_box(long *lo, long *hi) {
+    lo[0] = (0);
+    hi[0] = floord(0 + N, 6);
+    if (lo[0] > hi[0]) return 0;
+    lo[1] = (0);
+    hi[1] = floord(0 + N, 6);
+    if (lo[1] > hi[1]) return 0;
+    lo[2] = (0);
+    hi[2] = floord(0 + N, 6);
+    if (lo[2] > hi[2]) return 0;
+    lo[3] = (0);
+    hi[3] = floord(0 + N, 6);
+    if (lo[3] > hi[3]) return 0;
+    return 1;
+}
+
+/* ---- tile calculation code (Section IV-L, Figure 3) ---- */
+static double repro_objective_value = 0.0;
+static int repro_objective_seen = 0;
+static void repro_execute_tile(const long *t, double *V) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    for (long i_s1 = MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1 >= MAX2((0 - 6*t_s1), (0)); i_s1--) {
+        for (long i_f1 = MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1 >= MAX2((0 - 6*t_f1), (0)); i_f1--) {
+            for (long i_s2 = MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2 >= MAX2((0 - 6*t_s2), (0)); i_s2--) {
+                for (long i_f2 = MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2 >= MAX2((0 - 6*t_f2), (0)); i_f2--) {
+                    long s1 = i_s1 + 6 * t_s1;
+                    long f1 = i_f1 + 6 * t_f1;
+                    long s2 = i_s2 + 6 * t_s2;
+                    long f2 = i_f2 + 6 * t_f2;
+                    long loc = 343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0);
+                    long loc_succ1 = loc + (343);
+                    long loc_fail1 = loc + (49);
+                    long loc_succ2 = loc + (7);
+                    long loc_fail2 = loc + (1);
+                    int _chk0 = ((-1 + (1)*N + (-1)*f1 + (-1)*f2 + (-1)*s1 + (-1)*s2) >= 0);
+                    int is_valid_succ1 = _chk0;
+                    int is_valid_fail1 = _chk0;
+                    int is_valid_succ2 = _chk0;
+                    int is_valid_fail2 = _chk0;
+                    (void)loc; (void)loc_succ1; (void)is_valid_succ1; (void)loc_fail1; (void)is_valid_fail1; (void)loc_succ2; (void)is_valid_succ2; (void)loc_fail2; (void)is_valid_fail2;
+                    /* ---- user center-loop code ---- */
+                    double best = -1.0, p, v;
+                    p = (s1 + 1.0) / (s1 + f1 + 2.0);
+                    v = is_valid_succ1 ? p * (1.0 + V[loc_succ1]) + (1.0 - p) * V[loc_fail1] : 0.0;
+                    if (v > best) best = v;
+                    p = (s2 + 1.0) / (s2 + f2 + 2.0);
+                    v = is_valid_succ2 ? p * (1.0 + V[loc_succ2]) + (1.0 - p) * V[loc_fail2] : 0.0;
+                    if (v > best) best = v;
+                    V[loc] = best;
+                    if (s1 == 0 && f1 == 0 && s2 == 0 && f2 == 0) {
+                        repro_objective_value = V[loc];
+                        repro_objective_seen = 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* ---- packing / unpacking functions (Section IV-I) ---- */
+static long repro_pack_size_0(long t_s1, long t_f1, long t_s2, long t_f2) {
+    if (!(((0 + (1)*t_f2) >= 0) && ((0 + (1)*t_s2) >= 0) && ((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0))) return 0;
+    long _total = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                long _n = (MIN2(MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)), (0))) - (MAX2((0 - 6*t_f2), (0))) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static long repro_pack_size_1(long t_s1, long t_f1, long t_s2, long t_f2) {
+    if (!(((0 + (1)*t_f2) >= 0) && ((0 + (1)*t_s2) >= 0) && ((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0))) return 0;
+    long _total = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                long _n = (MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5))) - (MAX2((0 - 6*t_f2), (0))) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static long repro_pack_size_2(long t_s1, long t_f1, long t_s2, long t_f2) {
+    if (!(((0 + (1)*t_f2) >= 0) && ((0 + (1)*t_s2) >= 0) && ((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0))) return 0;
+    long _total = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                long _n = (MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5))) - (MAX2((0 - 6*t_f2), (0))) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static long repro_pack_size_3(long t_s1, long t_f1, long t_s2, long t_f2) {
+    if (!(((0 + (1)*t_f2) >= 0) && ((0 + (1)*t_s2) >= 0) && ((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1 + (-6)*t_s2) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_f2 + (-6)*t_s1 + (-6)*t_s2) >= 0))) return 0;
+    long _total = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((0), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                long _n = (MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5))) - (MAX2((0 - 6*t_f2), (0))) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static long repro_pack_size(int d, const long *t) {
+    switch (d) {
+        case 0: return repro_pack_size_0(t[0], t[1], t[2], t[3]);
+        case 1: return repro_pack_size_1(t[0], t[1], t[2], t[3]);
+        case 2: return repro_pack_size_2(t[0], t[1], t[2], t[3]);
+        case 3: return repro_pack_size_3(t[0], t[1], t[2], t[3]);
+    }
+    return 0;
+}
+
+static void repro_pack_0(const long *t, const double *V, double *buf) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2(MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)), (0)); i_f2++) {
+                    buf[n++] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+static void repro_unpack_0(const long *t, const double *buf, double *V) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2(MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)), (0)); i_f2++) {
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 6)] = buf[n++];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+
+static void repro_pack_1(const long *t, const double *V, double *buf) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    buf[n++] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+static void repro_unpack_1(const long *t, const double *buf, double *V) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 6) + 1 * (i_f2 + 0)] = buf[n++];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+
+static void repro_pack_2(const long *t, const double *V, double *buf) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    buf[n++] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+static void repro_unpack_2(const long *t, const double *buf, double *V) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((5), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 6) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)] = buf[n++];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+
+static void repro_pack_3(const long *t, const double *V, double *buf) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((0), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    buf[n++] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+static void repro_unpack_3(const long *t, const double *buf, double *V) {
+    long t_s1 = t[0];
+    long t_f1 = t[1];
+    long t_s2 = t[2];
+    long t_f2 = t[3];
+    long n = 0;
+    for (long i_s1 = MAX2((0 - 6*t_s1), (0)); i_s1 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2((0), (0 + N - 6*t_s1)), (0 + N - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s1++) {
+        for (long i_f1 = MAX2((0 - 6*t_f1), (0)); i_f1 <= MIN2(MIN2(MIN2(MIN2((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1)), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_f1++) {
+            for (long i_s2 = MAX2((0 - 6*t_s2), (0)); i_s2 <= MIN2(MIN2((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2)), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)); i_s2++) {
+                for (long i_f2 = MAX2((0 - 6*t_f2), (0)); i_f2 <= MIN2((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)); i_f2++) {
+                    V[343 * (i_s1 + 6) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)] = buf[n++];
+                }
+            }
+        }
+    }
+    (void)n;
+}
+
+static void repro_pack(int d, const long *t, const double *V, double *buf) {
+    switch (d) {
+        case 0: repro_pack_0(t, V, buf); return;
+        case 1: repro_pack_1(t, V, buf); return;
+        case 2: repro_pack_2(t, V, buf); return;
+        case 3: repro_pack_3(t, V, buf); return;
+    }
+}
+static void repro_unpack(int d, const long *t, const double *buf, double *V) {
+    switch (d) {
+        case 0: repro_unpack_0(t, buf, V); return;
+        case 1: repro_unpack_1(t, buf, V); return;
+        case 2: repro_unpack_2(t, buf, V); return;
+        case 3: repro_unpack_3(t, buf, V); return;
+    }
+}
+
+/* ---- tile priority (Section V-B, Figure 5) ---- */
+/* lb dims downstream-first (feed the neighbouring node early), */
+/* remaining dims column-major along the scan direction.        */
+static void repro_priority(const long *t, long *key) {
+    key[0] = t[0];
+    key[1] = t[1];
+    key[2] = -t[2];
+    key[3] = -t[3];
+}
+
+/* ---- load balancing (Section IV-J) ---- */
+#define REPRO_HAVE_EHRHART 1
+/* Ehrhart polynomial: total work as a function of N (degree 4, period 1) */
+static long repro_total_work_ehrhart(void) {
+    if (1) {
+        static const long long a[] = {24, 50, 35, 10, 1};
+        long long acc = 0;
+        for (int k = 4; k >= 0; k--) acc = acc * N + a[k];
+        return (long)(acc / 24);
+    }
+    return 0;
+}
+
+static long repro_slab_work_impl(long t_s1, long t_f1) {
+    if (!(((0 + (1)*t_f1) >= 0) && ((0 + (1)*t_s1) >= 0) && ((0 + (1)*N) >= 0) && ((0 + (1)*N + (-6)*t_f1) >= 0) && ((0 + (1)*N + (-6)*t_s1) >= 0) && ((0 + (1)*N + (-6)*t_f1 + (-6)*t_s1) >= 0))) return 0;
+    long _total = 0;
+    for (long s1 = MAX2((0), (0 + 6*t_s1)); s1 <= MIN2(MIN2((5 + 6*t_s1), (0 + N)), (0 + N - 6*t_f1)); s1++) {
+        for (long f1 = MAX2((0), (0 + 6*t_f1)); f1 <= MIN2((5 + 6*t_f1), (0 + N - s1)); f1++) {
+            for (long s2 = (0); s2 <= (0 + N - f1 - s1); s2++) {
+                long _n = ((0 + N - f1 - s1 - s2)) - ((0)) + 1;
+                if (_n > 0) _total += _n;
+            }
+        }
+    }
+    return _total;
+}
+static int repro_lb_box(long *lo, long *hi) {
+    lo[0] = (0);
+    hi[0] = floord(0 + N, 6);
+    if (lo[0] > hi[0]) return 0;
+    lo[1] = (0);
+    hi[1] = floord(0 + N, 6);
+    if (lo[1] > hi[1]) return 0;
+    return 1;
+}
+
+#define REPRO_LBD 2
+static long lb_lo[REPRO_LBD], lb_stride[REPRO_LBD];
+static long lb_slots = 0;
+static int *lb_assign;
+
+static void repro_init_load_balance(int nnodes) {
+    long lo[REPRO_LBD], hi[REPRO_LBD];
+    if (!repro_lb_box(lo, hi)) { fprintf(stderr, "empty lb space\n"); exit(1); }
+    long stride = 1;
+    for (int k = REPRO_LBD - 1; k >= 0; k--) {
+        lb_lo[k] = lo[k];
+        lb_stride[k] = stride;
+        stride *= (hi[k] - lo[k] + 1);
+    }
+    lb_slots = stride;
+    lb_assign = (int *)malloc((size_t)lb_slots * sizeof(int));
+    long *works = (long *)calloc((size_t)lb_slots, sizeof(long));
+    long total = 0;
+    /* first pass: per-slab work */
+    for (long t_s1 = hi[0]; t_s1 >= lo[0]; t_s1--) {
+        for (long t_f1 = hi[1]; t_f1 >= lo[1]; t_f1--) {
+            long work = repro_slab_work_impl(t_s1, t_f1);
+            works[lb_stride[0] * (t_s1 - lb_lo[0]) + lb_stride[1] * (t_f1 - lb_lo[1])] = work;
+            total += work;
+        }
+    }
+    /* second pass: contiguous even cut along the walk order */
+    long cum = 0;
+    for (long t_s1 = hi[0]; t_s1 >= lo[0]; t_s1--) {
+        for (long t_f1 = hi[1]; t_f1 >= lo[1]; t_f1--) {
+            long slot = lb_stride[0] * (t_s1 - lb_lo[0]) + lb_stride[1] * (t_f1 - lb_lo[1]);
+            long work = works[slot];
+            long node = total > 0 ? ((2 * cum + work) * nnodes) / (2 * total) : 0;
+            if (node >= nnodes) node = nnodes - 1;
+            lb_assign[slot] = (int)node;
+            cum += work;
+        }
+    }
+    free(works);
+}
+
+static int repro_node_of_tile(const long *t) {
+    if (lb_slots == 0) return 0;
+    long slot = lb_stride[0] * (t[0] - lb_lo[0]) + lb_stride[1] * (t[1] - lb_lo[1]);
+    if (slot < 0 || slot >= lb_slots) return 0;
+    return lb_assign[slot];
+}
+
+/* ---- initial tile generation (Section IV-K) ---- */
+static void repro_seed_candidate(const long *t);
+static void repro_scan_initial_tiles(void) {
+    long t[REPRO_D];
+     {
+        for (long t_s1 = (0); t_s1 <= floord(0 + N, 6); t_s1++) {
+            for (long t_f1 = (0); t_f1 <= MIN2(floord(0 + N, 6), floord(0 + N - 6*t_s1, 6)); t_f1++) {
+                for (long t_s2 = (0); t_s2 <= MIN2(MIN2(MIN2(floord(0 + N, 6), floord(0 + N - 6*t_s1, 6)), floord(0 + N - 6*t_f1, 6)), floord(0 + N - 6*t_f1 - 6*t_s1, 6)); t_s2++) {
+                    for (long t_f2 = (0); t_f2 <= MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(MIN2(floord(0 + N, 6), floord(0 + N - 6*t_s1, 6)), floord(0 + N - 6*t_f1, 6)), floord(0 + N - 6*t_f1 - 6*t_s1, 6)), floord(0 + N - 6*t_s2, 6)), floord(0 + N - 6*t_s1 - 6*t_s2, 6)), floord(0 + N - 6*t_f1 - 6*t_s2, 6)), floord(0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2, 6)); t_f2++) {
+                        t[0] = t_s1;
+                        t[1] = t_f1;
+                        t[2] = t_s2;
+                        t[3] = t_f2;
+                        repro_seed_candidate(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+
+/* ================================================================== */
+/* Pre-written runtime library (memory, queueing, OpenMP + MPI).      */
+/* ================================================================== */
+/* Standard includes are emitted at the top of the generated file. */
+
+static long box_lo[REPRO_D], box_hi[REPRO_D], box_stride[REPRO_D];
+static long n_slots = 0;
+
+static long *slot_work;        /* local point count per slot (0 = invalid) */
+static int  *slot_deps;        /* remaining producer edges per slot        */
+static char *slot_seeded;      /* face-scan seed dedup                     */
+static double **edge_store;    /* [slot * REPRO_NDELTAS + d] buffers       */
+
+static long tiles_total = 0;   /* valid tiles owned by this rank           */
+static long tiles_done = 0;
+static long cells_done = 0;
+
+static int repro_rank = 0, repro_nranks = 1;
+
+static double repro_now(void) {
+#ifdef _OPENMP
+    return omp_get_wtime();
+#else
+    return (double)clock() / CLOCKS_PER_SEC;
+#endif
+}
+
+static long tile_slot(const long *t) {
+    long id = 0;
+    for (int k = 0; k < REPRO_D; k++) {
+        long v = t[k] - box_lo[k];
+        if (v < 0 || v > box_hi[k] - box_lo[k]) return -1;
+        id += v * box_stride[k];
+    }
+    return id;
+}
+
+/* ------------------------- priority heap -------------------------- */
+/* Entries are (key[REPRO_D], tile[REPRO_D]); smaller key pops first.  */
+
+static long *heap_keys;   /* heap_cap * REPRO_D */
+static long *heap_tiles;
+static long heap_len = 0, heap_cap = 0;
+
+static int key_less(const long *a, const long *b) {
+    for (int k = 0; k < REPRO_D; k++) {
+        if (a[k] != b[k]) return a[k] < b[k];
+    }
+    return 0;
+}
+
+static void heap_swap(long i, long j) {
+    long tmp[REPRO_D];
+    memcpy(tmp, heap_keys + i * REPRO_D, sizeof tmp);
+    memcpy(heap_keys + i * REPRO_D, heap_keys + j * REPRO_D, sizeof tmp);
+    memcpy(heap_keys + j * REPRO_D, tmp, sizeof tmp);
+    memcpy(tmp, heap_tiles + i * REPRO_D, sizeof tmp);
+    memcpy(heap_tiles + i * REPRO_D, heap_tiles + j * REPRO_D, sizeof tmp);
+    memcpy(heap_tiles + j * REPRO_D, tmp, sizeof tmp);
+}
+
+static void heap_push(const long *tile) {
+    if (heap_len == heap_cap) {
+        heap_cap = heap_cap ? heap_cap * 2 : 1024;
+        heap_keys = (long *)realloc(heap_keys, (size_t)heap_cap * REPRO_D * sizeof(long));
+        heap_tiles = (long *)realloc(heap_tiles, (size_t)heap_cap * REPRO_D * sizeof(long));
+        if (!heap_keys || !heap_tiles) { fprintf(stderr, "heap OOM\n"); exit(2); }
+    }
+    repro_priority(tile, heap_keys + heap_len * REPRO_D);
+    memcpy(heap_tiles + heap_len * REPRO_D, tile, REPRO_D * sizeof(long));
+    long i = heap_len++;
+    while (i > 0) {
+        long p = (i - 1) / 2;
+        if (!key_less(heap_keys + i * REPRO_D, heap_keys + p * REPRO_D)) break;
+        heap_swap(i, p);
+        i = p;
+    }
+}
+
+static int heap_pop(long *tile_out) {
+    if (heap_len == 0) return 0;
+    memcpy(tile_out, heap_tiles, REPRO_D * sizeof(long));
+    heap_len--;
+    if (heap_len > 0) {
+        memcpy(heap_keys, heap_keys + heap_len * REPRO_D, REPRO_D * sizeof(long));
+        memcpy(heap_tiles, heap_tiles + heap_len * REPRO_D, REPRO_D * sizeof(long));
+        long i = 0;
+        for (;;) {
+            long l = 2 * i + 1, r = 2 * i + 2, m = i;
+            if (l < heap_len && key_less(heap_keys + l * REPRO_D, heap_keys + m * REPRO_D)) m = l;
+            if (r < heap_len && key_less(heap_keys + r * REPRO_D, heap_keys + m * REPRO_D)) m = r;
+            if (m == i) break;
+            heap_swap(i, m);
+            i = m;
+        }
+    }
+    return 1;
+}
+
+/* --------------------- seeding and bookkeeping --------------------- */
+
+static void repro_seed_candidate(const long *t) {
+    /* Called by the generated face scans (Section IV-K): accept a tile
+       iff it is valid and every tile dependency is unsatisfiable. */
+    long slot = tile_slot(t);
+    if (slot < 0 || slot_work[slot] == 0 || slot_seeded[slot]) return;
+    for (int d = 0; d < REPRO_NDELTAS; d++) {
+        long p[REPRO_D];
+        for (int k = 0; k < REPRO_D; k++) p[k] = t[k] + repro_deltas[d][k];
+        long ps = tile_slot(p);
+        if (ps >= 0 && slot_work[ps] > 0) return; /* has a live producer */
+    }
+    slot_seeded[slot] = 1;
+    if (repro_node_of_tile(t) == repro_rank) heap_push(t);
+}
+
+#ifdef REPRO_USE_MPI
+/* Edge messages carry a header: consumer tile coords + delta index. */
+#define REPRO_EDGE_TAG 7701
+static void send_edge(int dest, const long *consumer, int d,
+                      const double *buf, long cells) {
+    long header[REPRO_D + 2];
+    memcpy(header, consumer, REPRO_D * sizeof(long));
+    header[REPRO_D] = d;
+    header[REPRO_D + 1] = cells;
+    MPI_Send(header, REPRO_D + 2, MPI_LONG, dest, REPRO_EDGE_TAG, MPI_COMM_WORLD);
+    MPI_Send((void *)buf, (int)cells, MPI_DOUBLE, dest, REPRO_EDGE_TAG + 1,
+             MPI_COMM_WORLD);
+}
+#endif
+
+static void deliver_edge(const long *consumer, int d, double *buf);
+
+#ifdef REPRO_USE_MPI
+static void poll_edges(void) {
+    int flag = 1;
+    while (flag) {
+        MPI_Status st;
+        MPI_Iprobe(MPI_ANY_SOURCE, REPRO_EDGE_TAG, MPI_COMM_WORLD, &flag, &st);
+        if (!flag) break;
+        long header[REPRO_D + 2];
+        MPI_Recv(header, REPRO_D + 2, MPI_LONG, st.MPI_SOURCE, REPRO_EDGE_TAG,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        long cells = header[REPRO_D + 1];
+        double *buf = (double *)malloc((size_t)cells * sizeof(double));
+        MPI_Recv(buf, (int)cells, MPI_DOUBLE, st.MPI_SOURCE, REPRO_EDGE_TAG + 1,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        deliver_edge(header, (int)header[REPRO_D], buf);
+    }
+}
+#endif
+
+/* Store an edge buffer and release the consumer when its last
+   dependency arrives.  Caller must hold the queue lock (or be in the
+   serial init phase). */
+static void deliver_edge(const long *consumer, int d, double *buf) {
+    long slot = tile_slot(consumer);
+    if (slot < 0 || slot_work[slot] == 0) {
+        fprintf(stderr, "edge delivered to invalid tile\n");
+        exit(2);
+    }
+    edge_store[slot * REPRO_NDELTAS + d] = buf;
+    if (--slot_deps[slot] == 0) heap_push(consumer);
+}
+
+/* ------------------------- the worker loop ------------------------ */
+
+static void process_tile(const long *t, double *V) {
+    long slot = tile_slot(t);
+    /* Unpack incoming edges into the ghost margins. */
+    for (int d = 0; d < REPRO_NDELTAS; d++) {
+        long p[REPRO_D];
+        for (int k = 0; k < REPRO_D; k++) p[k] = t[k] + repro_deltas[d][k];
+        long ps = tile_slot(p);
+        if (ps < 0 || slot_work[ps] == 0) continue;
+        double *buf = edge_store[slot * REPRO_NDELTAS + d];
+        if (!buf) { fprintf(stderr, "missing edge buffer\n"); exit(2); }
+        repro_unpack(d, p, buf, V);
+        free(buf);
+        edge_store[slot * REPRO_NDELTAS + d] = NULL;
+    }
+
+    repro_execute_tile(t, V);
+
+    /* Pack outgoing edges and hand them to the consumers. */
+    for (int d = 0; d < REPRO_NDELTAS; d++) {
+        long c[REPRO_D];
+        for (int k = 0; k < REPRO_D; k++) c[k] = t[k] - repro_deltas[d][k];
+        long cs = tile_slot(c);
+        if (cs < 0 || slot_work[cs] == 0) continue;
+        long cells = repro_pack_size(d, t);
+        double *buf = (double *)malloc((size_t)(cells > 0 ? cells : 1) * sizeof(double));
+        repro_pack(d, t, V, buf);
+        int owner = repro_node_of_tile(c);
+        if (owner == repro_rank) {
+#ifdef _OPENMP
+#pragma omp critical(repro_queue)
+#endif
+            deliver_edge(c, d, buf);
+        } else {
+#ifdef REPRO_USE_MPI
+            send_edge(owner, c, d, buf, cells);
+            free(buf);
+#else
+            fprintf(stderr, "cross-node edge without MPI\n");
+            exit(2);
+#endif
+        }
+    }
+
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    tiles_done++;
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    cells_done += slot_work[slot];
+}
+
+static void worker_loop(void) {
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+        double *V = (double *)malloc((size_t)REPRO_PADDED_CELLS * sizeof(double));
+        long t[REPRO_D];
+        for (;;) {
+            int got = 0;
+            long done_snapshot;
+#ifdef _OPENMP
+#pragma omp critical(repro_queue)
+#endif
+            {
+                got = heap_pop(t);
+            }
+            if (got) {
+                process_tile(t, V);
+                continue;
+            }
+#ifdef _OPENMP
+#pragma omp atomic read
+            done_snapshot = tiles_done;
+#else
+            done_snapshot = tiles_done;
+#endif
+            if (done_snapshot >= tiles_total) break;
+#ifdef REPRO_USE_MPI
+#ifdef _OPENMP
+#pragma omp master
+#endif
+            {
+#ifdef _OPENMP
+#pragma omp critical(repro_queue)
+#endif
+                poll_edges();
+            }
+#endif
+        }
+        free(V);
+    }
+}
+
+/* ----------------------------- setup ------------------------------ */
+
+static void init_tables(void) {
+    (void)repro_widths;
+    long lo[REPRO_D], hi[REPRO_D];
+    if (!repro_tile_box(lo, hi)) {
+        fprintf(stderr, "empty problem\n");
+        exit(1);
+    }
+    long stride = 1;
+    for (int k = REPRO_D - 1; k >= 0; k--) {
+        box_lo[k] = lo[k];
+        box_hi[k] = hi[k];
+        box_stride[k] = stride;
+        stride *= (hi[k] - lo[k] + 1);
+    }
+    n_slots = stride;
+    slot_work = (long *)calloc((size_t)n_slots, sizeof(long));
+    slot_deps = (int *)calloc((size_t)n_slots, sizeof(int));
+    slot_seeded = (char *)calloc((size_t)n_slots, 1);
+    edge_store = (double **)calloc((size_t)n_slots * REPRO_NDELTAS, sizeof(double *));
+    if (!slot_work || !slot_deps || !slot_seeded || !edge_store) {
+        fprintf(stderr, "table OOM (%ld slots)\n", n_slots);
+        exit(2);
+    }
+
+    /* Work per tile over the bounding box (0 marks invalid slots). */
+    long t[REPRO_D];
+    for (long s = 0; s < n_slots; s++) {
+        long rem = s;
+        for (int k = 0; k < REPRO_D; k++) {
+            t[k] = box_lo[k] + rem / box_stride[k];
+            rem %= box_stride[k];
+        }
+        slot_work[s] = repro_tile_work(t);
+    }
+
+    /* Dependency counts for owned tiles. */
+    for (long s = 0; s < n_slots; s++) {
+        if (slot_work[s] == 0) continue;
+        long rem = s;
+        for (int k = 0; k < REPRO_D; k++) {
+            t[k] = box_lo[k] + rem / box_stride[k];
+            rem %= box_stride[k];
+        }
+        if (repro_node_of_tile(t) != repro_rank) continue;
+        tiles_total++;
+        int deps = 0;
+        for (int d = 0; d < REPRO_NDELTAS; d++) {
+            long p[REPRO_D];
+            for (int k = 0; k < REPRO_D; k++) p[k] = t[k] + repro_deltas[d][k];
+            long ps = tile_slot(p);
+            if (ps >= 0 && slot_work[ps] > 0) deps++;
+        }
+        slot_deps[s] = deps;
+    }
+}
+
+int main(int argc, char **argv) {
+#ifdef REPRO_USE_MPI
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &repro_rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &repro_nranks);
+#endif
+    if (argc < 1 + REPRO_NPARAMS) {
+        fprintf(stderr, "usage: %s", argv[0]);
+        for (int p = 0; p < REPRO_NPARAMS; p++)
+            fprintf(stderr, " <%s>", repro_param_names[p]);
+        fprintf(stderr, "\n");
+        return 1;
+    }
+    repro_read_params(argv);
+    repro_user_init();
+    double tlb0 = repro_now();
+    repro_init_load_balance(repro_nranks);
+    double tlb1 = repro_now();
+    init_tables();
+    /* Initial tile generation (Section IV-K) is timed separately: the
+       paper reports it at < 0.5% of total run time. */
+    double ts0 = repro_now();
+    repro_scan_initial_tiles();
+    double ts1 = repro_now();
+#ifdef REPRO_CHECK
+    /* Self-check: the face-scan seeds (Section IV-K) must be exactly
+       the owned tiles with zero live producers. */
+    {
+        long expected = 0, seeded = 0, t[REPRO_D];
+        for (long s = 0; s < n_slots; s++) {
+            if (slot_work[s] == 0) continue;
+            long rem = s;
+            for (int k = 0; k < REPRO_D; k++) {
+                t[k] = box_lo[k] + rem / box_stride[k];
+                rem %= box_stride[k];
+            }
+            if (slot_deps[s] == 0 &&
+                repro_node_of_tile(t) == repro_rank) expected++;
+            if (slot_seeded[s]) seeded++;
+        }
+        if (heap_len != expected) {
+            fprintf(stderr,
+                    "REPRO_CHECK: face scan queued %ld tiles, dependency "
+                    "counting expects %ld (seeded candidates: %ld)\n",
+                    heap_len, expected, seeded);
+            exit(3);
+        }
+        if (repro_rank == 0)
+            printf("check_initial ok %ld\n", expected);
+    }
+#endif
+
+    double t0 = repro_now();
+    worker_loop();
+    double t1 = repro_now();
+
+#ifdef REPRO_USE_MPI
+    /* The objective lives on exactly one rank; reduce it to rank 0. */
+    struct { double v; int seen; } local = { repro_objective_value,
+                                             repro_objective_seen }, best;
+    MPI_Allreduce(&local.v, &best.v, 1, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD);
+    int seen_any = 0;
+    MPI_Allreduce(&local.seen, &seen_any, 1, MPI_INT, MPI_MAX, MPI_COMM_WORLD);
+    if (local.seen) best.v = local.v;
+    repro_objective_value = best.v;
+    repro_objective_seen = seen_any;
+#endif
+    if (repro_rank == 0) {
+        printf("tiles %ld cells %ld time %.6f\n", tiles_done, cells_done, t1 - t0);
+        printf("init_scan %.6f lb_time %.6f\n", ts1 - ts0, tlb1 - tlb0);
+#ifdef REPRO_HAVE_EHRHART
+        /* Cross-check: the embedded Ehrhart polynomial must count the
+           same work the runtime actually executed (single rank only). */
+        if (repro_nranks == 1)
+            printf("ehrhart_total %ld\n", repro_total_work_ehrhart());
+#endif
+        if (repro_objective_seen)
+            printf("objective %.12f\n", repro_objective_value);
+    }
+#ifdef REPRO_USE_MPI
+    MPI_Finalize();
+#endif
+    return 0;
+}

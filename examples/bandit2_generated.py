@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""
+Auto-generated tiled dynamic-programming program: bandit2
+Produced by the repro program generator (VandenBerg & Stout,
+CLUSTER 2011 reproduction).  Do not edit by hand.
+
+Usage: python prog.py <N>
+"""
+import heapq
+import sys
+import time
+
+import numpy as np
+
+N = int(sys.argv[1])
+
+D = 4
+DELTAS = ((0, 0, 0, 1), (0, 0, 1, 0), (0, 1, 0, 0), (1, 0, 0, 0))
+PADDED_CELLS = 2401
+NAN = float('nan')
+
+# ---- tile work (local-space point count, Section IV-E) ----
+def tile_work(t_s1, t_f1, t_s2, t_f2):
+    if not ((0 + 1*t_f2) >= 0 and (0 + 1*t_s2) >= 0 and (0 + 1*t_f1) >= 0 and (0 + 1*t_s1) >= 0 and (0 + 1*N) >= 0 and (0 + 1*N + -6*t_f2) >= 0 and (0 + 1*N + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0):
+        return 0
+    _total = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                _n = min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) - (max((0 - 6*t_f2), (0))) + 1
+                if _n > 0:
+                    _total += _n
+    return _total
+
+def pack_size_0(t_s1, t_f1, t_s2, t_f2):
+    if not ((0 + 1*t_f2) >= 0 and (0 + 1*t_s2) >= 0 and (0 + 1*t_f1) >= 0 and (0 + 1*t_s1) >= 0 and (0 + 1*N) >= 0 and (0 + 1*N + -6*t_f2) >= 0 and (0 + 1*N + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0):
+        return 0
+    _total = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                _n = min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5), (0)) - (max((0 - 6*t_f2), (0))) + 1
+                if _n > 0:
+                    _total += _n
+    return _total
+
+def pack_size_1(t_s1, t_f1, t_s2, t_f2):
+    if not ((0 + 1*t_f2) >= 0 and (0 + 1*t_s2) >= 0 and (0 + 1*t_f1) >= 0 and (0 + 1*t_s1) >= 0 and (0 + 1*N) >= 0 and (0 + 1*N + -6*t_f2) >= 0 and (0 + 1*N + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0):
+        return 0
+    _total = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                _n = min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) - (max((0 - 6*t_f2), (0))) + 1
+                if _n > 0:
+                    _total += _n
+    return _total
+
+def pack_size_2(t_s1, t_f1, t_s2, t_f2):
+    if not ((0 + 1*t_f2) >= 0 and (0 + 1*t_s2) >= 0 and (0 + 1*t_f1) >= 0 and (0 + 1*t_s1) >= 0 and (0 + 1*N) >= 0 and (0 + 1*N + -6*t_f2) >= 0 and (0 + 1*N + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0):
+        return 0
+    _total = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                _n = min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) - (max((0 - 6*t_f2), (0))) + 1
+                if _n > 0:
+                    _total += _n
+    return _total
+
+def pack_size_3(t_s1, t_f1, t_s2, t_f2):
+    if not ((0 + 1*t_f2) >= 0 and (0 + 1*t_s2) >= 0 and (0 + 1*t_f1) >= 0 and (0 + 1*t_s1) >= 0 and (0 + 1*N) >= 0 and (0 + 1*N + -6*t_f2) >= 0 and (0 + 1*N + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_s1 + -6*t_s2) >= 0 and (0 + 1*N + -6*t_f1 + -6*t_f2 + -6*t_s1 + -6*t_s2) >= 0):
+        return 0
+    _total = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((0), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                _n = min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) - (max((0 - 6*t_f2), (0))) + 1
+                if _n > 0:
+                    _total += _n
+    return _total
+
+PACK_SIZES = (pack_size_0, pack_size_1, pack_size_2, pack_size_3)
+
+# ---- tile-space bounding box ----
+def tile_box():
+    lo = [0] * D
+    hi = [0] * D
+    lo[0] = (0)
+    hi[0] = ((0 + N) // 6)
+    lo[1] = (0)
+    hi[1] = ((0 + N) // 6)
+    lo[2] = (0)
+    hi[2] = ((0 + N) // 6)
+    lo[3] = (0)
+    hi[3] = ((0 + N) // 6)
+    return lo, hi
+
+# ---- tile calculation code (Section IV-L, Figure 3) ----
+OBJECTIVE = [0.0, False]
+def execute_tile(t, V):
+    t_s1, t_f1, t_s2, t_f2 = t
+    for i_s1 in range(min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)), (max((0 - 6*t_s1), (0))) - 1, -1):
+        for i_f1 in range(min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)), (max((0 - 6*t_f1), (0))) - 1, -1):
+            for i_s2 in range(min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)), (max((0 - 6*t_s2), (0))) - 1, -1):
+                for i_f2 in range(min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)), (max((0 - 6*t_f2), (0))) - 1, -1):
+                    s1 = i_s1 + 6 * t_s1
+                    f1 = i_f1 + 6 * t_f1
+                    s2 = i_s2 + 6 * t_s2
+                    f2 = i_f2 + 6 * t_f2
+                    loc = 343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)
+                    loc_succ1 = loc + (343)
+                    loc_fail1 = loc + (49)
+                    loc_succ2 = loc + (7)
+                    loc_fail2 = loc + (1)
+                    _chk0 = ((-1 + (1)*N + (-1)*f1 + (-1)*f2 + (-1)*s1 + (-1)*s2) >= 0)
+                    is_valid_succ1 = _chk0
+                    is_valid_fail1 = _chk0
+                    is_valid_succ2 = _chk0
+                    is_valid_fail2 = _chk0
+                    # ---- user center-loop code ----
+                    _best = -1.0
+                    _p = (s1 + 1.0) / (s1 + f1 + 2.0)
+                    _v = (_p * (1.0 + V[loc_succ1]) + (1.0 - _p) * V[loc_fail1]) if is_valid_succ1 else 0.0
+                    if _v > _best:
+                        _best = _v
+                    _p = (s2 + 1.0) / (s2 + f2 + 2.0)
+                    _v = (_p * (1.0 + V[loc_succ2]) + (1.0 - _p) * V[loc_fail2]) if is_valid_succ2 else 0.0
+                    if _v > _best:
+                        _best = _v
+                    V[loc] = _best
+                    if s1 == 0 and f1 == 0 and s2 == 0 and f2 == 0:
+                        OBJECTIVE[0] = V[loc]
+                        OBJECTIVE[1] = True
+
+# ---- packing / unpacking functions (Section IV-I) ----
+def pack_0(t, V, buf):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5), (0)) + 1):
+                    buf[_n] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)]
+                    _n += 1
+def unpack_0(t, buf, V):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5), (0)) + 1):
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 6)] = buf[_n]
+                    _n += 1
+def pack_1(t, V, buf):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    buf[_n] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)]
+                    _n += 1
+def unpack_1(t, buf, V):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((0), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 6) + 1 * (i_f2 + 0)] = buf[_n]
+                    _n += 1
+def pack_2(t, V, buf):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    buf[_n] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)]
+                    _n += 1
+def unpack_2(t, buf, V):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((5), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((0), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    V[343 * (i_s1 + 0) + 49 * (i_f1 + 6) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)] = buf[_n]
+                    _n += 1
+def pack_3(t, V, buf):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((0), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    buf[_n] = V[343 * (i_s1 + 0) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)]
+                    _n += 1
+def unpack_3(t, buf, V):
+    t_s1, t_f1, t_s2, t_f2 = t
+    _n = 0
+    for i_s1 in range(max((0 - 6*t_s1), (0)), min((0), (0 + N - 6*t_s1), (0 + N - 6*t_f2 - 6*t_s1), (0 + N - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f2 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+        for i_f1 in range(max((0 - 6*t_f1), (0)), min((5), (0 + N - i_s1 - 6*t_f1 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1), (0 + N - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+            for i_s2 in range(max((0 - 6*t_s2), (0)), min((5), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_s1 - 6*t_s2), (0 + N - i_f1 - i_s1 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2)) + 1):
+                for i_f2 in range(max((0 - 6*t_f2), (0)), min((0 + N - i_f1 - i_s1 - i_s2 - 6*t_f1 - 6*t_f2 - 6*t_s1 - 6*t_s2), (5)) + 1):
+                    V[343 * (i_s1 + 6) + 49 * (i_f1 + 0) + 7 * (i_s2 + 0) + 1 * (i_f2 + 0)] = buf[_n]
+                    _n += 1
+PACKERS = (pack_0, pack_1, pack_2, pack_3)
+UNPACKERS = (unpack_0, unpack_1, unpack_2, unpack_3)
+
+# ---- tile priority (Section V-B, Figure 5) ----
+# lb dims downstream-first; remaining dims column-major.
+def priority(t):
+    return (t[0], t[1], -t[2], -t[3])
+
+# ---- tile-space scan and initial tiles (Section IV-K) ----
+def scan_tiles():
+    for t_s1 in range((0), ((0 + N) // 6) + 1):
+        for t_f1 in range((0), min(((0 + N) // 6), ((0 + N - 6*t_s1) // 6)) + 1):
+            for t_s2 in range((0), min(((0 + N) // 6), ((0 + N - 6*t_s1) // 6), ((0 + N - 6*t_f1) // 6), ((0 + N - 6*t_f1 - 6*t_s1) // 6)) + 1):
+                for t_f2 in range((0), min(((0 + N) // 6), ((0 + N - 6*t_s1) // 6), ((0 + N - 6*t_f1) // 6), ((0 + N - 6*t_f1 - 6*t_s1) // 6), ((0 + N - 6*t_s2) // 6), ((0 + N - 6*t_s1 - 6*t_s2) // 6), ((0 + N - 6*t_f1 - 6*t_s2) // 6), ((0 + N - 6*t_f1 - 6*t_s1 - 6*t_s2) // 6)) + 1):
+                    if tile_work(t_s1, t_f1, t_s2, t_f2) > 0:
+                        yield (t_s1, t_f1, t_s2, t_f2)
+
+# ==================================================================
+# Pre-written runtime (memory management, queueing) — Section V.
+# ==================================================================
+
+def main():
+    t0 = time.perf_counter()
+    tiles = set(scan_tiles())
+    if not tiles:
+        print("tiles 0 cells 0 time 0.0")
+        return
+    producers = {}
+    deps = {}
+    for t in tiles:
+        prods = []
+        for delta in DELTAS:
+            p = tuple(a + b for a, b in zip(t, delta))
+            if p in tiles:
+                prods.append(p)
+        producers[t] = prods
+        deps[t] = len(prods)
+
+    heap = [(priority(t), t) for t in tiles if deps[t] == 0]
+    heapq.heapify(heap)
+    edges = {}
+    tiles_done = 0
+    cells_done = 0
+    while heap:
+        _, t = heapq.heappop(heap)
+        V = np.full(PADDED_CELLS, NAN)
+        for di, delta in enumerate(DELTAS):
+            p = tuple(a + b for a, b in zip(t, delta))
+            if p in tiles:
+                UNPACKERS[di](p, edges.pop((p, t)), V)
+        execute_tile(t, V)
+        cells_done += tile_work(*t)
+        tiles_done += 1
+        for di, delta in enumerate(DELTAS):
+            c = tuple(a - b for a, b in zip(t, delta))
+            if c not in tiles:
+                continue
+            buf = np.empty(max(PACK_SIZES[di](*t), 1))
+            PACKERS[di](t, V, buf)
+            edges[(t, c)] = buf
+            deps[c] -= 1
+            if deps[c] == 0:
+                heapq.heappush(heap, (priority(c), c))
+    elapsed = time.perf_counter() - t0
+    print(f"tiles {tiles_done} cells {cells_done} time {elapsed:.6f}")
+    if OBJECTIVE[1]:
+        print(f"objective {OBJECTIVE[0]:.12f}")
+
+
+if __name__ == "__main__":
+    main()

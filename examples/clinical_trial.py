@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Adaptive clinical trials with bandit dynamic programming.
+
+The paper's motivating application (Section I): allocating patients
+between treatment arms as outcomes arrive.  Solving the 2-arm Bernoulli
+bandit DP gives the *optimal adaptive* policy's expected number of
+successes; this example quantifies how much that adaptivity is worth
+against the classical fixed 50/50 allocation, and shows the 6-D delayed
+variant where outcomes lag behind enrollment.
+
+Run:  python examples/clinical_trial.py
+"""
+
+import numpy as np
+
+from repro import execute, generate
+from repro.problems import (
+    delayed_two_arm_reference,
+    delayed_two_arm_spec,
+    two_arm_spec,
+)
+
+
+def equal_allocation_value(N: int) -> float:
+    """Expected successes of the non-adaptive 50/50 policy.
+
+    Under uniform priors on both arms, every pull of a fresh arm succeeds
+    with marginal probability 1/2 regardless of past outcomes on the
+    *other* arm, and a fixed policy never uses feedback — so the value is
+    N/2 exactly.  (This is the textbook baseline the adaptive design
+    beats.)
+    """
+    return N / 2.0
+
+
+def main() -> None:
+    print("Adaptive vs fixed allocation, 2-arm Bernoulli bandit")
+    print(f"{'N':>4} {'adaptive':>12} {'fixed':>10} {'gain':>8} {'gain %':>8}")
+    program = generate(two_arm_spec(tile_width=6))
+    for N in (8, 16, 24, 32, 40):
+        adaptive = execute(program, {"N": N}).objective_value
+        fixed = equal_allocation_value(N)
+        gain = adaptive - fixed
+        print(f"{N:>4} {adaptive:>12.4f} {fixed:>10.4f} "
+              f"{gain:>8.4f} {100 * gain / fixed:>7.2f}%")
+    print()
+    print("The adaptive design treats the same number of patients but")
+    print("achieves more expected successes — the ethical/efficiency win")
+    print("the paper cites for adaptive trials.")
+    print()
+
+    # Delayed responses: 6-D state (pulls allocated vs outcomes observed).
+    print("Response delay (6-D delayed 2-arm bandit):")
+    delayed_program = generate(delayed_two_arm_spec(tile_width=3))
+    print(f"{'N':>4} {'immediate':>12} {'delayed':>12} {'cost of delay':>14}")
+    for N in (4, 6, 8):
+        immediate = execute(program, {"N": N}).objective_value
+        delayed = execute(delayed_program, {"N": N}).objective_value
+        assert abs(delayed - delayed_two_arm_reference(N)) < 1e-9
+        print(f"{N:>4} {immediate:>12.4f} {delayed:>12.4f} "
+              f"{immediate - delayed:>14.4f}")
+    print()
+    print("Delay costs expected successes: decisions must be made before")
+    print("earlier outcomes are known, exactly the effect the richer 6-D")
+    print("state space captures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Miniature version of the paper's evaluation (Section VI).
+
+Reproduces the two headline studies on the simulated cluster:
+
+* Figure 6 — shared-memory scaling of the 2-arm bandit on one 24-core
+  node (the paper reports speedup 22.35 on 24 cores);
+* Figure 7 — weak scaling across 1..4 MPI nodes with the locations per
+  node held roughly constant (the paper reports ~90 % at 8 nodes).
+
+The full-size sweeps (all problems, 8 nodes) live in ``benchmarks/``;
+this example keeps sizes small enough to finish in about a minute.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import generate
+from repro.problems import two_arm_spec
+from repro.simulate import (
+    MachineModel,
+    format_scaling_table,
+    shared_memory_scaling,
+    weak_scaling,
+)
+
+
+def main() -> None:
+    spec = two_arm_spec(tile_width=10)
+    program = generate(spec)
+
+    print("Figure 6 (miniature): shared-memory scaling, 2-arm bandit N=120")
+    points = shared_memory_scaling(
+        program, {"N": 120}, core_counts=[1, 2, 4, 8, 16, 24]
+    )
+    print(format_scaling_table(points, "2-arm bandit, 1 node"))
+    p24 = points[-1]
+    print(f"-> speedup {p24.speedup:.2f} on 24 cores "
+          f"(paper: 22.35; shape target: >= 22)")
+    print()
+
+    print("Figure 7 (miniature): weak scaling across nodes, 2-arm bandit")
+
+    def factory(nodes: int):
+        # locations scale ~N^4/24; hold locations/node constant.
+        n = int(round(120 * nodes ** 0.25))
+        return program, {"N": n}
+
+    points = weak_scaling(factory, node_counts=[1, 2, 4],
+                          machine=MachineModel(cores_per_node=24))
+    print(format_scaling_table(points, "2-arm bandit, weak scaling"))
+    print(f"-> efficiency {points[-1].efficiency:.1%} at "
+          f"{points[-1].nodes} nodes (paper: ~90 % at 8 nodes)")
+
+
+if __name__ == "__main__":
+    main()

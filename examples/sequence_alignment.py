@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Exact multiple sequence alignment with generated tiled programs.
+
+The paper's bioinformatics motivation (Section I): exact sum-of-pairs
+MSA is d-dimensional dynamic programming, usually abandoned for
+heuristics beyond 2 sequences; the generator makes the exact parallel
+solve mechanical.  This example aligns three DNA fragments exactly,
+compares the exact sum-of-pairs cost against the naive
+pairwise-composition lower bound, shows LCS on the same data, and emits
+the generated C program for the 3-sequence aligner.
+
+Run:  python examples/sequence_alignment.py
+"""
+
+from pathlib import Path
+
+from repro import execute, generate
+from repro.generator.cgen import emit_c_program
+from repro.problems import (
+    lcs_reference,
+    lcs_spec,
+    msa_reference,
+    msa_spec,
+    random_sequence,
+)
+
+HERE = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    seqs = [
+        random_sequence(26, seed=101),
+        random_sequence(24, seed=202),
+        random_sequence(22, seed=303),
+    ]
+    for k, s in enumerate(seqs, 1):
+        print(f"  seq{k} ({len(s)} nt): {s}")
+    params = {f"L{k + 1}": len(s) for k, s in enumerate(seqs)}
+
+    # Exact 3-way sum-of-pairs alignment (6 templates per cell: every
+    # nonzero subset of sequences may advance).
+    spec = msa_spec(seqs, tile_width=6)
+    program = generate(spec)
+    result = execute(program, params)
+    exact = result.objective_value
+    assert abs(exact - msa_reference(seqs)) < 1e-9
+    print()
+    print(f"exact 3-way sum-of-pairs cost : {exact:.1f}")
+    print(f"tiles executed                : {result.tiles_executed} "
+          f"({result.cells_computed} cells)")
+
+    # Pairwise lower bound: the sum of the three optimal pairwise costs
+    # can never exceed the sum-of-pairs cost of one joint alignment.
+    pairwise = 0.0
+    for a in range(3):
+        for b in range(a + 1, 3):
+            pair = msa_reference([seqs[a], seqs[b]])
+            pairwise += pair
+            print(f"optimal pairwise cost seq{a+1}/seq{b+1}: {pair:.1f}")
+    print(f"pairwise lower bound          : {pairwise:.1f} "
+          f"(exact joint cost {exact:.1f} >= bound, gap "
+          f"{exact - pairwise:.1f})")
+    assert exact >= pairwise - 1e-9
+
+    # LCS of the same three sequences (the related problem the paper
+    # cites for multi-strand DNA matching).
+    lcs_program = generate(lcs_spec(seqs, tile_width=6))
+    lcs_len = execute(lcs_program, params).objective_value
+    assert lcs_len == lcs_reference(seqs)
+    print(f"LCS of all three sequences    : {int(lcs_len)} nt")
+
+    # Emit the generated parallel aligner.
+    out = HERE / "msa3_generated.c"
+    out.write_text(emit_c_program(program))
+    print()
+    print(f"wrote {out.name} — build: gcc -O2 -std=c99 -fopenmp "
+          f"{out.name} -o msa3 && ./msa3 {params['L1']} {params['L2']} "
+          f"{params['L3']}")
+
+
+if __name__ == "__main__":
+    main()

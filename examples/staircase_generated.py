@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""
+Auto-generated tiled dynamic-programming program: staircase
+Produced by the repro program generator (VandenBerg & Stout,
+CLUSTER 2011 reproduction).  Do not edit by hand.
+
+Usage: python prog.py <M>
+"""
+import heapq
+import sys
+import time
+
+import numpy as np
+
+M = int(sys.argv[1])
+
+D = 2
+DELTAS = ((0, 1), (1, 0))
+PADDED_CELLS = 25
+NAN = float('nan')
+
+# ---- tile work (local-space point count, Section IV-E) ----
+def tile_work(t_x, t_y):
+    if not ((0 + 1*t_y) >= 0 and (0 + 1*t_x) >= 0 and (0 + 1*M) >= 0 and (0 + 1*M + -4*t_y) >= 0 and (0 + 1*M + -4*t_x) >= 0 and (0 + 1*M + -4*t_x + -4*t_y) >= 0):
+        return 0
+    _total = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((3), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        _n = min((0 + M - i_x - 4*t_x - 4*t_y), (3)) - (max((0 - 4*t_y), (0))) + 1
+        if _n > 0:
+            _total += _n
+    return _total
+
+def pack_size_0(t_x, t_y):
+    if not ((0 + 1*t_y) >= 0 and (0 + 1*t_x) >= 0 and (0 + 1*M) >= 0 and (0 + 1*M + -4*t_y) >= 0 and (0 + 1*M + -4*t_x) >= 0 and (0 + 1*M + -4*t_x + -4*t_y) >= 0):
+        return 0
+    _total = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((3), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        _n = min((0 + M - i_x - 4*t_x - 4*t_y), (3), (0)) - (max((0 - 4*t_y), (0))) + 1
+        if _n > 0:
+            _total += _n
+    return _total
+
+def pack_size_1(t_x, t_y):
+    if not ((0 + 1*t_y) >= 0 and (0 + 1*t_x) >= 0 and (0 + 1*M) >= 0 and (0 + 1*M + -4*t_y) >= 0 and (0 + 1*M + -4*t_x) >= 0 and (0 + 1*M + -4*t_x + -4*t_y) >= 0):
+        return 0
+    _total = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((0), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        _n = min((0 + M - i_x - 4*t_x - 4*t_y), (3)) - (max((0 - 4*t_y), (0))) + 1
+        if _n > 0:
+            _total += _n
+    return _total
+
+PACK_SIZES = (pack_size_0, pack_size_1)
+
+# ---- tile-space bounding box ----
+def tile_box():
+    lo = [0] * D
+    hi = [0] * D
+    lo[0] = (0)
+    hi[0] = ((0 + M) // 4)
+    lo[1] = (0)
+    hi[1] = ((0 + M) // 4)
+    return lo, hi
+
+# ---- tile calculation code (Section IV-L, Figure 3) ----
+OBJECTIVE = [0.0, False]
+def execute_tile(t, V):
+    t_x, t_y = t
+    for i_x in range(min((3), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)), (max((0 - 4*t_x), (0))) - 1, -1):
+        for i_y in range(min((0 + M - i_x - 4*t_x - 4*t_y), (3)), (max((0 - 4*t_y), (0))) - 1, -1):
+            x = i_x + 4 * t_x
+            y = i_y + 4 * t_y
+            loc = 5 * (i_x + 0) + 1 * (i_y + 0)
+            loc_right = loc + (5)
+            loc_up = loc + (1)
+            _chk0 = ((-1 + (1)*M + (-1)*x + (-1)*y) >= 0)
+            is_valid_right = _chk0
+            is_valid_up = _chk0
+            # ---- user center-loop code ----
+            _c = float((3 * x + 5 * y) % 7)
+            _best = None
+            if is_valid_right:
+                _best = V[loc_right]
+            if is_valid_up and (_best is None or V[loc_up] < _best):
+                _best = V[loc_up]
+            V[loc] = _c + (0.0 if _best is None else _best)
+            if x == 0 and y == 0:
+                OBJECTIVE[0] = V[loc]
+                OBJECTIVE[1] = True
+
+# ---- packing / unpacking functions (Section IV-I) ----
+def pack_0(t, V, buf):
+    t_x, t_y = t
+    _n = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((3), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        for i_y in range(max((0 - 4*t_y), (0)), min((0 + M - i_x - 4*t_x - 4*t_y), (3), (0)) + 1):
+            buf[_n] = V[5 * (i_x + 0) + 1 * (i_y + 0)]
+            _n += 1
+def unpack_0(t, buf, V):
+    t_x, t_y = t
+    _n = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((3), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        for i_y in range(max((0 - 4*t_y), (0)), min((0 + M - i_x - 4*t_x - 4*t_y), (3), (0)) + 1):
+            V[5 * (i_x + 0) + 1 * (i_y + 4)] = buf[_n]
+            _n += 1
+def pack_1(t, V, buf):
+    t_x, t_y = t
+    _n = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((0), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        for i_y in range(max((0 - 4*t_y), (0)), min((0 + M - i_x - 4*t_x - 4*t_y), (3)) + 1):
+            buf[_n] = V[5 * (i_x + 0) + 1 * (i_y + 0)]
+            _n += 1
+def unpack_1(t, buf, V):
+    t_x, t_y = t
+    _n = 0
+    for i_x in range(max((0 - 4*t_x), (0)), min((0), (0 + M - 4*t_x), (0 + M - 4*t_x - 4*t_y)) + 1):
+        for i_y in range(max((0 - 4*t_y), (0)), min((0 + M - i_x - 4*t_x - 4*t_y), (3)) + 1):
+            V[5 * (i_x + 4) + 1 * (i_y + 0)] = buf[_n]
+            _n += 1
+PACKERS = (pack_0, pack_1)
+UNPACKERS = (unpack_0, unpack_1)
+
+# ---- tile priority (Section V-B, Figure 5) ----
+# lb dims downstream-first; remaining dims column-major.
+def priority(t):
+    return (t[0], -t[1])
+
+# ---- tile-space scan and initial tiles (Section IV-K) ----
+def scan_tiles():
+    for t_x in range((0), ((0 + M) // 4) + 1):
+        for t_y in range((0), min(((0 + M) // 4), ((0 + M - 4*t_x) // 4)) + 1):
+            if tile_work(t_x, t_y) > 0:
+                yield (t_x, t_y)
+
+# ==================================================================
+# Pre-written runtime (memory management, queueing) — Section V.
+# ==================================================================
+
+def main():
+    t0 = time.perf_counter()
+    tiles = set(scan_tiles())
+    if not tiles:
+        print("tiles 0 cells 0 time 0.0")
+        return
+    producers = {}
+    deps = {}
+    for t in tiles:
+        prods = []
+        for delta in DELTAS:
+            p = tuple(a + b for a, b in zip(t, delta))
+            if p in tiles:
+                prods.append(p)
+        producers[t] = prods
+        deps[t] = len(prods)
+
+    heap = [(priority(t), t) for t in tiles if deps[t] == 0]
+    heapq.heapify(heap)
+    edges = {}
+    tiles_done = 0
+    cells_done = 0
+    while heap:
+        _, t = heapq.heappop(heap)
+        V = np.full(PADDED_CELLS, NAN)
+        for di, delta in enumerate(DELTAS):
+            p = tuple(a + b for a, b in zip(t, delta))
+            if p in tiles:
+                UNPACKERS[di](p, edges.pop((p, t)), V)
+        execute_tile(t, V)
+        cells_done += tile_work(*t)
+        tiles_done += 1
+        for di, delta in enumerate(DELTAS):
+            c = tuple(a - b for a, b in zip(t, delta))
+            if c not in tiles:
+                continue
+            buf = np.empty(max(PACK_SIZES[di](*t), 1))
+            PACKERS[di](t, V, buf)
+            edges[(t, c)] = buf
+            deps[c] -= 1
+            if deps[c] == 0:
+                heapq.heappush(heap, (priority(c), c))
+    elapsed = time.perf_counter() - t0
+    print(f"tiles {tiles_done} cells {cells_done} time {elapsed:.6f}")
+    if OBJECTIVE[1]:
+        print(f"objective {OBJECTIVE[0]:.12f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — automatic hybrid OpenMP + MPI program generation for
+template-recurrence dynamic programming.
+
+A production-quality Python reproduction of *"Automatic Hybrid OpenMP +
+MPI Program Generation for Dynamic Programming Problems"* (VandenBerg &
+Stout, IEEE CLUSTER 2011).
+
+Quick tour::
+
+    from repro import generate, execute
+    from repro.problems import two_arm_spec
+
+    spec = two_arm_spec(tile_width=8)       # the paper's Figure 1 problem
+    program = generate(spec)                # Section IV pipeline
+    result = execute(program, {"N": 40})    # tiled in-process run
+    print(result.objective_value)           # V(0,0,0,0)
+
+    from repro.generator.cgen import emit_c_program
+    open("bandit2.c", "w").write(emit_c_program(program))
+    # gcc -O2 -std=c99 -fopenmp bandit2.c -o bandit2 && ./bandit2 40
+
+Subpackages:
+
+* :mod:`repro.polyhedra` — exact affine/polyhedral algebra (Fourier–
+  Motzkin, loop synthesis, lattice counting, Ehrhart quasi-polynomials);
+* :mod:`repro.spec` — problem specifications and the text input format;
+* :mod:`repro.generator` — the generation pipeline plus the C and Python
+  backends;
+* :mod:`repro.runtime` — the in-process tiled executor (numerical oracle
+  twin of the generated code);
+* :mod:`repro.simulate` — the discrete-event cluster simulator behind
+  the scaling studies;
+* :mod:`repro.problems` — bandits, MSA, LCS, edit distance, each with an
+  independent reference solver.
+"""
+
+from .errors import (
+    EmptyPolyhedronError,
+    GenerationError,
+    ParseError,
+    PolyhedronError,
+    ReproError,
+    RuntimeExecutionError,
+    SimulationError,
+    SpecError,
+)
+from .spec import ProblemSpec, TemplateSet, format_spec, parse_spec_file, parse_spec_text
+from .generator import GeneratedProgram, generate
+from .runtime import ExecutionResult, TileGraph, execute, solve_reference
+# NB: the simulate *function* stays namespaced (repro.simulate.simulate);
+# re-exporting it here would shadow the repro.simulate submodule.
+from .simulate import MachineModel, simulate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "ParseError",
+    "PolyhedronError",
+    "EmptyPolyhedronError",
+    "GenerationError",
+    "RuntimeExecutionError",
+    "SimulationError",
+    "ProblemSpec",
+    "TemplateSet",
+    "parse_spec_text",
+    "parse_spec_file",
+    "format_spec",
+    "GeneratedProgram",
+    "generate",
+    "TileGraph",
+    "ExecutionResult",
+    "execute",
+    "solve_reference",
+    "MachineModel",
+    "simulate_program",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Small shared helpers: exact integer division, gcd/lcm over iterables.
+
+These are used pervasively by the polyhedral layer, where loop bounds are
+expressed with *integer* floor/ceil division (the ``floord``/``ceild``
+macros of the generated C code).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable
+
+
+def floor_div(num: int, den: int) -> int:
+    """Floor division that matches C's ``floord`` macro for positive *den*.
+
+    Python's ``//`` already floors toward negative infinity, which is the
+    semantics loop-bound generation requires.  *den* must be positive.
+    """
+    if den <= 0:
+        raise ValueError(f"floor_div requires a positive denominator, got {den}")
+    return num // den
+
+
+def ceil_div(num: int, den: int) -> int:
+    """Ceiling division for positive *den* (C's ``ceild`` macro)."""
+    if den <= 0:
+        raise ValueError(f"ceil_div requires a positive denominator, got {den}")
+    return -((-num) // den)
+
+
+def gcd_all(values: Iterable[int]) -> int:
+    """gcd of an iterable of integers; 0 for an empty iterable."""
+    g = 0
+    for v in values:
+        g = gcd(g, abs(v))
+    return g
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """lcm of an iterable of positive integers; 1 for an empty iterable."""
+    out = 1
+    for v in values:
+        v = abs(v)
+        if v == 0:
+            continue
+        out = out * v // gcd(out, v)
+    return out
+
+
+def as_fraction(value) -> Fraction:
+    """Coerce ints/Fractions (and exact float integers) to Fraction."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != int(value):
+            raise TypeError(
+                f"non-integral float {value!r} is not an exact coefficient; "
+                "use fractions.Fraction explicitly"
+            )
+        return Fraction(int(value))
+    raise TypeError(f"cannot interpret {value!r} as an exact rational")
+
+
+def frozen_counter(items: Iterable) -> tuple:
+    """Deterministic multiset fingerprint used for hashing/memo keys."""
+    return tuple(sorted(items))

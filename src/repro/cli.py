@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Three entry points (also installed as console scripts):
+
+* ``repro-generate spec.txt -o prog.c``      — spec file to C (or Python)
+  program, the paper's main workflow;
+* ``repro-run --problem bandit2 N=12``       — solve a built-in problem
+  with the in-process tiled runtime and check it against the oracle;
+* ``repro-simulate --problem bandit2 N=60 --nodes 4 --cores 24`` —
+  scaling study on the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from .errors import ReproError
+from .generator import generate
+from .generator.cgen import emit_c_program
+from .generator.pygen import emit_python_program
+from .problems import REGISTRY, random_sequence
+from .runtime import execute
+from .spec import ensure_kernel
+from .simulate import (
+    MachineModel,
+    format_scaling_table,
+    shared_memory_scaling,
+    simulate_program,
+)
+from .spec import parse_spec_file
+
+
+def _parse_params(tokens: List[str]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise SystemExit(f"parameter {tok!r} must look like NAME=VALUE")
+        name, _, value = tok.partition("=")
+        try:
+            out[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"parameter value in {tok!r} must be an integer")
+    return out
+
+
+def _builtin_spec(name: str, tile_width: int):
+    """Instantiate a built-in problem with demo-sized inputs."""
+    if name in ("bandit2", "bandit3", "bandit2-delayed"):
+        return REGISTRY[name](tile_width=tile_width)
+    if name in ("edit-distance", "damerau", "smith-waterman"):
+        return REGISTRY[name](
+            random_sequence(40, 1), random_sequence(36, 2), tile_width=tile_width
+        )
+    if name == "lcs":
+        return REGISTRY[name](
+            [random_sequence(24, 3), random_sequence(22, 4), random_sequence(20, 5)],
+            tile_width=tile_width,
+        )
+    if name == "msa":
+        return REGISTRY[name](
+            [random_sequence(20, 6), random_sequence(18, 7), random_sequence(16, 8)],
+            tile_width=tile_width,
+        )
+    if name == "viterbi":
+        from .problems import random_hmm
+
+        prior, trans, emit, obs = random_hmm(4, 6, 64, seed=9)
+        return REGISTRY[name](prior, trans, emit, obs, tile_width_t=tile_width)
+    raise SystemExit(
+        f"unknown problem {name!r}; choose one of {sorted(REGISTRY)}"
+    )
+
+
+def _default_params(spec) -> Dict[str, int]:
+    """Demo defaults: bandits get N=12; alignment problems take the
+    lengths of their embedded strings.
+
+    The lengths are recovered from the objective point through the
+    ``x <= P`` constraints: a parameter appearing as the sole upper
+    bound of one loop variable defaults to that variable's objective
+    coordinate.
+    """
+    out = {p: 12 for p in spec.params}
+    if spec.objective_point:
+        for c in spec.constraints:
+            for p in spec.params:
+                if c.coeff(p) != 1 or c.expr.constant != 0:
+                    continue
+                loop_terms = [
+                    v for v in spec.loop_vars if c.coeff(v) != 0
+                ]
+                if len(loop_terms) == 1 and c.coeff(loop_terms[0]) == -1:
+                    out[p] = spec.objective_point[loop_terms[0]]
+    return out
+
+
+def main_generate(argv=None) -> int:
+    """spec file -> generated program (C by default, Python with --target py)."""
+    ap = argparse.ArgumentParser(
+        prog="repro-generate",
+        description="Generate a hybrid OpenMP+MPI program from a problem spec.",
+    )
+    ap.add_argument("spec", help="problem description file (see docs/spec format)")
+    ap.add_argument("-o", "--output", help="output file (default: stdout)")
+    ap.add_argument(
+        "--target",
+        choices=("c", "py", "cuda"),
+        default="c",
+        help="backend to emit",
+    )
+    ap.add_argument(
+        "--prune",
+        choices=("none", "syntactic", "lp"),
+        default="syntactic",
+        help="Fourier-Motzkin redundancy elimination level",
+    )
+    ap.add_argument(
+        "--describe", action="store_true", help="print the analysis summary"
+    )
+    args = ap.parse_args(argv)
+    try:
+        spec = parse_spec_file(args.spec)
+        program = generate(spec, prune=args.prune)
+        if args.describe:
+            print(program.describe(), file=sys.stderr)
+        if args.target == "c":
+            source = emit_c_program(program)
+        elif args.target == "py":
+            source = emit_python_program(program)
+        else:
+            from .generator.cugen import emit_cuda_program
+
+            source = emit_cuda_program(program)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def main_run(argv=None) -> int:
+    """Solve a built-in problem with the in-process tiled runtime."""
+    ap = argparse.ArgumentParser(
+        prog="repro-run",
+        description=(
+            "Run a built-in problem or a problem-description file "
+            "through the tiled runtime."
+        ),
+    )
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--problem", help=f"one of {sorted(REGISTRY)}")
+    group.add_argument(
+        "--spec",
+        help="problem-description file; its center_code_py is compiled "
+        "into the runtime kernel",
+    )
+    ap.add_argument("--tile-width", type=int, default=4)
+    ap.add_argument(
+        "--priority",
+        choices=("column-major", "level-set", "lb-first", "lb-last"),
+        default="lb-first",
+    )
+    ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
+    args = ap.parse_args(argv)
+    try:
+        if args.spec:
+            spec = parse_spec_file(args.spec)
+            kernel = ensure_kernel(spec)
+        else:
+            spec = _builtin_spec(args.problem, args.tile_width)
+            kernel = spec.kernel
+        params = _default_params(spec)
+        params.update(_parse_params(args.params))
+        result = execute(
+            generate(spec), params, kernel=kernel,
+            priority_scheme=args.priority,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(spec.describe())
+    print()
+    print(f"parameters        : {params}")
+    print(f"tiles executed    : {result.tiles_executed}")
+    print(f"cells computed    : {result.cells_computed}")
+    print(f"peak edge buffer  : {result.memory['peak_cells']} cells "
+          f"({result.memory['peak_edges']} edges)")
+    if result.objective_value is not None:
+        print(f"objective {result.objective_point} = {result.objective_value!r}")
+    return 0
+
+
+def main_simulate(argv=None) -> int:
+    """Scaling study on the simulated cluster."""
+    ap = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate the generated program on a cluster model.",
+    )
+    ap.add_argument("--problem", default="bandit2")
+    ap.add_argument("--tile-width", type=int, default=8)
+    ap.add_argument("--nodes", type=int, default=1)
+    ap.add_argument("--cores", type=int, default=24)
+    ap.add_argument(
+        "--sweep-cores",
+        action="store_true",
+        help="sweep core counts on one node (Figure 6 style)",
+    )
+    ap.add_argument(
+        "--lb", choices=("dimension-cut", "hyperplane"), default="dimension-cut"
+    )
+    ap.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print a per-node utilization timeline",
+    )
+    ap.add_argument("params", nargs="*", help="NAME=VALUE parameters")
+    args = ap.parse_args(argv)
+    spec = _builtin_spec(args.problem, args.tile_width)
+    params = _default_params(spec)
+    if set(spec.params) == {"N"}:
+        params = {"N": 40}
+    params.update(_parse_params(args.params))
+    program = generate(spec)
+    machine = MachineModel(nodes=args.nodes, cores_per_node=args.cores)
+    try:
+        if args.sweep_cores:
+            pts = shared_memory_scaling(
+                program, params, [1, 2, 4, 8, 12, 16, 20, 24]
+            )
+            print(format_scaling_table(pts, f"{spec.name} {params}"))
+        else:
+            from .runtime import TileGraph
+            from .simulate import render_timeline, simulate
+
+            graph = TileGraph.build(program, params)
+            if machine.nodes == 1:
+                assignment = {t: 0 for t in graph.tiles}
+            else:
+                lb = program.load_balance(params, machine.nodes, method=args.lb)
+                assignment = {
+                    t: lb.node_of_tile(t, program.spaces) for t in graph.tiles
+                }
+            res = simulate(
+                graph, machine, assignment=assignment, trace=args.timeline
+            )
+            print(f"problem        : {spec.name} {params}")
+            print(f"machine        : {machine.nodes} nodes x "
+                  f"{machine.cores_per_node} cores")
+            print(f"load balancing : {args.lb}")
+            print(f"makespan       : {res.makespan_s:.6f} s")
+            print(f"speedup        : {res.speedup:.2f}")
+            print(f"efficiency     : {res.efficiency:.1%}")
+            print(f"messages       : {res.messages} ({res.bytes_sent} bytes)")
+            print(f"idle fraction  : {res.idle_fraction:.1%}")
+            if args.timeline:
+                print()
+                print(
+                    render_timeline(
+                        res.spans,
+                        machine.nodes,
+                        machine.cores_per_node,
+                        makespan_s=res.makespan_s,
+                    )
+                )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_generate())

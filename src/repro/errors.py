@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single type.  Sub-classes partition failures by
+subsystem so tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SpecError(ReproError):
+    """The user's problem specification is malformed or inconsistent."""
+
+
+class ParseError(SpecError):
+    """The textual input file could not be parsed."""
+
+
+class PolyhedronError(ReproError):
+    """A polyhedral operation failed (e.g. eliminating an absent variable)."""
+
+
+class EmptyPolyhedronError(PolyhedronError):
+    """An operation required a non-empty polyhedron but got an empty one."""
+
+
+class GenerationError(ReproError):
+    """The code generator could not produce a program for the given spec."""
+
+
+class RuntimeExecutionError(ReproError):
+    """The tiled runtime detected an inconsistency while executing."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator was configured inconsistently."""

@@ -1,0 +1,66 @@
+"""The program generator: the paper's primary contribution (Section IV)."""
+
+from .spaces import IterationSpaces, TileIndex, build_iteration_spaces
+from .tile_deps import (
+    Delta,
+    consumers_of,
+    delta_between,
+    dependency_deltas,
+    producers_of,
+    template_delta_box,
+    tile_dependency_map,
+)
+from .validity import ValiditySet, build_validity
+from .mapping import TileLayout, build_layout, template_offsets
+from .packing import PackPlan, build_pack_plans
+from .initial_tiles import (
+    initial_tiles,
+    initial_tiles_exhaustive,
+    initial_tiles_face_scan,
+)
+from .loadbalance import (
+    LoadBalance,
+    balance_dimension_cut,
+    balance_hyperplane,
+    compute_slab_work,
+    lb_slab_polynomial,
+    total_work_polynomial,
+)
+from .priority import SCHEMES as PRIORITY_SCHEMES
+from .priority import PriorityFn, make_priority
+from .pipeline import GeneratedProgram, GenerationStats, generate
+
+__all__ = [
+    "IterationSpaces",
+    "TileIndex",
+    "build_iteration_spaces",
+    "Delta",
+    "template_delta_box",
+    "tile_dependency_map",
+    "dependency_deltas",
+    "producers_of",
+    "consumers_of",
+    "delta_between",
+    "ValiditySet",
+    "build_validity",
+    "TileLayout",
+    "build_layout",
+    "template_offsets",
+    "PackPlan",
+    "build_pack_plans",
+    "initial_tiles",
+    "initial_tiles_exhaustive",
+    "initial_tiles_face_scan",
+    "LoadBalance",
+    "balance_dimension_cut",
+    "balance_hyperplane",
+    "compute_slab_work",
+    "total_work_polynomial",
+    "lb_slab_polynomial",
+    "PRIORITY_SCHEMES",
+    "PriorityFn",
+    "make_priority",
+    "GeneratedProgram",
+    "GenerationStats",
+    "generate",
+]

@@ -1,0 +1,86 @@
+"""Fast interior-tile detection.
+
+Most tiles of a large problem lie entirely inside the iteration space,
+where the point count is just the product of the box widths — no
+scanning needed.  A tile (or pack region) is *full* iff every original
+constraint is satisfied at its worst-case corner, which for an affine
+constraint over a box is computed term-by-term: a positive coefficient
+is minimized at the low corner, a negative one at the high corner.
+
+The checker is compiled once per (constraints, box) pair into an integer
+closure over the tile/parameter environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Sequence, Tuple
+
+from ..errors import GenerationError
+from ..polyhedra import ConstraintSystem
+
+
+def make_box_min_checker(
+    system: ConstraintSystem,
+    box: Mapping[str, Tuple[object, object]],
+) -> Callable[[Mapping[str, int]], bool]:
+    """Build ``fn(env) -> bool``: is *system* satisfied on the whole box?
+
+    *box* maps the box variables to ``(lo_expr, hi_expr)`` where each
+    bound is either an int or a ``(coeff_by_var, const)`` affine pair over
+    environment variables.  Variables not in *box* are read from the
+    environment.  Equalities make a box never full (unless degenerate),
+    so any equality yields an always-False checker.
+    """
+    if any(c.is_equality() for c in system):
+        return lambda env: False
+
+    compiled: List[Callable[[Mapping[str, int]], int]] = []
+    for c in system:
+        env_terms: List[Tuple[str, int]] = []
+        box_terms: List[Tuple[object, int]] = []  # (bound_spec, coef)
+        const = c.expr.constant
+        if const.denominator != 1:
+            raise GenerationError(f"non-integral constraint {c}")
+        const_i = const.numerator
+        for name, coef in c.expr.terms():
+            if coef.denominator != 1:
+                raise GenerationError(f"non-integral constraint {c}")
+            ci = coef.numerator
+            if name in box:
+                lo, hi = box[name]
+                # minimize ci * v over [lo, hi]
+                bound = lo if ci >= 0 else hi
+                box_terms.append((bound, ci))
+            else:
+                env_terms.append((name, ci))
+
+        def min_value(
+            env: Mapping[str, int],
+            const_i=const_i,
+            env_terms=tuple(env_terms),
+            box_terms=tuple(box_terms),
+        ) -> int:
+            total = const_i
+            for name, ci in env_terms:
+                total += ci * env[name]
+            for bound, ci in box_terms:
+                total += ci * _eval_bound(bound, env)
+            return total
+
+        compiled.append(min_value)
+
+    def checker(env: Mapping[str, int]) -> bool:
+        return all(fn(env) >= 0 for fn in compiled)
+
+    return checker
+
+
+def _eval_bound(bound, env: Mapping[str, int]) -> int:
+    """Evaluate a box bound: an int or ``(coeff_by_var, const)`` affine."""
+    if isinstance(bound, int):
+        return bound
+    coeffs, const = bound
+    total = const
+    for name, c in coeffs.items():
+        total += c * env[name]
+    return total

@@ -1,0 +1,52 @@
+"""A small indented C source writer."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class CWriter:
+    """Accumulates C source with indentation management."""
+
+    def __init__(self, indent: str = "    "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent = indent
+
+    def line(self, text: str = "") -> "CWriter":
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, texts: Iterable[str]) -> "CWriter":
+        for t in texts:
+            self.line(t)
+        return self
+
+    def raw(self, block: str) -> "CWriter":
+        """Paste a preformatted block, re-indenting to the current depth."""
+        for t in block.splitlines():
+            if t.strip():
+                self._lines.append(self._indent * self._depth + t)
+            else:
+                self._lines.append("")
+        return self
+
+    def open(self, header: str) -> "CWriter":
+        self.line(header + " {")
+        self._depth += 1
+        return self
+
+    def close(self, suffix: str = "") -> "CWriter":
+        self._depth -= 1
+        self.line("}" + suffix)
+        return self
+
+    def blank(self) -> "CWriter":
+        self._lines.append("")
+        return self
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,5 @@
+"""CUDA backend prototype (paper Section VIII: GPGPU future work)."""
+
+from .program import emit_cuda_program
+
+__all__ = ["emit_cuda_program"]

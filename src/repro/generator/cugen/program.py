@@ -1,0 +1,368 @@
+"""CUDA program emission — the paper's GPGPU future-work direction.
+
+The paper closes with "extending this basic idea to other architectures
+such [as] automatic program generation for GPGPUs".  This backend is
+that extension, prototyped: it emits a complete CUDA C source file with
+the same generated ingredients as the CPU backend (Fourier–Motzkin
+bounds, mapping functions, shared validity checks) arranged for the GPU
+execution model:
+
+* the host groups tiles into *wavefronts* by a linear schedule over the
+  tile indices (every tile in a wavefront has all producers in earlier
+  wavefronts — proven by the same template analysis the scheduler
+  uses), and launches one kernel per wavefront;
+* each thread block executes one tile: it stages the tile plus its
+  ghost margins from the dense global state array into shared memory,
+  sweeps the *local* wavefronts of the tile with ``__syncthreads()``
+  between levels (threads cooperate within a level; dependencies only
+  reach earlier levels), and writes the interior back;
+* the state lives in one dense global array over the iteration-space
+  bounding box — the GPU's high-bandwidth memory stands in for the
+  CPU backend's packed edges, which is the standard trade on this
+  architecture.
+
+This host has no CUDA toolchain, so the backend is validated
+structurally (tests assert the generated ingredients and the CUDA
+scaffolding) and numerically only through its shared ingredients, which
+the C/Python backends execute.  DESIGN.md records this limitation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import GenerationError
+from ...polyhedra import project
+from ...polyhedra.bounds import bounds_for_variable
+from ...spec import DESCENDING
+from ..pipeline import GeneratedProgram
+from ..cgen.emitter import CWriter
+from ..cgen.nestc import MACROS, emit_scan_loops, lower_to_c, upper_to_c
+
+
+def emit_cuda_program(program: GeneratedProgram) -> str:
+    """Render *program* as a single-file CUDA C program."""
+    spec = program.spec
+    spaces = program.spaces
+    layout = program.layout
+    d = len(spec.loop_vars)
+    if not spec.center_code_c.strip():
+        raise GenerationError(
+            f"problem {spec.name!r} has no center_code_c; the CUDA backend "
+            "reuses the C center-loop fragment"
+        )
+
+    # The launch schedule is wavefronts of the direction-adjusted index
+    # sum; it is legal only if every tile dependency strictly decreases
+    # that level.  (True for all unit-ish template sets; degenerate
+    # cross-dimension deltas would need a custom schedule vector.)
+    directions = spec.scan_directions()
+    signs = [
+        (-1 if directions[x] == DESCENDING else 1) for x in spec.loop_vars
+    ]
+    for delta in program.deltas:
+        # Producer tile = t + delta; its level is level(t) + diff, and
+        # the launch order needs producers at strictly smaller levels.
+        diff = sum(s * c for s, c in zip(signs, delta))
+        if diff >= 0:
+            raise GenerationError(
+                f"tile dependency {delta} does not decrease the wavefront "
+                "level; the CUDA backend's level schedule cannot order it"
+            )
+    for name, vec in spec.templates.items():
+        # The in-tile sweep synchronizes between local wavefront levels;
+        # every template must reach a strictly smaller local level too.
+        diff = sum(s * c for s, c in zip(signs, vec))
+        if diff >= 0:
+            raise GenerationError(
+                f"template {name!r} = {vec} lies inside a local wavefront; "
+                "the CUDA backend's level-synchronized sweep cannot order it"
+            )
+
+    w = CWriter()
+    w.line("/*")
+    w.line(f" * Auto-generated CUDA program: {spec.name}")
+    w.line(" * Prototype of the paper's GPGPU future-work direction.")
+    w.line(" * Build: nvcc -O2 prog.cu -o prog")
+    w.line(f" * Run:   ./prog {' '.join('<' + p + '>' for p in spec.params)}")
+    w.line(" */")
+    w.blank()
+    w.lines(
+        [
+            "#include <stdio.h>",
+            "#include <stdlib.h>",
+            "#include <cuda_runtime.h>",
+        ]
+    )
+    w.blank()
+    w.raw(MACROS.replace("static inline", "__host__ __device__ static inline"))
+    w.blank()
+    w.line(f"#define REPRO_D {d}")
+    w.line(f"#define TILE_CELLS {layout.cells}")
+    w.blank()
+    for p in spec.params:
+        w.line(f"static long {p};  /* host copy */")
+    w.line("__constant__ long " + ", ".join(f"dev_{p}" for p in spec.params) + ";")
+    w.blank()
+    if spec.global_code_c:
+        w.line("/* ---- user global code ---- */")
+        w.raw(spec.global_code_c)
+        w.blank()
+
+    _emit_device_tile_kernel(w, program)
+    _emit_host(w, program)
+    return w.text()
+
+
+def _emit_device_tile_kernel(w: CWriter, program: GeneratedProgram) -> None:
+    spec = program.spec
+    spaces = program.spaces
+    layout = program.layout
+    d = len(spec.loop_vars)
+    directions = spec.scan_directions()
+
+    # Local wavefront level: direction-adjusted sum of local coordinates;
+    # dependencies always point to strictly smaller levels.
+    level_terms = []
+    for k, x in enumerate(spec.loop_vars):
+        iv = spaces.local_vars[k]
+        if directions[x] == DESCENDING:
+            level_terms.append(f"({layout.widths[k] - 1} - {iv})")
+        else:
+            level_terms.append(f"({iv})")
+    max_level = sum(wd - 1 for wd in layout.widths)
+
+    w.line("/* ---- device: one block executes one tile ---- */")
+    w.open(
+        "__global__ void execute_wavefront(const long *tiles, int n_tiles, "
+        "double *G, const long *g_lo, const long *g_stride)"
+    )
+    w.line("int tile_idx = blockIdx.x;")
+    w.line("if (tile_idx >= n_tiles) return;")
+    for p in spec.params:
+        w.line(f"long {p} = dev_{p};  /* constant-memory parameter */")
+    for k, tv in enumerate(spaces.tile_vars):
+        w.line(f"long {tv} = tiles[tile_idx * REPRO_D + {k}];")
+    w.line("__shared__ double V[TILE_CELLS];")
+    w.blank()
+    w.line("/* stage tile + ghost margins from the dense global array */")
+    w.open("for (int c = threadIdx.x; c < TILE_CELLS; c += blockDim.x)")
+    w.line("long rem = c;")
+    for k in range(d):
+        stride = layout.strides[k]
+        w.line(f"long p{k} = rem / {stride}; rem %= {stride};")
+    parts = []
+    for k, x in enumerate(spec.loop_vars):
+        tv = spaces.tile_vars[k]
+        parts.append(
+            f"g_stride[{k}] * ({layout.widths[k]} * {tv} + p{k} - "
+            f"{layout.ghost_lo[k]} - g_lo[{k}])"
+        )
+    w.line("long gidx = " + " + ".join(parts) + ";")
+    w.line("V[c] = G[gidx];")
+    w.close()
+    w.line("__syncthreads();")
+    w.blank()
+    w.line("/* sweep the tile's local wavefronts */")
+    w.open(f"for (int level = 0; level <= {max_level}; level++)")
+    w.open("for (int c = threadIdx.x; c < TILE_CELLS; c += blockDim.x)")
+    w.line("long rem = c;")
+    for k in range(d):
+        stride = layout.strides[k]
+        w.line(
+            f"long {spaces.local_vars[k]} = rem / {stride} - "
+            f"{layout.ghost_lo[k]}; rem %= {stride};"
+        )
+    in_range = " && ".join(
+        f"{spaces.local_vars[k]} >= 0 && {spaces.local_vars[k]} < {layout.widths[k]}"
+        for k in range(d)
+    )
+    w.line(f"if (!({in_range})) continue;")
+    w.line(f"if (({' + '.join(level_terms)}) != level) continue;")
+    # Local-space membership (boundary tiles are partial): original
+    # constraints at the global point.
+    for k, x in enumerate(spec.loop_vars):
+        w.line(
+            f"long {x} = {spaces.local_vars[k]} + {layout.widths[k]} * "
+            f"{spaces.tile_vars[k]};"
+        )
+    member = " && ".join(
+        _constraint_dev(c) for c in spec.constraints
+    )
+    w.line(f"if (!({member})) continue;")
+    loc_terms = " + ".join(
+        f"{layout.strides[k]} * ({spaces.local_vars[k]} + {layout.ghost_lo[k]})"
+        for k in range(d)
+    )
+    w.line(f"long loc = {loc_terms};")
+    for name, off in program.offsets.items():
+        w.line(f"long loc_{name} = loc + ({off});")
+    for idx, chk in enumerate(program.validity.checks):
+        w.line(f"int _chk{idx} = {_constraint_dev(chk)};")
+    for name, _vec in spec.templates.items():
+        ids = program.validity.per_template[name]
+        cond = " && ".join(f"_chk{i}" for i in ids) if ids else "1"
+        w.line(f"int is_valid_{name} = {cond};")
+    w.line(
+        "(void)loc; "
+        + " ".join(
+            f"(void)loc_{n}; (void)is_valid_{n};"
+            for n in spec.templates.names()
+        )
+    )
+    w.line("/* ---- user center-loop code ---- */")
+    w.raw(spec.center_code_c)
+    w.close()  # cell loop
+    w.line("__syncthreads();")
+    w.close()  # level loop
+    w.blank()
+    w.line("/* write the interior back to the dense global array */")
+    w.open("for (int c = threadIdx.x; c < TILE_CELLS; c += blockDim.x)")
+    w.line("long rem = c;")
+    for k in range(d):
+        stride = layout.strides[k]
+        w.line(
+            f"long {spaces.local_vars[k]} = rem / {stride} - "
+            f"{layout.ghost_lo[k]}; rem %= {stride};"
+        )
+    w.line(f"if (!({in_range})) continue;")
+    parts = []
+    for k, x in enumerate(spec.loop_vars):
+        tv = spaces.tile_vars[k]
+        parts.append(
+            f"g_stride[{k}] * ({layout.widths[k]} * {tv} + "
+            f"{spaces.local_vars[k]} - g_lo[{k}])"
+        )
+    w.line("long gidx = " + " + ".join(parts) + ";")
+    loc_terms = " + ".join(
+        f"{layout.strides[k]} * ({spaces.local_vars[k]} + {layout.ghost_lo[k]})"
+        for k in range(d)
+    )
+    w.line(f"G[gidx] = V[{loc_terms}];")
+    w.close()
+    w.close()
+    w.blank()
+
+
+def _constraint_dev(c) -> str:
+    # Parameters are staged into kernel locals (long N = dev_N;), so
+    # plain names are correct in device code.
+    parts = [str(c.expr.constant.numerator)]
+    for name, coef in c.expr.terms():
+        parts.append(f"+ ({coef.numerator})*{name}")
+    op = "==" if c.is_equality() else ">="
+    return f"(({' '.join(parts)}) {op} 0)"
+
+
+def _emit_host(w: CWriter, program: GeneratedProgram) -> None:
+    spec = program.spec
+    spaces = program.spaces
+    d = len(spec.loop_vars)
+    directions = spec.scan_directions()
+
+    # Tile wavefront level on the host: direction-adjusted sum of tile
+    # indices.  Every producer of a tile sits at a strictly smaller
+    # level, so launching level-by-level is a legal schedule.
+    level_terms = []
+    for k, x in enumerate(spec.loop_vars):
+        tv = spaces.tile_vars[k]
+        sign = "-" if directions[x] == DESCENDING else ""
+        level_terms.append(f"({sign}{tv})")
+
+    w.line("/* ---- host: group tiles into wavefronts, launch per level ---- */")
+    w.open("int main(int argc, char **argv)")
+    w.open(f"if (argc < {len(spec.params) + 1})")
+    w.line(
+        f'fprintf(stderr, "usage: %s {" ".join("<" + p + ">" for p in spec.params)}\\n", argv[0]);'
+    )
+    w.line("return 1;")
+    w.close()
+    for idx, p in enumerate(spec.params):
+        w.line(f"{p} = atol(argv[{idx + 1}]);")
+        w.line(
+            f"cudaMemcpyToSymbol(dev_{p}, &{p}, sizeof(long));"
+        )
+    w.blank()
+    # Dense global array over the iteration-space bounding box.
+    w.line("long g_lo[REPRO_D], g_hi[REPRO_D], g_stride[REPRO_D];")
+    for k, x in enumerate(spec.loop_vars):
+        proj = project(spec.constraints, [x, *spec.params])
+        b = bounds_for_variable(proj, x)
+        if not b.is_bounded():
+            raise GenerationError(f"dimension {x!r} unbounded")
+        w.line(f"g_lo[{k}] = {lower_to_c(b)};")
+        w.line(f"g_hi[{k}] = {upper_to_c(b)};")
+    w.line("long g_cells = 1;")
+    w.open("for (int k = REPRO_D - 1; k >= 0; k--)")
+    w.line("g_stride[k] = g_cells;")
+    w.line("g_cells *= g_hi[k] - g_lo[k] + 1;")
+    w.close()
+    w.line("double *G; cudaMalloc(&G, g_cells * sizeof(double));")
+    w.line("long *d_lo, *d_stride;")
+    w.line("cudaMalloc(&d_lo, REPRO_D * sizeof(long));")
+    w.line("cudaMalloc(&d_stride, REPRO_D * sizeof(long));")
+    w.line("cudaMemcpy(d_lo, g_lo, REPRO_D * sizeof(long), cudaMemcpyHostToDevice);")
+    w.line("cudaMemcpy(d_stride, g_stride, REPRO_D * sizeof(long), cudaMemcpyHostToDevice);")
+    w.blank()
+    w.line("/* enumerate valid tiles and bucket them by wavefront level */")
+    w.line("long cap = 1024, n = 0;")
+    w.line("long *tiles = (long *)malloc(cap * REPRO_D * sizeof(long));")
+    w.line("long *levels = (long *)malloc(cap * sizeof(long));")
+    w.line("long min_level = 0, max_level = 0;")
+
+    def body() -> None:
+        w.open("if (n == cap)")
+        w.line("cap *= 2;")
+        w.line("tiles = (long *)realloc(tiles, cap * REPRO_D * sizeof(long));")
+        w.line("levels = (long *)realloc(levels, cap * sizeof(long));")
+        w.close()
+        for k, tv in enumerate(spaces.tile_vars):
+            w.line(f"tiles[n * REPRO_D + {k}] = {tv};")
+        w.line(f"levels[n] = {' + '.join(level_terms)};")
+        w.line("if (n == 0 || levels[n] < min_level) min_level = levels[n];")
+        w.line("if (n == 0 || levels[n] > max_level) max_level = levels[n];")
+        w.line("n++;")
+
+    emit_scan_loops(w, spaces.tile_nest, body)
+    w.blank()
+    w.open("for (long level = min_level; level <= max_level; level++)")
+    w.line("/* gather this wavefront */")
+    w.line("long m = 0;")
+    w.line("long *wave = (long *)malloc(n * REPRO_D * sizeof(long));")
+    w.open("for (long i = 0; i < n; i++)")
+    w.open("if (levels[i] == level)")
+    w.line(
+        "for (int k = 0; k < REPRO_D; k++) "
+        "wave[m * REPRO_D + k] = tiles[i * REPRO_D + k];"
+    )
+    w.line("m++;")
+    w.close()
+    w.close()
+    w.open("if (m > 0)")
+    w.line("long *d_wave; cudaMalloc(&d_wave, m * REPRO_D * sizeof(long));")
+    w.line(
+        "cudaMemcpy(d_wave, wave, m * REPRO_D * sizeof(long), "
+        "cudaMemcpyHostToDevice);"
+    )
+    w.line("execute_wavefront<<<(unsigned)m, 128>>>(d_wave, (int)m, G, d_lo, d_stride);")
+    w.line("cudaDeviceSynchronize();")
+    w.line("cudaFree(d_wave);")
+    w.close()
+    w.line("free(wave);")
+    w.close()
+    w.blank()
+    objective = spec.objective({})
+    obj_idx = " + ".join(
+        f"g_stride[{k}] * ({objective[x]} - g_lo[{k}])"
+        for k, x in enumerate(spec.loop_vars)
+    )
+    w.line("double result;")
+    w.line(
+        f"cudaMemcpy(&result, G + ({obj_idx}), sizeof(double), "
+        "cudaMemcpyDeviceToHost);"
+    )
+    w.line('printf("objective %.12f\\n", result);')
+    w.line("cudaFree(G); cudaFree(d_lo); cudaFree(d_stride);")
+    w.line("free(tiles); free(levels);")
+    w.line("return 0;")
+    w.close()

@@ -1,0 +1,157 @@
+"""Initial-tile discovery (paper Section IV-K).
+
+The runtime must seed its work queue with every tile whose dependencies
+are *all* unsatisfiable — tiles ``t`` such that for every dependency
+offset ``delta``, the tile ``t + delta`` is invalid.  The paper finds
+them by examining the corners/faces/edges of the tile space where the
+dependencies exit the space, generating one specialized scan per
+combination of violated inequalities; the scans are cheap because the
+regions are lower-dimensional.
+
+We implement both that face-scan strategy and an exhaustive oracle (scan
+every valid tile and test its producers).  Tests assert they agree; the
+face scan is the default because it is the paper's method and typically
+inspects far fewer tiles.
+
+A producer tile is "invalid" when it contains no iteration-space point —
+either it violates the (FM-projected) tile space or its local space is
+empty (a rational-shadow tile).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from ..errors import GenerationError
+from ..polyhedra import Constraint, ConstraintSystem, synthesize_loop_nest
+from ..spec import ProblemSpec
+from .spaces import IterationSpaces, TileIndex
+from .tile_deps import Delta, dependency_deltas
+
+#: Safety valve: beyond this many violated-constraint combinations the
+#: face scan falls back to the exhaustive method.
+MAX_COMBINATIONS = 4096
+
+
+def initial_tiles_exhaustive(
+    spaces: IterationSpaces, params: Mapping[str, int]
+) -> Set[TileIndex]:
+    """Oracle: scan all valid tiles, keep those with no valid producer."""
+    deltas = dependency_deltas(spaces.spec)
+    valid = set(spaces.tiles(params))
+    out: Set[TileIndex] = set()
+    for tile in valid:
+        producers = (
+            tuple(t + d for t, d in zip(tile, delta)) for delta in deltas
+        )
+        if all(p not in valid for p in producers):
+            out.add(tile)
+    return out
+
+
+def initial_tiles_face_scan(
+    spaces: IterationSpaces, params: Mapping[str, int]
+) -> Set[TileIndex]:
+    """The paper's method: specialized scans of boundary regions.
+
+    For each dependency offset ``delta``, a valid tile ``t`` has
+    ``t + delta`` outside the tile space only if some inequality whose
+    value *decreases* under the shift is violated at ``t + delta``.  We
+    enumerate, per delta, those candidate inequalities; every choice of
+    one violated inequality per delta yields a specialized system
+
+        tile_space  AND  (for each delta) c_delta(t + delta) <= -1
+
+    whose integer points are scanned.  The union over all choices —
+    deduplicated — is the initial set.  Tiles whose producer lies inside
+    the projected tile space but has an empty local space (rational
+    shadows) are handled by a final per-tile confirmation pass.
+    """
+    spec = spaces.spec
+    deltas = dependency_deltas(spec)
+    tile_space = spaces.tile_space
+
+    # Candidate violated inequalities per delta.
+    candidates: List[List[Constraint]] = []
+    for delta in deltas:
+        offsets = {tv: d for tv, d in zip(spaces.tile_vars, delta)}
+        per_delta: List[Constraint] = []
+        for c in tile_space:
+            if c.is_equality():
+                continue
+            drop = sum(c.coeff(tv) * d for tv, d in offsets.items())
+            if drop < 0:
+                # violated form: c(t + delta) <= -1  i.e. -c(t+delta) - 1 >= 0
+                shifted = c.shifted(offsets)
+                per_delta.append(Constraint(-shifted.expr - 1))
+        if not per_delta:
+            # This dependency can never exit the tile space through an
+            # inequality; no tile can have *all* dependencies invalid via
+            # pure face reasoning. Rational-shadow producers may still
+            # make tiles initial, so fall back to the oracle.
+            return initial_tiles_exhaustive(spaces, params)
+        candidates.append(per_delta)
+
+    n_combos = 1
+    for per_delta in candidates:
+        n_combos *= len(per_delta)
+        if n_combos > MAX_COMBINATIONS:
+            return initial_tiles_exhaustive(spaces, params)
+
+    seen_systems: Set[FrozenSet[Constraint]] = set()
+    found: Set[TileIndex] = set()
+    for combo in itertools.product(*candidates):
+        key = frozenset(combo)
+        if key in seen_systems:
+            continue
+        seen_systems.add(key)
+        system = tile_space.and_also(key)
+        if system.is_trivially_empty():
+            continue
+        try:
+            nest = synthesize_loop_nest(system, list(spaces.tile_vars))
+        except Exception:
+            # The specialized region is empty in a way FM surfaced as an
+            # unbounded/contradictory system; skip it.
+            continue
+        for env in nest.iterate(dict(params)):
+            found.add(tuple(env[tv] for tv in spaces.tile_vars))
+
+    # Confirmation pass: drop non-tiles (empty local space) and tiles that
+    # still have a valid producer (possible when the chosen inequality is
+    # violated but another producer stays inside), and add tiles whose
+    # producers are rational shadows.
+    out: Set[TileIndex] = set()
+    for tile in found:
+        if spaces.tile_is_empty(tile, params):
+            continue
+        if _all_producers_invalid(spaces, tile, deltas, params):
+            out.add(tile)
+    return out
+
+
+def _all_producers_invalid(
+    spaces: IterationSpaces,
+    tile: TileIndex,
+    deltas: Tuple[Delta, ...],
+    params: Mapping[str, int],
+) -> bool:
+    for delta in deltas:
+        producer = tuple(t + d for t, d in zip(tile, delta))
+        if spaces.tile_is_valid(producer, params):
+            return False
+    return True
+
+
+def initial_tiles(
+    spaces: IterationSpaces,
+    params: Mapping[str, int],
+    method: str = "face-scan",
+) -> Set[TileIndex]:
+    """Public entry point; *method* is ``'face-scan'`` or ``'exhaustive'``."""
+    if method == "face-scan":
+        return initial_tiles_face_scan(spaces, params)
+    if method == "exhaustive":
+        return initial_tiles_exhaustive(spaces, params)
+    raise GenerationError(f"unknown initial-tile method {method!r}")

@@ -1,0 +1,289 @@
+"""Load balancing (paper Section IV-J) and the hyperplane variant (VII-B).
+
+The paper's balancer divides the total work evenly among the nodes along
+the user-selected dimensions ``lb1 > lb2 > ... > lbj``: slabs of tiles
+(grouped by their lb-dimension indices) are ordered with ``lb1`` as the
+major key and split into contiguous chunks of equal work.  Work is
+measured in iteration-space points, obtained from two Ehrhart
+polynomials at generation time — here from exact lattice counts (and the
+Ehrhart quasi-polynomial is still constructed, both to reproduce the
+paper's artifact and to embed in the generated C code).
+
+The *future work* balancer (Section VII-B, Figure 8) orders the same
+slabs by a hyperplane functional ``lambda . t`` aligned with the
+wavefront instead of lexicographically, which shortens the pipeline
+critical path; both are implemented so the FIG8 benchmark can compare
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import GenerationError
+from ..polyhedra import (
+    Constraint,
+    ConstraintSystem,
+    LinExpr,
+    QuasiPolynomial,
+    ehrhart_univariate,
+    synthesize_loop_nest,
+)
+from ..spec import DESCENDING, ProblemSpec
+from .spaces import IterationSpaces, TileIndex
+
+LbIndex = Tuple[int, ...]
+
+
+@dataclass
+class LoadBalance:
+    """A computed assignment of load-balancing slabs to nodes."""
+
+    method: str
+    nodes: int
+    lb_dims: Tuple[str, ...]
+    slab_order: List[LbIndex]            # execution order of slabs
+    slab_work: Dict[LbIndex, int]        # points per slab
+    slab_node: Dict[LbIndex, int]        # slab -> owning node
+    total_work: int
+
+    def node_of_tile(self, tile: TileIndex, spaces: IterationSpaces) -> int:
+        key = self.lb_key_of_tile(tile, spaces)
+        try:
+            return self.slab_node[key]
+        except KeyError:
+            raise GenerationError(
+                f"tile {tile} projects to unassigned lb slab {key}"
+            ) from None
+
+    def lb_key_of_tile(self, tile: TileIndex, spaces: IterationSpaces) -> LbIndex:
+        spec = spaces.spec
+        return tuple(
+            tile[spec.loop_vars.index(x)] for x in self.lb_dims
+        )
+
+    def work_per_node(self) -> List[int]:
+        out = [0] * self.nodes
+        for slab, node in self.slab_node.items():
+            out[node] += self.slab_work[slab]
+        return out
+
+    def imbalance(self) -> float:
+        """max node work / ideal work (1.0 is perfect)."""
+        per = self.work_per_node()
+        ideal = self.total_work / self.nodes if self.nodes else 0
+        return max(per) / ideal if ideal else 1.0
+
+
+def _slab_system(
+    spec: ProblemSpec, spaces: IterationSpaces, lb_tuple: LbIndex
+) -> ConstraintSystem:
+    """Original x-space constraints restricted to one lb slab."""
+    extra: List[Constraint] = []
+    for x, t_val in zip(spec.lb_dims, lb_tuple):
+        w = spec.tile_widths[x]
+        # w*t <= x <= w*t + w - 1
+        extra.append(Constraint(LinExpr({x: 1}, -w * t_val)))
+        extra.append(Constraint(LinExpr({x: -1}, w * t_val + w - 1)))
+    return spec.constraints.and_also(extra)
+
+
+def _symbolic_slab_nest(spaces: IterationSpaces):
+    """Loop nest counting one slab's points, lb tile indices symbolic.
+
+    Built (and cached) once per IterationSpaces; the compiled counter then
+    makes per-slab work counting O(points in the slab's outer dims).
+    """
+    cached = getattr(spaces, "_slab_nest", None)
+    if cached is not None:
+        return cached
+    spec = spaces.spec
+    extra: List[Constraint] = []
+    for x in spec.lb_dims:
+        tv = spaces.tile_var(x)
+        w = spec.tile_widths[x]
+        # w*t <= x <= w*t + w - 1  with t symbolic
+        extra.append(Constraint(LinExpr({x: 1, tv: -w})))
+        extra.append(Constraint(LinExpr({x: -1, tv: w}, w - 1)))
+    system = spec.constraints.and_also(extra)
+    nest = synthesize_loop_nest(system, list(spec.loop_vars))
+    object.__setattr__(spaces, "_slab_nest", nest)
+    return nest
+
+
+def compute_slab_work(
+    spaces: IterationSpaces, params: Mapping[str, int]
+) -> Dict[LbIndex, int]:
+    """Iteration-space points per load-balancing slab (exact counts)."""
+    from ..polyhedra.compile import compile_counter, compile_scanner
+
+    nest = _symbolic_slab_nest(spaces)
+    counter = compile_counter(nest)
+    lb_scan = compile_scanner(spaces.lb_nest)
+    out: Dict[LbIndex, int] = {}
+    env = dict(params)
+    for lb_tuple in lb_scan(env):
+        env.update(zip(spaces.lb_tile_vars, lb_tuple))
+        work = counter(env)
+        if work > 0:
+            out[lb_tuple] = work
+    return out
+
+
+def _split_contiguous(
+    order: Sequence[LbIndex],
+    work: Mapping[LbIndex, int],
+    nodes: int,
+) -> Dict[LbIndex, int]:
+    """Greedy contiguous split of ordered slabs into *nodes* even chunks."""
+    total = sum(work[s] for s in order)
+    assignment: Dict[LbIndex, int] = {}
+    cum = 0
+    node = 0
+    for slab in order:
+        # Advance to the node whose quota the midpoint of this slab falls in.
+        mid = cum + work[slab] / 2.0
+        node = min(nodes - 1, max(node, int(mid * nodes / total))) if total else 0
+        assignment[slab] = node
+        cum += work[slab]
+    return assignment
+
+
+def balance_dimension_cut(
+    spaces: IterationSpaces,
+    params: Mapping[str, int],
+    nodes: int,
+    slab_work: Optional[Dict[LbIndex, int]] = None,
+) -> LoadBalance:
+    """The paper's balancer: lexicographic slab order, lb1 major.
+
+    Slabs are ordered along each dimension's *scan direction*, so node 0
+    owns the slabs that execute first and the pipeline flows node 0 ->
+    node P-1 (this is what creates the critical path the paper discusses).
+    """
+    if nodes < 1:
+        raise GenerationError(f"node count must be >= 1, got {nodes}")
+    spec = spaces.spec
+    if slab_work is None:
+        slab_work = compute_slab_work(spaces, params)
+    directions = spec.scan_directions()
+    signs = [(-1 if directions[x] == DESCENDING else 1) for x in spec.lb_dims]
+
+    def key(slab: LbIndex) -> tuple:
+        return tuple(s * v for s, v in zip(signs, slab))
+
+    order = sorted(slab_work, key=key)
+    assignment = _split_contiguous(order, slab_work, nodes)
+    return LoadBalance(
+        method="dimension-cut",
+        nodes=nodes,
+        lb_dims=spec.lb_dims,
+        slab_order=order,
+        slab_work=dict(slab_work),
+        slab_node=assignment,
+        total_work=sum(slab_work.values()),
+    )
+
+
+def balance_hyperplane(
+    spaces: IterationSpaces,
+    params: Mapping[str, int],
+    nodes: int,
+    direction: Optional[Sequence[int]] = None,
+    slab_work: Optional[Dict[LbIndex, int]] = None,
+) -> LoadBalance:
+    """Section VII-B's balancer: order slabs by a wavefront hyperplane.
+
+    *direction* are integer weights over the lb dims; the default is the
+    all-ones wavefront (adjusted to each dimension's scan direction), the
+    diagonal banding of Figure 8.  Ties break lexicographically.
+    """
+    if nodes < 1:
+        raise GenerationError(f"node count must be >= 1, got {nodes}")
+    spec = spaces.spec
+    if slab_work is None:
+        slab_work = compute_slab_work(spaces, params)
+    directions = spec.scan_directions()
+    if direction is None:
+        direction = [
+            (-1 if directions[x] == DESCENDING else 1) for x in spec.lb_dims
+        ]
+    if len(direction) != len(spec.lb_dims):
+        raise GenerationError(
+            f"hyperplane direction needs {len(spec.lb_dims)} weights"
+        )
+    signs = [(-1 if directions[x] == DESCENDING else 1) for x in spec.lb_dims]
+
+    def key(slab: LbIndex) -> tuple:
+        level = sum(w * v for w, v in zip(direction, slab))
+        lex = tuple(s * v for s, v in zip(signs, slab))
+        return (level,) + lex
+
+    order = sorted(slab_work, key=key)
+    assignment = _split_contiguous(order, slab_work, nodes)
+    return LoadBalance(
+        method="hyperplane",
+        nodes=nodes,
+        lb_dims=spec.lb_dims,
+        slab_order=order,
+        slab_work=dict(slab_work),
+        slab_node=assignment,
+        total_work=sum(slab_work.values()),
+    )
+
+
+def total_work_polynomial(
+    spec: ProblemSpec,
+    param: Optional[str] = None,
+    start: int = 0,
+) -> QuasiPolynomial:
+    """The paper's first Ehrhart polynomial: total work vs the parameter.
+
+    Computed exactly by interpolation (see :mod:`repro.polyhedra.ehrhart`);
+    embedded in the generated C program so the runtime can size its load
+    balance when the parameters become known.
+    """
+    if param is None:
+        if len(spec.params) != 1:
+            raise GenerationError(
+                "total_work_polynomial needs an explicit param when the "
+                f"spec has {len(spec.params)} parameters"
+            )
+        param = spec.params[0]
+    return ehrhart_univariate(
+        spec.constraints, list(spec.loop_vars), param, start=start
+    )
+
+
+def lb_slab_polynomial(
+    spaces: IterationSpaces,
+    lb_tuple: LbIndex,
+    param: Optional[str] = None,
+    start: Optional[int] = None,
+) -> QuasiPolynomial:
+    """The paper's second Ehrhart polynomial: slab work at fixed lb indices.
+
+    Quasi-polynomial in the parameter with period dividing the lcm of the
+    tile widths (tiling introduces periodicity).  *start* defaults to a
+    value large enough that the slab is non-degenerate.
+    """
+    from .._util import lcm_all
+
+    spec = spaces.spec
+    if param is None:
+        if len(spec.params) != 1:
+            raise GenerationError("lb_slab_polynomial needs an explicit param")
+        param = spec.params[0]
+    system = _slab_system(spec, spaces, lb_tuple)
+    period = lcm_all(spec.tile_widths[x] for x in spec.lb_dims)
+    if start is None:
+        # The slab exists once the parameter clears its far corner.
+        start = max(
+            (abs(t) + 1) * spec.tile_widths[x] * len(spec.loop_vars)
+            for x, t in zip(spec.lb_dims, lb_tuple)
+        )
+        start = max(start, period)
+    return ehrhart_univariate(
+        system, list(spec.loop_vars), param, period=period, start=start
+    )

@@ -1,0 +1,100 @@
+"""Mapping functions: tile memory layout and constant offsets (Section IV-H).
+
+Each in-flight tile owns a dense padded array: the ``w_k`` interior cells
+per dimension plus ghost margins sized by the template reach (Figure 3
+adjusts the widths "to account for the extra space used by the ghost cell
+data").  The current location's linear index ``loc`` is an inner product
+of local indices with the padded strides, and every template's
+``loc_r*`` is ``loc`` plus a *constant* offset — the paper's point that
+the mapping-function calculations are almost entirely reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..spec import ProblemSpec
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """Padded row-major layout of one tile's state array."""
+
+    loop_vars: Tuple[str, ...]
+    widths: Tuple[int, ...]
+    ghost_lo: Tuple[int, ...]
+    ghost_hi: Tuple[int, ...]
+
+    @property
+    def padded_shape(self) -> Tuple[int, ...]:
+        return tuple(
+            lo + w + hi
+            for lo, w, hi in zip(self.ghost_lo, self.widths, self.ghost_hi)
+        )
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major strides over the padded shape (innermost = last dim)."""
+        shape = self.padded_shape
+        strides = [1] * len(shape)
+        for k in range(len(shape) - 2, -1, -1):
+            strides[k] = strides[k + 1] * shape[k + 1]
+        return tuple(strides)
+
+    @property
+    def cells(self) -> int:
+        n = 1
+        for s in self.padded_shape:
+            n *= s
+        return n
+
+    # -- index computations -------------------------------------------------
+
+    def array_index(self, local: Sequence[int]) -> Tuple[int, ...]:
+        """Padded-array index tuple for interior local coordinates.
+
+        Ghost coordinates (negative, or >= w_k) are also representable as
+        long as they stay within the margins.
+        """
+        out = []
+        for i, lo, w, hi in zip(local, self.ghost_lo, self.widths, self.ghost_hi):
+            idx = i + lo
+            if not (0 <= idx < lo + w + hi):
+                raise IndexError(
+                    f"local coordinate {i} outside padded range "
+                    f"[-{lo}, {w + hi})"
+                )
+            out.append(idx)
+        return tuple(out)
+
+    def linear_index(self, local: Sequence[int]) -> int:
+        """The scalar ``loc`` of the generated code."""
+        idx = self.array_index(local)
+        return sum(i * s for i, s in zip(idx, self.strides))
+
+    def template_offset(self, vector: Sequence[int]) -> int:
+        """The constant ``loc_r - loc`` for a template vector."""
+        return sum(int(r) * s for r, s in zip(vector, self.strides))
+
+    def base_offset(self) -> int:
+        """Linear index of local origin (all-zeros interior cell)."""
+        return sum(lo * s for lo, s in zip(self.ghost_lo, self.strides))
+
+
+def build_layout(spec: ProblemSpec) -> TileLayout:
+    """Padded layout for *spec*'s tiles, margins from the template reach."""
+    lo_map, hi_map = spec.templates.ghost_widths()
+    return TileLayout(
+        loop_vars=spec.loop_vars,
+        widths=spec.tile_width_vector(),
+        ghost_lo=tuple(lo_map[v] for v in spec.loop_vars),
+        ghost_hi=tuple(hi_map[v] for v in spec.loop_vars),
+    )
+
+
+def template_offsets(spec: ProblemSpec, layout: TileLayout) -> Dict[str, int]:
+    """Constant ``loc_r*`` offsets for every template (emitter input)."""
+    return {
+        name: layout.template_offset(vec) for name, vec in spec.templates.items()
+    }

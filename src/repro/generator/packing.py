@@ -1,0 +1,170 @@
+"""Packing and unpacking functions (paper Section IV-I).
+
+After a tile finishes, only the cells near its faces are needed by
+neighbouring tiles.  For each tile-dependency offset ``delta`` the
+*packing* function copies the face region into a condensed contiguous
+buffer (cheap to keep around, and in the form MPI transfers); the
+*unpacking* function scatters that buffer into the consumer tile's ghost
+margins.  Both use the *same* iteration space and scan order — the paper
+stresses this — so the plan is built once and shared.
+
+Region, in producer-local coordinates ``i'`` (with global ghost margins
+``g_lo``/``g_hi`` from the template reach):
+
+* ``delta_k = +1`` — the low slab ``0 <= i'_k < g_hi_k`` (these cells sit
+  just past the consumer's high face),
+* ``delta_k = -1`` — the high slab ``w_k - g_lo_k <= i'_k < w_k``,
+* ``delta_k = 0``  — the full extent ``0 <= i'_k < w_k``,
+
+intersected with the producer's local space (boundary tiles are partial).
+The consumer-local coordinate of a packed cell is ``i' + w * delta``,
+which lands inside the consumer's ghost margin by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import GenerationError
+from ..polyhedra import Constraint, ConstraintSystem, LinExpr, LoopNest, synthesize_loop_nest
+from ..spec import ProblemSpec
+from .mapping import TileLayout
+from .spaces import IterationSpaces
+from .tile_deps import Delta, tile_dependency_map
+
+
+@dataclass(frozen=True)
+class PackPlan:
+    """Everything needed to pack/unpack one edge (one delta)."""
+
+    delta: Delta
+    templates: Tuple[str, ...]
+    region_nest: LoopNest           # over producer-local vars; producer t symbolic
+    consumer_shift: Tuple[int, ...]  # w_k * delta_k per dimension
+    full_checker: object = None      # env -> bool: region box fully inside?
+    full_cells: int = 0              # region size when full
+
+    def region_size(self, producer_env: Mapping[str, int]) -> int:
+        """Number of cells this edge carries for a given producer tile.
+
+        Fully-interior regions are answered in closed form; clipped
+        regions fall back to the compiled scan.
+        """
+        from ..polyhedra.compile import compile_counter
+
+        if self.full_checker is not None and self.full_checker(producer_env):
+            return self.full_cells
+        return compile_counter(self.region_nest)(producer_env)
+
+    def pack(
+        self,
+        producer_env: Mapping[str, int],
+        array: np.ndarray,
+        layout: TileLayout,
+        local_vars: Tuple[str, ...],
+    ) -> np.ndarray:
+        """Condense the face region of *array* into a flat buffer."""
+        values: List[float] = []
+        for env in self.region_nest.iterate(dict(producer_env)):
+            local = tuple(env[v] for v in local_vars)
+            values.append(array[layout.array_index(local)])
+        return np.asarray(values, dtype=array.dtype)
+
+    def unpack(
+        self,
+        producer_env: Mapping[str, int],
+        buffer: np.ndarray,
+        array: np.ndarray,
+        layout: TileLayout,
+        local_vars: Tuple[str, ...],
+    ) -> None:
+        """Scatter *buffer* into the consumer tile's ghost margin.
+
+        *producer_env* is the same environment used by :meth:`pack` — the
+        iteration spaces must match exactly for the order to agree.
+        """
+        pos = 0
+        for env in self.region_nest.iterate(dict(producer_env)):
+            local = tuple(env[v] for v in local_vars)
+            ghost = tuple(i + s for i, s in zip(local, self.consumer_shift))
+            array[layout.array_index(ghost)] = buffer[pos]
+            pos += 1
+        if pos != len(buffer):
+            raise GenerationError(
+                f"unpack consumed {pos} cells but the buffer holds "
+                f"{len(buffer)}; pack/unpack iteration spaces diverged"
+            )
+
+
+def build_pack_plans(
+    spec: ProblemSpec,
+    spaces: IterationSpaces,
+    layout: TileLayout,
+    prune: str = "syntactic",
+) -> Dict[Delta, PackPlan]:
+    """One :class:`PackPlan` per tile-dependency offset."""
+    dep_map = tile_dependency_map(spec)
+    plans: Dict[Delta, PackPlan] = {}
+    for delta, templates in dep_map.items():
+        extra: List[Constraint] = []
+        for k, x in enumerate(spec.loop_vars):
+            iv = spaces.local_vars[k]
+            w = spec.tile_widths[x]
+            g_lo = layout.ghost_lo[k]
+            g_hi = layout.ghost_hi[k]
+            d = delta[k]
+            if d > 0:
+                if g_hi == 0:
+                    raise GenerationError(
+                        f"delta {delta} crosses the high face of {x!r} but no "
+                        "template reaches past it"
+                    )
+                # 0 <= i' <= g_hi - 1
+                extra.append(Constraint(LinExpr({iv: -1}, g_hi - 1)))
+            elif d < 0:
+                if g_lo == 0:
+                    raise GenerationError(
+                        f"delta {delta} crosses the low face of {x!r} but no "
+                        "template reaches below it"
+                    )
+                # w - g_lo <= i'
+                extra.append(Constraint(LinExpr({iv: 1}, -(w - g_lo))))
+            # d == 0: the local space's own 0 <= i' <= w-1 suffices.
+        region_system = spaces.local_system.and_also(extra)
+        region_nest = synthesize_loop_nest(
+            region_system, list(spaces.local_vars), prune=prune
+        )
+        shift = tuple(
+            spec.tile_widths[x] * delta[k] for k, x in enumerate(spec.loop_vars)
+        )
+        # Closed-form fast path: when the region box lies entirely inside
+        # the original space, its size is the product of the slab widths.
+        from .boxcheck import make_box_min_checker
+
+        box = {}
+        full_cells = 1
+        for k, x in enumerate(spec.loop_vars):
+            w = spec.tile_widths[x]
+            tv = spaces.tile_vars[k]
+            d = delta[k]
+            if d > 0:
+                lo_off, hi_off = 0, layout.ghost_hi[k] - 1
+            elif d < 0:
+                lo_off, hi_off = w - layout.ghost_lo[k], w - 1
+            else:
+                lo_off, hi_off = 0, w - 1
+            box[x] = (({tv: w}, lo_off), ({tv: w}, hi_off))
+            full_cells *= hi_off - lo_off + 1
+        checker = make_box_min_checker(spec.constraints, box)
+        plans[delta] = PackPlan(
+            delta=delta,
+            templates=templates,
+            region_nest=region_nest,
+            consumer_shift=shift,
+            full_checker=checker,
+            full_cells=full_cells,
+        )
+    return plans

@@ -1,0 +1,153 @@
+"""The generation pipeline (paper Section IV-C) and its product.
+
+``generate(spec)`` runs the paper's plan —
+
+1. create the iteration spaces,
+2. determine the tile dependencies,
+3. create the template-recurrence validity functions,
+4. create the mapping functions,
+5. build the code-generation inputs (pack/unpack plans, load-balancing
+   data, initial-tile scans, tile-calculation loop nests)
+
+— and returns a :class:`GeneratedProgram`: the analysis product every
+backend consumes.  The in-process runtime executes it directly, the C
+backend (:mod:`repro.generator.cgen`) pretty-prints it as a hybrid
+OpenMP + MPI program, and the Python backend (:mod:`~.pygen`) as a
+standalone script.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from ..errors import GenerationError
+from ..spec import ProblemSpec
+from .initial_tiles import initial_tiles
+from .loadbalance import (
+    LoadBalance,
+    balance_dimension_cut,
+    balance_hyperplane,
+    compute_slab_work,
+)
+from .mapping import TileLayout, build_layout, template_offsets
+from .packing import PackPlan, build_pack_plans
+from .priority import PriorityFn, make_priority
+from .spaces import IterationSpaces, TileIndex, build_iteration_spaces
+from .tile_deps import Delta, dependency_deltas, tile_dependency_map
+from .validity import ValiditySet, build_validity
+
+
+@dataclass
+class GenerationStats:
+    """Wall-clock cost of each pipeline stage (feeds the GEN benchmark)."""
+
+    spaces_s: float = 0.0
+    tile_deps_s: float = 0.0
+    validity_s: float = 0.0
+    mapping_s: float = 0.0
+    packing_s: float = 0.0
+    total_s: float = 0.0
+
+
+@dataclass
+class GeneratedProgram:
+    """Everything derived from a :class:`ProblemSpec` by the generator."""
+
+    spec: ProblemSpec
+    spaces: IterationSpaces
+    deltas: Tuple[Delta, ...]
+    delta_templates: Mapping[Delta, Tuple[str, ...]]
+    validity: ValiditySet
+    layout: TileLayout
+    offsets: Mapping[str, int]
+    pack_plans: Mapping[Delta, PackPlan]
+    stats: GenerationStats = field(default_factory=GenerationStats)
+
+    # -- conveniences used by the runtime, simulator and emitters ----------
+
+    def priority(self, scheme: str = "lb-first") -> PriorityFn:
+        return make_priority(self.spec, scheme)
+
+    def load_balance(
+        self,
+        params: Mapping[str, int],
+        nodes: int,
+        method: str = "dimension-cut",
+        slab_work: Optional[Dict] = None,
+    ) -> LoadBalance:
+        if method == "dimension-cut":
+            return balance_dimension_cut(self.spaces, params, nodes, slab_work)
+        if method == "hyperplane":
+            return balance_hyperplane(
+                self.spaces, params, nodes, slab_work=slab_work
+            )
+        raise GenerationError(f"unknown load-balancing method {method!r}")
+
+    def slab_work(self, params: Mapping[str, int]) -> Dict:
+        return compute_slab_work(self.spaces, params)
+
+    def initial_tiles(
+        self, params: Mapping[str, int], method: str = "face-scan"
+    ) -> Set[TileIndex]:
+        return initial_tiles(self.spaces, params, method=method)
+
+    def describe(self) -> str:
+        spec = self.spec
+        lines = [spec.describe(), ""]
+        lines.append(f"tile dependencies ({len(self.deltas)} edges):")
+        for delta in self.deltas:
+            names = ", ".join(self.delta_templates[delta])
+            lines.append(f"    delta {delta}  <- templates {names}")
+        lines.append(
+            f"validity checks: {len(self.validity.checks)} distinct "
+            f"({self.validity.shared_check_count()} shared)"
+        )
+        lines.append(f"padded tile shape: {self.layout.padded_shape}")
+        lines.append(
+            "template offsets: "
+            + ", ".join(f"{n}={o:+d}" for n, o in self.offsets.items())
+        )
+        return "\n".join(lines)
+
+
+def generate(spec: ProblemSpec, prune: str = "syntactic") -> GeneratedProgram:
+    """Run the full generation pipeline on *spec* (paper Section IV-C)."""
+    stats = GenerationStats()
+    t0 = time.perf_counter()
+
+    t = time.perf_counter()
+    spaces = build_iteration_spaces(spec, prune=prune)
+    stats.spaces_s = time.perf_counter() - t
+
+    t = time.perf_counter()
+    delta_templates = tile_dependency_map(spec)
+    deltas = tuple(delta_templates.keys())
+    stats.tile_deps_s = time.perf_counter() - t
+
+    t = time.perf_counter()
+    validity = build_validity(spec)
+    stats.validity_s = time.perf_counter() - t
+
+    t = time.perf_counter()
+    layout = build_layout(spec)
+    offsets = template_offsets(spec, layout)
+    stats.mapping_s = time.perf_counter() - t
+
+    t = time.perf_counter()
+    pack_plans = build_pack_plans(spec, spaces, layout, prune=prune)
+    stats.packing_s = time.perf_counter() - t
+
+    stats.total_s = time.perf_counter() - t0
+    return GeneratedProgram(
+        spec=spec,
+        spaces=spaces,
+        deltas=deltas,
+        delta_templates=delta_templates,
+        validity=validity,
+        layout=layout,
+        offsets=offsets,
+        pack_plans=pack_plans,
+        stats=stats,
+    )

@@ -1,0 +1,6 @@
+"""Python backend: emits a standalone tiled DP script (pygen)."""
+
+from .writer import PyWriter
+from .program import emit_python_program
+
+__all__ = ["PyWriter", "emit_python_program"]

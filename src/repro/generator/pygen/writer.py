@@ -1,0 +1,53 @@
+"""Indented Python source writer (the pygen twin of cgen's CWriter)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class PyWriter:
+    """Accumulates Python source with block indentation."""
+
+    def __init__(self, indent: str = "    "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent = indent
+
+    def line(self, text: str = "") -> "PyWriter":
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, texts: Iterable[str]) -> "PyWriter":
+        for t in texts:
+            self.line(t)
+        return self
+
+    def raw(self, block: str) -> "PyWriter":
+        """Paste a preformatted block re-indented to the current depth."""
+        for t in block.splitlines():
+            if t.strip():
+                self._lines.append(self._indent * self._depth + t)
+            else:
+                self._lines.append("")
+        return self
+
+    def open(self, header: str) -> "PyWriter":
+        self.line(header if header.endswith(":") else header + ":")
+        self._depth += 1
+        return self
+
+    def close(self, count: int = 1) -> "PyWriter":
+        self._depth -= count
+        if self._depth < 0:
+            raise ValueError("unbalanced PyWriter close()")
+        return self
+
+    def blank(self) -> "PyWriter":
+        self._lines.append("")
+        return self
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,233 @@
+"""Construction of the generator's iteration spaces (paper Section IV-E).
+
+From the user's original system over the loop variables ``x_k`` and the
+parameters, we build the *extended system* by introducing
+
+* tile iteration variables ``t_k`` identifying each tile, and
+* local iteration variables ``i_k`` with ``0 <= i_k < w_k``,
+
+linked by ``x_k = i_k + w_k * t_k``.  Fourier–Motzkin elimination then
+derives the three spaces the paper names:
+
+* the **tile space** (over ``t_k`` and the parameters) — which tile
+  indices exist, and how to iterate over them;
+* the **load-balancing space** (over the chosen ``t_lb`` and parameters);
+* the **local space** (over ``i_k``, with ``t_k`` and parameters
+  symbolic) — the loops that evaluate the recurrence inside one tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import GenerationError
+from ..polyhedra import (
+    Constraint,
+    ConstraintSystem,
+    LinExpr,
+    LoopNest,
+    eliminate,
+    synthesize_loop_nest,
+)
+from ..spec import ProblemSpec
+
+TileIndex = Tuple[int, ...]
+
+
+def _safe_prefix(base: str, taken: set) -> str:
+    """A prefix such that ``prefix + v`` collides with no taken name."""
+    prefix = base
+    while any((prefix + v) in taken for v in taken):
+        prefix = "_" + prefix
+    return prefix
+
+
+@dataclass(frozen=True)
+class IterationSpaces:
+    """All derived spaces plus the naming scheme for tile/local variables."""
+
+    spec: ProblemSpec
+    tile_vars: Tuple[str, ...]      # in loop order
+    local_vars: Tuple[str, ...]     # in loop order
+    local_system: ConstraintSystem  # over i (t, params symbolic)
+    tile_space: ConstraintSystem    # over t (params symbolic)
+    lb_space: ConstraintSystem      # over lb t vars (params symbolic)
+    original_nest: LoopNest         # scans x directly (untiled oracle)
+    tile_nest: LoopNest             # scans t
+    local_nest: LoopNest            # scans i for a fixed t
+    lb_nest: LoopNest               # scans the lb projection of t
+
+    # -- naming ---------------------------------------------------------------
+
+    def tile_var(self, x: str) -> str:
+        return self.tile_vars[self.spec.loop_vars.index(x)]
+
+    def local_var(self, x: str) -> str:
+        return self.local_vars[self.spec.loop_vars.index(x)]
+
+    @property
+    def lb_tile_vars(self) -> Tuple[str, ...]:
+        return tuple(self.tile_var(x) for x in self.spec.lb_dims)
+
+    # -- coordinate conversions ----------------------------------------------
+
+    def point_to_tile(self, point: Mapping[str, int]) -> TileIndex:
+        """The tile index containing a global point (floor division)."""
+        return tuple(
+            point[x] // self.spec.tile_widths[x] for x in self.spec.loop_vars
+        )
+
+    def tile_env(self, tile: TileIndex) -> Dict[str, int]:
+        return dict(zip(self.tile_vars, tile))
+
+    def local_coords(self, point: Mapping[str, int], tile: TileIndex) -> Tuple[int, ...]:
+        return tuple(
+            point[x] - self.spec.tile_widths[x] * tile[k]
+            for k, x in enumerate(self.spec.loop_vars)
+        )
+
+    def global_point(self, tile: TileIndex, local: Sequence[int]) -> Dict[str, int]:
+        return {
+            x: self.spec.tile_widths[x] * tile[k] + local[k]
+            for k, x in enumerate(self.spec.loop_vars)
+        }
+
+    # -- enumeration -----------------------------------------------------------
+
+    def tiles(self, params: Mapping[str, int]) -> Iterator[TileIndex]:
+        """All valid tile indices (tiles containing >= 1 integer point).
+
+        The FM-projected tile space may include rational-shadow tiles with
+        an empty local space, so each candidate is confirmed non-empty —
+        this is what "valid tile" means everywhere downstream.
+        """
+        from ..polyhedra.compile import compile_counter, compile_scanner
+
+        counter = compile_counter(self.local_nest)
+        scan = compile_scanner(self.tile_nest)
+        env = dict(params)
+        for tile in scan(env):
+            env.update(zip(self.tile_vars, tile))
+            if counter(env) > 0:
+                yield tile
+
+    def tile_is_valid(self, tile: TileIndex, params: Mapping[str, int]) -> bool:
+        env = dict(params)
+        env.update(self.tile_env(tile))
+        if not self.tile_space.satisfied(env):
+            return False
+        return not self.tile_is_empty(tile, params)
+
+    def tile_is_empty(self, tile: TileIndex, params: Mapping[str, int]) -> bool:
+        return self.tile_point_count(tile, params) == 0
+
+    def tile_point_count(self, tile: TileIndex, params: Mapping[str, int]) -> int:
+        """Number of iteration-space points inside one tile.
+
+        Interior tiles (every original constraint satisfied on the whole
+        tile box) are counted in closed form; boundary tiles fall back to
+        the compiled scan.
+        """
+        from ..polyhedra.compile import compile_counter
+
+        env = dict(params)
+        env.update(self.tile_env(tile))
+        checker = self._full_tile_checker()
+        if checker(env):
+            full = 1
+            for x in self.spec.loop_vars:
+                full *= self.spec.tile_widths[x]
+            return full
+        return compile_counter(self.local_nest)(env)
+
+    def _full_tile_checker(self):
+        cached = getattr(self, "_full_checker", None)
+        if cached is not None:
+            return cached
+        from .boxcheck import make_box_min_checker
+
+        spec = self.spec
+        box = {}
+        for k, x in enumerate(spec.loop_vars):
+            w = spec.tile_widths[x]
+            tv = self.tile_vars[k]
+            box[x] = (({tv: w}, 0), ({tv: w}, w - 1))
+        checker = make_box_min_checker(spec.constraints, box)
+        object.__setattr__(self, "_full_checker", checker)
+        return checker
+
+    def local_points(
+        self, tile: TileIndex, params: Mapping[str, int]
+    ) -> Iterator[Dict[str, int]]:
+        env = dict(params)
+        env.update(self.tile_env(tile))
+        yield from self.local_nest.iterate(env)
+
+    def total_points(self, params: Mapping[str, int]) -> int:
+        return self.original_nest.count(dict(params))
+
+
+def build_iteration_spaces(spec: ProblemSpec, prune: str = "syntactic") -> IterationSpaces:
+    """Derive every iteration space for *spec* (paper Section IV-E)."""
+    taken = set(spec.loop_vars) | set(spec.params) | {spec.state_name}
+    t_prefix = _safe_prefix("t_", taken | set("t_" + v for v in ()))
+    # Guard both prefixes against every declared name.
+    def pick_prefix(base: str) -> str:
+        prefix = base
+        while any((prefix + v) in taken for v in spec.loop_vars):
+            prefix = "_" + prefix
+        return prefix
+
+    t_prefix = pick_prefix("t_")
+    i_prefix = pick_prefix("i_")
+    tile_vars = tuple(t_prefix + v for v in spec.loop_vars)
+    local_vars = tuple(i_prefix + v for v in spec.loop_vars)
+
+    # Substitute x_k = i_k + w_k t_k into the original constraints and add
+    # the intra-tile box 0 <= i_k <= w_k - 1.
+    bindings = {
+        x: LinExpr({local_vars[k]: 1, tile_vars[k]: spec.tile_widths[x]})
+        for k, x in enumerate(spec.loop_vars)
+    }
+    substituted = spec.constraints.substitute(bindings)
+    box: List[Constraint] = []
+    for k, x in enumerate(spec.loop_vars):
+        iv = local_vars[k]
+        w = spec.tile_widths[x]
+        box.append(Constraint(LinExpr.var(iv)))                      # i >= 0
+        box.append(Constraint(LinExpr({iv: -1}, w - 1)))             # i <= w-1
+    local_system = substituted.and_also(box)
+
+    # Tile space: eliminate the local variables.
+    tile_space = eliminate(local_system, list(local_vars), prune=prune)
+
+    # Load-balancing space: eliminate the non-lb tile variables.
+    lb_tile_vars = [t_prefix + v for v in spec.lb_dims]
+    non_lb = [t for t in tile_vars if t not in set(lb_tile_vars)]
+    lb_space = eliminate(tile_space, non_lb, prune=prune)
+
+    try:
+        original_nest = synthesize_loop_nest(
+            spec.constraints, list(spec.loop_vars), prune=prune
+        )
+        tile_nest = synthesize_loop_nest(tile_space, list(tile_vars), prune=prune)
+        local_nest = synthesize_loop_nest(local_system, list(local_vars), prune=prune)
+        lb_nest = synthesize_loop_nest(lb_space, lb_tile_vars, prune=prune)
+    except Exception as exc:
+        raise GenerationError(
+            f"failed to synthesize loop nests for {spec.name!r}: {exc}"
+        ) from exc
+
+    return IterationSpaces(
+        spec=spec,
+        tile_vars=tile_vars,
+        local_vars=local_vars,
+        local_system=local_system,
+        tile_space=tile_space,
+        lb_space=lb_space,
+        original_nest=original_nest,
+        tile_nest=tile_nest,
+        local_nest=local_nest,
+        lb_nest=lb_nest,
+    )

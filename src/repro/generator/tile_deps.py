@@ -1,0 +1,75 @@
+"""Tile-dependency analysis (paper Section IV-F).
+
+A template vector ``r`` makes the cell ``x`` read ``x + r``, which may lie
+in a neighbouring tile.  With ``x_k = w_k t_k + i_k`` and
+``i_k in [0, w_k)``, the neighbour offset in dimension ``k`` is
+
+    delta_k = floor((i_k + r_k) / w_k)
+            in [ floor(r_k / w_k), floor((w_k - 1 + r_k) / w_k) ]
+
+so each template contributes the integer box of those intervals, and a
+tile ``t`` depends on every ``t + delta`` with ``delta != 0`` drawn from
+the union over templates.  (The paper's example — template <1,1> causing
+dependencies on t+<1,0>, t+<1,1> and t+<0,1> — is exactly this box.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Tuple
+
+from ..spec import ProblemSpec
+
+Delta = Tuple[int, ...]
+
+
+def template_delta_box(
+    vector: Tuple[int, ...], widths: Tuple[int, ...]
+) -> List[Delta]:
+    """All tile offsets a single template vector can cross into.
+
+    Includes the zero offset when the dependency can stay inside the
+    tile; callers filter it out where appropriate.
+    """
+    ranges = []
+    for r, w in zip(vector, widths):
+        lo = r // w                 # floor
+        hi = (w - 1 + r) // w       # floor
+        ranges.append(range(lo, hi + 1))
+    return [tuple(c) for c in itertools.product(*ranges)]
+
+
+def tile_dependency_map(spec: ProblemSpec) -> Dict[Delta, Tuple[str, ...]]:
+    """Map each nonzero tile offset to the templates that can cross it.
+
+    The keys are the paper's "list of all tile dependencies": the edges
+    that need packing/unpacking functions.  Deterministically ordered.
+    """
+    widths = spec.tile_width_vector()
+    out: Dict[Delta, List[str]] = {}
+    for name, vec in spec.templates.items():
+        for delta in template_delta_box(vec, widths):
+            if all(c == 0 for c in delta):
+                continue
+            out.setdefault(delta, []).append(name)
+    return {d: tuple(names) for d, names in sorted(out.items())}
+
+
+def dependency_deltas(spec: ProblemSpec) -> Tuple[Delta, ...]:
+    """The nonzero tile offsets, deterministically ordered."""
+    return tuple(tile_dependency_map(spec).keys())
+
+
+def producers_of(tile: Tuple[int, ...], deltas) -> List[Tuple[int, ...]]:
+    """Tiles that *tile* reads from (must complete first): ``t + delta``."""
+    return [tuple(t + d for t, d in zip(tile, delta)) for delta in deltas]
+
+
+def consumers_of(tile: Tuple[int, ...], deltas) -> List[Tuple[int, ...]]:
+    """Tiles that read from *tile*: ``t - delta``."""
+    return [tuple(t - d for t, d in zip(tile, delta)) for delta in deltas]
+
+
+def delta_between(consumer: Tuple[int, ...], producer: Tuple[int, ...]) -> Delta:
+    """The offset such that ``producer == consumer + delta``."""
+    return tuple(p - c for c, p in zip(consumer, producer))

@@ -1,0 +1,89 @@
+"""Template-recurrence validity functions (paper Section IV-G).
+
+For a template ``r`` and an original constraint ``c: a.x + k >= 0``, the
+access ``x + r`` can violate ``c`` only when ``a . r < 0`` (the current
+location ``x`` is assumed valid, so ``c(x) >= 0`` and the shift is the
+only way the value can drop below zero).  Each such pair yields a check
+``c(x + r) >= 0``; a template's ``is_valid_r*`` is the conjunction of its
+checks.
+
+Checks shared between templates (the paper's example: <1,0> and <0,1>
+both shifting ``x1 + x2 <= N`` to ``x1 + x2 + 1 <= N``) are deduplicated:
+every distinct shifted constraint gets one id, and the emitters evaluate
+each id once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Tuple
+
+from ..polyhedra import Constraint
+from ..spec import ProblemSpec
+
+
+@dataclass(frozen=True)
+class ValiditySet:
+    """Shared checks plus, per template, the check ids it needs."""
+
+    checks: Tuple[Constraint, ...]                 # distinct shifted constraints
+    per_template: Mapping[str, Tuple[int, ...]]    # template -> check indices
+
+    def is_valid(self, template: str, point: Mapping[str, int]) -> bool:
+        """Evaluate ``is_valid_<template>`` at a global point."""
+        return all(
+            self.checks[idx].satisfied(point) for idx in self.per_template[template]
+        )
+
+    def always_valid(self, template: str) -> bool:
+        return not self.per_template[template]
+
+    def shared_check_count(self) -> int:
+        """How many checks serve more than one template (reuse metric)."""
+        uses: Dict[int, int] = {}
+        for ids in self.per_template.values():
+            for idx in ids:
+                uses[idx] = uses.get(idx, 0) + 1
+        return sum(1 for n in uses.values() if n > 1)
+
+
+def build_validity(spec: ProblemSpec) -> ValiditySet:
+    """Derive the validity checks for every template of *spec*."""
+    check_index: Dict[Constraint, int] = {}
+    checks: List[Constraint] = []
+    per_template: Dict[str, Tuple[int, ...]] = {}
+
+    for name, _vec in spec.templates.items():
+        offsets = spec.templates.as_offset_map(name)
+        ids: List[int] = []
+        for c in spec.constraints:
+            if c.is_equality():
+                # Equalities restrict the space to a lower-dimensional
+                # set; any shift with a nonzero dot product leaves it.
+                drop = _shift_amount(c, offsets)
+                if drop == 0:
+                    continue
+                shifted = c.shifted(offsets)
+            else:
+                drop = _shift_amount(c, offsets)
+                if drop >= 0:
+                    continue  # the access can never violate this constraint
+                shifted = c.shifted(offsets)
+            idx = check_index.get(shifted)
+            if idx is None:
+                idx = len(checks)
+                check_index[shifted] = idx
+                checks.append(shifted)
+            ids.append(idx)
+        per_template[name] = tuple(sorted(set(ids)))
+
+    return ValiditySet(checks=tuple(checks), per_template=per_template)
+
+
+def _shift_amount(c: Constraint, offsets: Mapping[str, int]) -> Fraction:
+    """``c(x + r) - c(x)`` — the constant change the shift applies."""
+    total = Fraction(0)
+    for var, off in offsets.items():
+        total += c.coeff(var) * off
+    return total

@@ -1,0 +1,232 @@
+"""Loop-bound synthesis from constraint systems (paper Sections IV-D, IV-L).
+
+Given a variable ordering (outermost to innermost), Fourier–Motzkin
+elimination from the innermost variable outward yields, for each loop
+variable, a set of affine *lower* and *upper* bounds in terms of the outer
+variables and the parameters.  At runtime the loop bound is the max of the
+ceil-divided lower bounds and the min of the floor-divided upper bounds —
+exactly the ``max``/``min``/``ceild``/``floord`` structure of Figure 3's
+generated loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from .._util import ceil_div, floor_div
+from ..errors import PolyhedronError
+from .constraints import Constraint, ConstraintSystem
+from .fourier_motzkin import eliminate
+from .linexpr import LinExpr
+
+LOWER = "lower"
+UPPER = "upper"
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One affine bound: ``ceil(expr/div)`` (lower) or ``floor(expr/div)``.
+
+    *expr* has integral coefficients and *div* is a positive integer.
+    """
+
+    expr: LinExpr
+    div: int
+    kind: str
+
+    def value(self, env: Mapping[str, int]) -> int:
+        raw = self.expr.evaluate(env)
+        if raw.denominator != 1:
+            raise PolyhedronError(
+                f"bound expression {self.expr} evaluated to non-integer {raw}"
+            )
+        n = raw.numerator
+        return ceil_div(n, self.div) if self.kind == LOWER else floor_div(n, self.div)
+
+    def free_variables(self) -> frozenset:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        fn = "ceild" if self.kind == LOWER else "floord"
+        if self.div == 1:
+            return f"({self.expr})"
+        return f"{fn}({self.expr}, {self.div})"
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """All bounds for one loop variable."""
+
+    var: str
+    lowers: Tuple[Bound, ...]
+    uppers: Tuple[Bound, ...]
+
+    def lower(self, env: Mapping[str, int]) -> int:
+        if not self.lowers:
+            raise PolyhedronError(f"variable {self.var!r} has no lower bound")
+        return max(b.value(env) for b in self.lowers)
+
+    def upper(self, env: Mapping[str, int]) -> int:
+        if not self.uppers:
+            raise PolyhedronError(f"variable {self.var!r} has no upper bound")
+        return min(b.value(env) for b in self.uppers)
+
+    def range(self, env: Mapping[str, int]) -> range:
+        return range(self.lower(env), self.upper(env) + 1)
+
+    def is_bounded(self) -> bool:
+        return bool(self.lowers) and bool(self.uppers)
+
+
+def bounds_for_variable(system: ConstraintSystem, var: str) -> LoopBounds:
+    """Extract the bounds *var* receives from constraints mentioning it.
+
+    Equalities produce a matching ceil-lower and floor-upper pair, so a
+    non-integral forced value yields an empty range (lower > upper), which
+    is the correct behaviour for integer scanning.
+    """
+    lowers: List[Bound] = []
+    uppers: List[Bound] = []
+    for c in system:
+        a = c.coeff(var)
+        if a == 0:
+            continue
+        if a.denominator != 1:
+            raise PolyhedronError(f"non-integral coefficient on {var!r}: {c}")
+        rest = c.expr - LinExpr({var: a})
+        ai = a.numerator
+        if c.is_equality():
+            # var == -rest/a
+            if ai > 0:
+                lowers.append(Bound(-rest, ai, LOWER))
+                uppers.append(Bound(-rest, ai, UPPER))
+            else:
+                lowers.append(Bound(rest, -ai, LOWER))
+                uppers.append(Bound(rest, -ai, UPPER))
+        elif ai > 0:
+            # a*var + rest >= 0  ->  var >= ceil(-rest/a)
+            lowers.append(Bound(-rest, ai, LOWER))
+        else:
+            # var <= floor(rest/(-a))
+            uppers.append(Bound(rest, -ai, UPPER))
+    return LoopBounds(var, tuple(lowers), tuple(uppers))
+
+
+class LoopNest:
+    """A synthesized perfect loop nest over *order* (outermost first).
+
+    ``context`` holds the residual constraints on parameters alone; a run
+    whose parameters violate the context scans an empty space.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[str],
+        per_var: Sequence[LoopBounds],
+        context: ConstraintSystem,
+    ):
+        if len(order) != len(per_var):
+            raise PolyhedronError("order and bounds length mismatch")
+        self.order: Tuple[str, ...] = tuple(order)
+        self.per_var: Tuple[LoopBounds, ...] = tuple(per_var)
+        self.context = context
+
+    # -- scanning ----------------------------------------------------------
+
+    def iterate(
+        self,
+        params: Mapping[str, int],
+        directions: Mapping[str, int] | None = None,
+    ) -> Iterator[Dict[str, int]]:
+        """Yield every integer point as a dict (includes the params).
+
+        *directions* maps variables to +1 (ascending, the default) or -1
+        (descending) — Figure 3 of the paper scans descending when the
+        templates are positive, so a cell's dependencies are evaluated
+        before the cell itself.
+        """
+        if not self.context.satisfied(params):
+            return
+        env: Dict[str, int] = dict(params)
+        yield from self._scan(0, env, directions or {})
+
+    def _scan(
+        self, depth: int, env: Dict[str, int], directions: Mapping[str, int]
+    ) -> Iterator[Dict[str, int]]:
+        if depth == len(self.order):
+            yield dict(env)
+            return
+        b = self.per_var[depth]
+        rng = b.range(env)
+        if directions.get(b.var, 1) < 0:
+            rng = reversed(rng)
+        for v in rng:
+            env[b.var] = v
+            yield from self._scan(depth + 1, env, directions)
+        env.pop(b.var, None)
+
+    def count(self, params: Mapping[str, int]) -> int:
+        """Number of integer points; innermost dimension in closed form."""
+        if not self.context.satisfied(params):
+            return 0
+        env: Dict[str, int] = dict(params)
+        return self._count(0, env)
+
+    def _count(self, depth: int, env: Dict[str, int]) -> int:
+        b = self.per_var[depth]
+        if depth == len(self.order) - 1:
+            lo, hi = b.lower(env), b.upper(env)
+            return max(0, hi - lo + 1)
+        total = 0
+        for v in b.range(env):
+            env[b.var] = v
+            total += self._count(depth + 1, env)
+        env.pop(b.var, None)
+        return total
+
+    def first_point(self, params: Mapping[str, int]) -> Dict[str, int] | None:
+        """Lexicographically first point under the loop order, or None."""
+        for p in self.iterate(params):
+            return p
+        return None
+
+    def is_empty(self, params: Mapping[str, int]) -> bool:
+        return self.first_point(params) is None
+
+
+def synthesize_loop_nest(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    prune: str = "syntactic",
+) -> LoopNest:
+    """Build a :class:`LoopNest` scanning *system* in the given order.
+
+    Eliminates variables innermost-first so that each variable's bounds
+    only reference outer variables and parameters (Fourier–Motzkin loop
+    synthesis, as used by the paper).
+    """
+    order = list(order)
+    missing = [v for v in order if v not in system.variables()]
+    # Variables absent from the system are unconstrained -> refuse early.
+    if missing:
+        raise PolyhedronError(
+            f"loop variables {missing} do not appear in the constraint system"
+        )
+    systems: List[ConstraintSystem] = [system] * len(order)
+    s = system
+    for k in range(len(order) - 1, -1, -1):
+        systems[k] = s
+        s = eliminate(s, order[k], prune=prune)
+    context = s
+    per_var: List[LoopBounds] = []
+    for k, var in enumerate(order):
+        b = bounds_for_variable(systems[k], var)
+        if not b.is_bounded():
+            raise PolyhedronError(
+                f"variable {var!r} is unbounded in the iteration space; "
+                "add constraints or parameters that bound it"
+            )
+        per_var.append(b)
+    return LoopNest(order, per_var, context)

@@ -1,0 +1,178 @@
+"""Compile loop nests to specialized Python code (fast scanning/counting).
+
+The generic :class:`~repro.polyhedra.bounds.LoopNest` evaluates bounds
+with exact rational arithmetic — robust, but far too slow for the hot
+paths (per-tile work counts, per-cell execution).  Constraints are
+normalized to integer coefficients, so every bound is
+``ceil/floor((c0 + sum c_k * v_k) / d)`` over integers: we render the
+nest as straight-line Python source with ``//`` arithmetic, ``exec`` it
+once, and reuse the closure.  This mirrors what the C backend emits and
+is ~50x faster than the interpreted path.
+
+Compiled artifacts are pure functions of the nest, cached on the nest
+object by the helpers below.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import PolyhedronError
+from .bounds import Bound, LoopNest
+
+
+def _expr_to_py(bound: Bound) -> str:
+    """Render ``ceil/floor(expr/div)`` as integer Python source."""
+    terms: List[str] = []
+    expr = bound.expr
+    const = expr.constant
+    if const.denominator != 1:
+        raise PolyhedronError(f"non-integral bound constant in {bound}")
+    parts = [str(const.numerator)]
+    for name, coef in expr.terms():
+        if coef.denominator != 1:
+            raise PolyhedronError(f"non-integral bound coefficient in {bound}")
+        c = coef.numerator
+        if c == 1:
+            parts.append(f"+ {name}")
+        elif c == -1:
+            parts.append(f"- {name}")
+        elif c >= 0:
+            parts.append(f"+ {c}*{name}")
+        else:
+            parts.append(f"- {-c}*{name}")
+    body = " ".join(parts)
+    if bound.div == 1:
+        return f"({body})"
+    if bound.kind == "lower":
+        # ceil(a/b) == -((-a) // b) for b > 0
+        return f"(-((-({body})) // {bound.div}))"
+    return f"(({body}) // {bound.div})"
+
+
+def _lower_expr(bounds) -> str:
+    rendered = [_expr_to_py(b) for b in bounds.lowers]
+    return rendered[0] if len(rendered) == 1 else "max(" + ", ".join(rendered) + ")"
+
+
+def _upper_expr(bounds) -> str:
+    rendered = [_expr_to_py(b) for b in bounds.uppers]
+    return rendered[0] if len(rendered) == 1 else "min(" + ", ".join(rendered) + ")"
+
+
+def _free_variables(nest: LoopNest) -> List[str]:
+    """Variables the nest's bounds/context reference but do not scan."""
+    loop_vars = set(nest.order)
+    free: set = set()
+    for b in nest.per_var:
+        for bd in b.lowers + b.uppers:
+            free |= bd.free_variables()
+    for c in nest.context:
+        free |= c.variables()
+    return sorted(free - loop_vars)
+
+
+def _context_condition(nest: LoopNest) -> str:
+    conds: List[str] = []
+    for c in nest.context:
+        parts = [str(c.expr.constant.numerator)]
+        for name, coef in c.expr.terms():
+            ci = coef.numerator if coef.denominator == 1 else None
+            if ci is None:
+                raise PolyhedronError(f"non-integral context constraint {c}")
+            parts.append(f"+ {ci}*{name}")
+        body = " ".join(parts)
+        op = "==" if c.is_equality() else ">="
+        conds.append(f"({body}) {op} 0")
+    return " and ".join(conds) if conds else "True"
+
+
+def compile_counter(nest: LoopNest) -> Callable[[Mapping[str, int]], int]:
+    """Return ``count(env) -> int`` equivalent to ``nest.count(env)``.
+
+    The innermost dimension is counted in closed form.  The result is
+    cached on the nest.
+    """
+    cached = getattr(nest, "_compiled_counter", None)
+    if cached is not None:
+        return cached
+
+    free = _free_variables(nest)
+    lines: List[str] = []
+    args = ", ".join(free)
+    lines.append(f"def _count({args}):")
+    lines.append(f"    if not ({_context_condition(nest)}):")
+    lines.append("        return 0")
+    lines.append("    _total = 0")
+    indent = "    "
+    for depth, b in enumerate(nest.per_var):
+        lo = _lower_expr(b)
+        hi = _upper_expr(b)
+        if depth == len(nest.per_var) - 1:
+            lines.append(f"{indent}_n = {hi} - ({lo}) + 1")
+            lines.append(f"{indent}if _n > 0:")
+            lines.append(f"{indent}    _total += _n")
+        else:
+            lines.append(f"{indent}for {b.var} in range({lo}, {hi} + 1):")
+            indent += "    "
+    lines.append("    return _total")
+    namespace: Dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - generated from exact IR
+    fn = namespace["_count"]
+
+    def count(env: Mapping[str, int]) -> int:
+        return fn(*(env[v] for v in free))
+
+    count.free_variables = tuple(free)  # type: ignore[attr-defined]
+    count.source = "\n".join(lines)  # type: ignore[attr-defined]
+    nest._compiled_counter = count  # type: ignore[attr-defined]
+    return count
+
+
+def compile_scanner(
+    nest: LoopNest,
+    directions: Mapping[str, int] | None = None,
+) -> Callable[[Mapping[str, int]], Iterator[Tuple[int, ...]]]:
+    """Return ``scan(env) -> iterator of tuples`` in nest order.
+
+    Tuples hold the loop variables' values in ``nest.order``.  Directions
+    (+1 ascending / -1 descending) are baked into the generated loops, so
+    a separate scanner is compiled per direction signature; all are
+    cached on the nest.
+    """
+    directions = directions or {}
+    sig = tuple(directions.get(v, 1) for v in nest.order)
+    cache: Dict = getattr(nest, "_compiled_scanners", None) or {}
+    if sig in cache:
+        return cache[sig]
+
+    free = _free_variables(nest)
+    lines: List[str] = []
+    args = ", ".join(free)
+    lines.append(f"def _scan({args}):")
+    lines.append(f"    if not ({_context_condition(nest)}):")
+    lines.append("        return")
+    indent = "    "
+    for b, direction in zip(nest.per_var, sig):
+        lo = _lower_expr(b)
+        hi = _upper_expr(b)
+        if direction >= 0:
+            lines.append(f"{indent}for {b.var} in range({lo}, {hi} + 1):")
+        else:
+            lines.append(f"{indent}for {b.var} in range({hi}, ({lo}) - 1, -1):")
+        indent += "    "
+    tup = ", ".join(b.var for b in nest.per_var)
+    trailing = "," if len(nest.per_var) == 1 else ""
+    lines.append(f"{indent}yield ({tup}{trailing})")
+    namespace: Dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - generated from exact IR
+    fn = namespace["_scan"]
+
+    def scan(env: Mapping[str, int]) -> Iterator[Tuple[int, ...]]:
+        return fn(*(env[v] for v in free))
+
+    scan.free_variables = tuple(free)  # type: ignore[attr-defined]
+    scan.source = "\n".join(lines)  # type: ignore[attr-defined]
+    cache[sig] = scan
+    nest._compiled_scanners = cache  # type: ignore[attr-defined]
+    return scan

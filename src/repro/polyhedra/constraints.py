@@ -1,0 +1,267 @@
+"""Linear constraints and constraint systems (parametric polyhedra).
+
+A :class:`Constraint` is ``expr >= 0`` (inequality) or ``expr == 0``
+(equality) over a :class:`~repro.polyhedra.linexpr.LinExpr`.  A
+:class:`ConstraintSystem` is a finite conjunction of constraints: the
+iteration spaces of the paper (original space, tile space, load-balancing
+space, local space) are all ConstraintSystems over different variable
+sets.
+
+Constraints are normalized on construction:
+
+* coefficients are scaled to integers,
+* divided by their gcd,
+* and for inequalities the constant is *floored* after the gcd division
+  (integer tightening — valid because all evaluation points are integer).
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from .._util import as_fraction
+from ..errors import ParseError, PolyhedronError
+from .linexpr import LinExpr, parse_affine
+
+GE = ">="
+EQ = "=="
+
+
+class Constraint:
+    """A normalized linear constraint ``expr >= 0`` or ``expr == 0``."""
+
+    __slots__ = ("_expr", "_kind", "_hash")
+
+    def __init__(self, expr: LinExpr, kind: str = GE):
+        if kind not in (GE, EQ):
+            raise PolyhedronError(f"unknown constraint kind {kind!r}")
+        self._kind = kind
+        self._expr = self._normalize(expr, kind)
+        self._hash: int | None = None
+
+    @staticmethod
+    def _normalize(expr: LinExpr, kind: str) -> LinExpr:
+        expr, _ = expr.scaled_integral()
+        g = expr.content()
+        if g > 1:
+            coeffs = {n: c / g for n, c in expr.coeffs.items()}
+            const = expr.constant / g
+            if kind == GE:
+                # Integer tightening: a/g . x + floor(c/g) >= 0.
+                const = Fraction(const.numerator // const.denominator)
+            else:
+                # An equality with non-integral constant after division has
+                # no integer solutions; keep it as-is so emptiness shows up.
+                if const.denominator != 1:
+                    return expr
+            expr = LinExpr(coeffs, const)
+        elif g == 0:
+            # Constant constraint; leave the (integral) constant alone.
+            pass
+        return expr
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def expr(self) -> LinExpr:
+        return self._expr
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def is_equality(self) -> bool:
+        return self._kind == EQ
+
+    def variables(self) -> frozenset:
+        return self._expr.variables()
+
+    def coeff(self, name: str) -> Fraction:
+        return self._expr.coeff(name)
+
+    def is_trivial(self) -> bool:
+        """True for constraints with no variables that always hold."""
+        if not self._expr.is_constant():
+            return False
+        c = self._expr.constant
+        return c >= 0 if self._kind == GE else c == 0
+
+    def is_contradiction(self) -> bool:
+        """True for constraints with no variables that never hold."""
+        if not self._expr.is_constant():
+            return False
+        c = self._expr.constant
+        return c < 0 if self._kind == GE else c != 0
+
+    def satisfied(self, env: Mapping[str, int]) -> bool:
+        value = self._expr.evaluate(env)
+        return value >= 0 if self._kind == GE else value == 0
+
+    def substitute(self, bindings) -> "Constraint":
+        return Constraint(self._expr.substitute(bindings), self._kind)
+
+    def shifted(self, offsets: Mapping[str, int]) -> "Constraint":
+        """The constraint at ``x + r``: substitute ``v -> v + r_v``.
+
+        Used by template-validity analysis (paper Section IV-G).
+        """
+        bindings = {
+            name: LinExpr({name: 1}, off) for name, off in offsets.items()
+        }
+        return self.substitute(bindings)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self._kind, self._expr._key())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"
+
+    def __str__(self) -> str:
+        return f"{self._expr} {self._kind} 0"
+
+
+_REL_RE = re.compile(r"(<=|>=|==|<|>|=)")
+
+
+def parse_constraint(text: str) -> List[Constraint]:
+    """Parse constraints like ``'s1 + f1 <= N'`` or chained ``'0 <= x <= N'``.
+
+    Returns a list because chained comparisons expand to several
+    constraints.  Strict ``<``/``>`` are tightened to integer ``<=``/``>=``.
+    """
+    parts = _REL_RE.split(text)
+    if len(parts) < 3 or len(parts) % 2 == 0:
+        raise ParseError(f"no relational operator in constraint {text!r}")
+    out: List[Constraint] = []
+    for i in range(0, len(parts) - 2, 2):
+        lhs, op, rhs = parts[i], parts[i + 1], parts[i + 2]
+        left = parse_affine(lhs)
+        right = parse_affine(rhs)
+        if op in ("=", "=="):
+            out.append(Constraint(left - right, EQ))
+        elif op == "<=":
+            out.append(Constraint(right - left, GE))
+        elif op == ">=":
+            out.append(Constraint(left - right, GE))
+        elif op == "<":
+            out.append(Constraint(right - left - 1, GE))
+        elif op == ">":
+            out.append(Constraint(left - right - 1, GE))
+    return out
+
+
+class ConstraintSystem:
+    """An immutable conjunction of constraints (a parametric polyhedron)."""
+
+    __slots__ = ("_constraints",)
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        seen = set()
+        ordered: List[Constraint] = []
+        for c in constraints:
+            if c.is_trivial():
+                continue
+            if c not in seen:
+                seen.add(c)
+                ordered.append(c)
+        self._constraints: Tuple[Constraint, ...] = tuple(ordered)
+
+    @staticmethod
+    def parse(lines: Iterable[str]) -> "ConstraintSystem":
+        cs: List[Constraint] = []
+        for line in lines:
+            if "#" in line:
+                line = line.split("#", 1)[0]
+            line = line.strip()
+            if not line:
+                continue
+            cs.extend(parse_constraint(line))
+        return ConstraintSystem(cs)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return self._constraints
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def variables(self) -> frozenset:
+        vs: set = set()
+        for c in self._constraints:
+            vs |= c.variables()
+        return frozenset(vs)
+
+    def is_trivially_empty(self) -> bool:
+        return any(c.is_contradiction() for c in self._constraints)
+
+    def satisfied(self, env: Mapping[str, int]) -> bool:
+        return all(c.satisfied(env) for c in self._constraints)
+
+    # -- combinators ---------------------------------------------------------
+
+    def and_also(self, extra: Iterable[Constraint]) -> "ConstraintSystem":
+        return ConstraintSystem(list(self._constraints) + list(extra))
+
+    def substitute(self, bindings) -> "ConstraintSystem":
+        return ConstraintSystem(c.substitute(bindings) for c in self._constraints)
+
+    def fix(self, assignments: Mapping[str, int]) -> "ConstraintSystem":
+        """Substitute concrete integer values for some variables."""
+        bindings = {n: LinExpr.const(v) for n, v in assignments.items()}
+        return self.substitute(bindings)
+
+    def equalities(self) -> List[Constraint]:
+        return [c for c in self._constraints if c.is_equality()]
+
+    def inequalities(self) -> List[Constraint]:
+        return [c for c in self._constraints if not c.is_equality()]
+
+    def constraints_on(self, name: str) -> List[Constraint]:
+        return [c for c in self._constraints if c.coeff(name) != 0]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConstraintSystem):
+            return NotImplemented
+        return set(self._constraints) == set(other._constraints)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._constraints))
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(c) for c in self._constraints)
+        return f"ConstraintSystem[{body}]"
+
+
+def nonneg_orthant(names: Sequence[str]) -> ConstraintSystem:
+    """Convenience: the system ``v >= 0`` for each name."""
+    return ConstraintSystem(Constraint(LinExpr.var(n)) for n in names)
+
+
+def box(bounds: Mapping[str, Tuple[int, int]]) -> ConstraintSystem:
+    """Convenience: an axis-aligned integer box ``lo <= v <= hi``."""
+    cs: List[Constraint] = []
+    for name, (lo, hi) in bounds.items():
+        cs.append(Constraint(LinExpr.var(name) - as_fraction(lo)))
+        cs.append(Constraint(as_fraction(hi) - LinExpr.var(name)))
+    return ConstraintSystem(cs)

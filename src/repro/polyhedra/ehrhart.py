@@ -1,0 +1,156 @@
+"""Ehrhart quasi-polynomials for parametric polytopes (paper Section IV-J).
+
+The paper uses the Barvinok library to compute two Ehrhart polynomials:
+the total work of the problem as a function of the parameters, and the
+work of the tile slab at fixed load-balancing indices.  Those counts
+drive the load balancer.
+
+Barvinok is not available here, so we reconstruct the quasi-polynomial
+exactly by interpolation: for a polytope with ``d`` eliminated variables,
+the count is a degree-``<= d`` quasi-polynomial in the parameter with some
+period ``p`` (for tiled spaces ``p`` divides the lcm of the tile widths).
+We sample ``d+1`` exact counts per residue class — counting uses the
+recursive Fourier–Motzkin scanner with a closed-form innermost dimension —
+and solve the Vandermonde system over the rationals.  The result is
+verified against fresh counts at extra sample points, so a wrong period
+assumption is detected rather than silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import PolyhedronError
+from .bounds import synthesize_loop_nest
+from .constraints import ConstraintSystem
+from .ratlinalg import eval_polynomial, fit_polynomial
+
+
+@dataclass(frozen=True)
+class QuasiPolynomial:
+    """A univariate quasi-polynomial: one coefficient vector per residue.
+
+    ``coeffs_by_residue[n % period]`` holds coefficients lowest degree
+    first.  ``valid_from`` records the smallest argument the fit was
+    sampled at; evaluation below it is refused (Ehrhart behaviour for
+    "small" parameters can differ when the polytope degenerates).
+    """
+
+    param: str
+    period: int
+    coeffs_by_residue: Tuple[Tuple[Fraction, ...], ...]
+    valid_from: int
+
+    def evaluate(self, n: int) -> int:
+        if n < self.valid_from:
+            raise PolyhedronError(
+                f"quasi-polynomial for {self.param} only valid for "
+                f"{self.param} >= {self.valid_from}, got {n}"
+            )
+        coeffs = self.coeffs_by_residue[n % self.period]
+        value = eval_polynomial(coeffs, n)
+        if value.denominator != 1:
+            raise PolyhedronError(
+                f"quasi-polynomial evaluated to non-integer {value} at {n}"
+            )
+        return value.numerator
+
+    @property
+    def degree(self) -> int:
+        deg = 0
+        for coeffs in self.coeffs_by_residue:
+            for k in range(len(coeffs) - 1, -1, -1):
+                if coeffs[k] != 0:
+                    deg = max(deg, k)
+                    break
+        return deg
+
+    def __call__(self, n: int) -> int:
+        return self.evaluate(n)
+
+
+def count_for_param(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    param: str,
+    value: int,
+    extra_params: Mapping[str, int] | None = None,
+    prune: str = "syntactic",
+) -> int:
+    """Exact lattice count of *system* with ``param = value``."""
+    fixed: Dict[str, int] = dict(extra_params or {})
+    fixed[param] = value
+    nest = synthesize_loop_nest(system.fix(fixed), list(order), prune=prune)
+    return nest.count({})
+
+
+def ehrhart_univariate(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    param: str,
+    period: int = 1,
+    start: int = 0,
+    extra_params: Mapping[str, int] | None = None,
+    verify_points: int = 2,
+    prune: str = "syntactic",
+) -> QuasiPolynomial:
+    """Reconstruct the Ehrhart quasi-polynomial ``#points(param)``.
+
+    *order* lists the counted (non-parameter) variables; the degree of the
+    quasi-polynomial is at most ``len(order)``.  *period* must be a
+    multiple of the true period (1 for untiled spaces; lcm of tile widths
+    for tiled ones).  *verify_points* extra samples per residue class are
+    checked against the fit and a mismatch raises, which catches an
+    underestimated period.
+    """
+    if period < 1:
+        raise PolyhedronError(f"period must be >= 1, got {period}")
+    degree = len(order)
+    samples_needed = degree + 1
+
+    def count(n: int) -> int:
+        return count_for_param(
+            system, order, param, n, extra_params=extra_params, prune=prune
+        )
+
+    coeffs_by_residue: List[Tuple[Fraction, ...]] = []
+    for residue in range(period):
+        # Sample points congruent to `residue` mod `period`, at or above
+        # `start`.
+        first = start + ((residue - start) % period)
+        xs = [first + k * period for k in range(samples_needed)]
+        ys = [count(x) for x in xs]
+        coeffs = tuple(fit_polynomial(xs, ys))
+        # Verification: extra fresh samples must match exactly.
+        for k in range(verify_points):
+            x = first + (samples_needed + k) * period
+            expected = count(x)
+            got = eval_polynomial(list(coeffs), x)
+            if got != expected:
+                raise PolyhedronError(
+                    f"Ehrhart fit failed verification at {param}={x}: "
+                    f"fit gives {got}, true count is {expected}. "
+                    f"The period ({period}) is probably too small."
+                )
+        coeffs_by_residue.append(coeffs)
+    return QuasiPolynomial(
+        param=param,
+        period=period,
+        coeffs_by_residue=tuple(coeffs_by_residue),
+        valid_from=start,
+    )
+
+
+def simplex_count(dim: int, n: int) -> int:
+    """Closed-form count of ``{x >= 0, sum x <= n}`` in ``dim`` dimensions.
+
+    Equals ``C(n + dim, dim)``.  Used as an oracle in tests: the 2-arm
+    bandit's iteration space is exactly the 4-simplex.
+    """
+    from math import comb
+
+    if n < 0:
+        return 0
+    return comb(n + dim, dim)

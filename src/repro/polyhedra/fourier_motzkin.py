@@ -1,0 +1,218 @@
+"""Fourier–Motzkin elimination with redundancy control (paper Section IV-D).
+
+The generator eliminates variables from systems of linear inequalities in
+three places: building the tile space, building the load-balancing space,
+and synthesizing loop bounds.  Plain FM elimination can square the number
+of constraints per eliminated variable, so — exactly as the paper notes —
+duplicate and redundant constraints must be pruned after every step.
+
+Three pruning levels are provided:
+
+``syntactic``
+    normalization + hashing removes exact duplicates, plus pairwise
+    dominance (same variable coefficients, weaker constant).
+``lp``
+    additionally drops any inequality whose removal does not change the
+    rational polyhedron, decided exactly with scipy's HiGHS LP solver.
+``none``
+    no pruning (only useful for benchmarking the blow-up).
+
+FM over the rationals is conservative for integer points: the projected
+system may admit rational shadows with empty integer fibers.  That is the
+classical behaviour loop-bound generation tolerates (inner loops simply
+execute zero iterations), and the paper uses plain FM the same way.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import PolyhedronError
+from .constraints import EQ, GE, Constraint, ConstraintSystem
+from .linexpr import LinExpr
+
+PRUNE_LEVELS = ("none", "syntactic", "lp")
+
+
+def eliminate(
+    system: ConstraintSystem,
+    names: Sequence[str] | str,
+    prune: str = "syntactic",
+) -> ConstraintSystem:
+    """Eliminate *names* (in order) from *system* by Fourier–Motzkin.
+
+    Equalities involving the eliminated variable are used as substitutions
+    when the variable's coefficient allows an exact solve; otherwise they
+    are split into two inequalities first.
+    """
+    if isinstance(names, str):
+        names = [names]
+    if prune not in PRUNE_LEVELS:
+        raise PolyhedronError(f"unknown prune level {prune!r}")
+    current = system
+    for name in names:
+        current = _eliminate_one(current, name, prune)
+    return current
+
+
+def _eliminate_one(system: ConstraintSystem, name: str, prune: str) -> ConstraintSystem:
+    # 1. Try to use an equality as an exact substitution.
+    for c in system.equalities():
+        a = c.coeff(name)
+        if a == 0:
+            continue
+        # name = -(expr - a*name)/a
+        rest = c.expr - LinExpr({name: a})
+        solution = rest * (Fraction(-1) / a)
+        others = [k for k in system if k is not c]
+        substituted = ConstraintSystem(
+            k.substitute({name: solution}) for k in others
+        )
+        return _prune(substituted, prune)
+
+    lowers: List[Constraint] = []   # coeff > 0  (gives a lower bound on name)
+    uppers: List[Constraint] = []   # coeff < 0  (gives an upper bound)
+    keep: List[Constraint] = []
+    for c in system:
+        a = c.coeff(name)
+        if a == 0:
+            keep.append(c)
+        elif c.is_equality():
+            # No unit-solvable equality: split into two inequalities.
+            lowers.append(Constraint(c.expr, GE))
+            uppers.append(Constraint(-c.expr, GE))
+            # Re-dispatch by sign below; handle simply by appending both and
+            # fixing the partition afterwards.
+        elif a > 0:
+            lowers.append(c)
+        else:
+            uppers.append(c)
+
+    # Fix partition for split equalities (their negations flipped sign).
+    fixed_lowers, fixed_uppers = [], []
+    for c in lowers + uppers:
+        a = c.coeff(name)
+        (fixed_lowers if a > 0 else fixed_uppers).append(c)
+    lowers, uppers = fixed_lowers, fixed_uppers
+
+    new: List[Constraint] = list(keep)
+    for lo in lowers:
+        a = lo.coeff(name)           # a > 0
+        for up in uppers:
+            b = up.coeff(name)       # b < 0
+            # a*up.expr + (-b)*lo.expr has a zero coefficient on `name`.
+            combined = up.expr * a + lo.expr * (-b)
+            cons = Constraint(combined, GE)
+            if cons.is_contradiction():
+                # Keep the contradiction so emptiness is still visible.
+                return ConstraintSystem([cons])
+            new.append(cons)
+    return _prune(ConstraintSystem(new), prune)
+
+
+def _prune(system: ConstraintSystem, level: str) -> ConstraintSystem:
+    if level == "none":
+        return system
+    pruned = _prune_dominated(system)
+    if level == "lp":
+        pruned = remove_redundant_lp(pruned)
+    return pruned
+
+
+def _prune_dominated(system: ConstraintSystem) -> ConstraintSystem:
+    """Drop inequalities dominated by one with identical variable part.
+
+    ``e + c1 >= 0`` implies ``e + c2 >= 0`` whenever ``c2 >= c1``; keep
+    only the tightest constant per variable part.  Exact duplicates were
+    already removed by ConstraintSystem's constructor.
+    """
+    best: Dict[tuple, Constraint] = {}
+    others: List[Constraint] = []
+    for c in system:
+        if c.is_equality():
+            others.append(c)
+            continue
+        key = tuple(sorted(c.expr.coeffs.items()))
+        prev = best.get(key)
+        if prev is None or c.expr.constant < prev.expr.constant:
+            best[key] = c
+    return ConstraintSystem(others + list(best.values()))
+
+
+def remove_redundant_lp(system: ConstraintSystem) -> ConstraintSystem:
+    """Remove inequalities implied by the rest (exact rational check via LP).
+
+    A constraint ``e >= 0`` is redundant iff ``min e`` subject to the other
+    constraints is ``>= 0`` (or the feasible set is empty).  Equalities are
+    kept untouched.  Falls back to the input unchanged if scipy is absent.
+    """
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return system
+
+    ineqs = system.inequalities()
+    eqs = system.equalities()
+    if len(ineqs) <= 1:
+        return system
+
+    names = sorted(system.variables())
+    index = {n: i for i, n in enumerate(names)}
+    if not names:
+        return ConstraintSystem(list(system))
+
+    def row(c: Constraint) -> Tuple[List[float], float]:
+        coeffs = [0.0] * len(names)
+        for n, v in c.expr.coeffs.items():
+            coeffs[index[n]] = float(v)
+        return coeffs, float(c.expr.constant)
+
+    kept: List[Constraint] = []
+    active = list(ineqs)
+    for i, c in enumerate(ineqs):
+        candidates = [k for k in active if k is not c]
+        # minimize c.expr  s.t.  k.expr >= 0 for k in candidates, eqs == 0
+        A_ub, b_ub = [], []
+        for k in candidates:
+            coeffs, const = row(k)
+            A_ub.append([-x for x in coeffs])  # -k.expr <= const
+            b_ub.append(const)
+        A_eq, b_eq = [], []
+        for k in eqs:
+            coeffs, const = row(k)
+            A_eq.append(coeffs)
+            b_eq.append(-const)
+        obj, obj_const = row(c)
+        res = linprog(
+            obj,
+            A_ub=A_ub or None,
+            b_ub=b_ub or None,
+            A_eq=A_eq or None,
+            b_eq=b_eq or None,
+            bounds=[(None, None)] * len(names),
+            method="highs",
+        )
+        redundant = False
+        if res.status == 2:  # infeasible without c -> system empty -> keep all
+            redundant = False
+        elif res.status == 0 and res.fun is not None:
+            # Small tolerance guards float LP noise; constraints are
+            # integral so true minima are at least 1 apart from -epsilon.
+            redundant = (res.fun + obj_const) >= -1e-9
+        if redundant:
+            active = candidates
+        else:
+            kept.append(c)
+    return ConstraintSystem(eqs + kept)
+
+
+def project(
+    system: ConstraintSystem,
+    keep: Iterable[str],
+    prune: str = "syntactic",
+) -> ConstraintSystem:
+    """Project the system onto *keep* by eliminating every other variable."""
+    keep_set = set(keep)
+    drop = sorted(system.variables() - keep_set)
+    return eliminate(system, drop, prune=prune)

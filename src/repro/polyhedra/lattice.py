@@ -1,0 +1,96 @@
+"""Lattice-point enumeration and counting over parametric polyhedra.
+
+Thin wrappers around :mod:`repro.polyhedra.bounds` plus a deliberately
+naive box-scan enumerator used as an independent oracle in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import PolyhedronError
+from .bounds import LoopNest, synthesize_loop_nest
+from .constraints import ConstraintSystem
+
+
+def enumerate_points(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    params: Mapping[str, int] | None = None,
+    prune: str = "syntactic",
+) -> Iterator[Dict[str, int]]:
+    """Yield every integer point of *system* with *params* fixed."""
+    nest = synthesize_loop_nest(system, order, prune=prune)
+    yield from nest.iterate(params or {})
+
+
+def count_points(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    params: Mapping[str, int] | None = None,
+    prune: str = "syntactic",
+) -> int:
+    """Exact number of integer points (innermost dimension closed-form)."""
+    nest = synthesize_loop_nest(system, order, prune=prune)
+    return nest.count(params or {})
+
+
+def enumerate_box_filtered(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    box: Mapping[str, Tuple[int, int]],
+    params: Mapping[str, int] | None = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Oracle enumerator: scan an explicit box and filter by the system.
+
+    Independent of Fourier–Motzkin, so tests can cross-check the fast
+    path.  Yields coordinate tuples in *order*.
+    """
+    params = dict(params or {})
+    ranges = []
+    for var in order:
+        if var not in box:
+            raise PolyhedronError(f"box is missing a range for {var!r}")
+        lo, hi = box[var]
+        ranges.append(range(lo, hi + 1))
+    for combo in itertools.product(*ranges):
+        env = dict(params)
+        env.update(zip(order, combo))
+        if system.satisfied(env):
+            yield combo
+
+
+def count_box_filtered(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    box: Mapping[str, Tuple[int, int]],
+    params: Mapping[str, int] | None = None,
+) -> int:
+    return sum(1 for _ in enumerate_box_filtered(system, order, box, params))
+
+
+def bounding_box(
+    system: ConstraintSystem,
+    order: Sequence[str],
+    params: Mapping[str, int] | None = None,
+    prune: str = "syntactic",
+) -> Dict[str, Tuple[int, int]]:
+    """Axis-aligned integer bounding box of the (fixed-parameter) polytope.
+
+    Computed by projecting onto each axis with Fourier–Motzkin; the box is
+    exact for the rational relaxation, hence a valid cover of the integer
+    points.
+    """
+    from .fourier_motzkin import project
+
+    params = dict(params or {})
+    fixed = system.fix(params)
+    out: Dict[str, Tuple[int, int]] = {}
+    for var in order:
+        proj = project(fixed, [var], prune=prune)
+        nest = synthesize_loop_nest(proj, [var], prune=prune)
+        lo = nest.per_var[0].lower({})
+        hi = nest.per_var[0].upper({})
+        out[var] = (lo, hi)
+    return out

@@ -1,0 +1,249 @@
+"""Exact affine expressions over named variables.
+
+A :class:`LinExpr` is ``sum_i c_i * v_i + k`` with rational coefficients.
+It is the atom of the whole polyhedral layer: constraints, loop bounds,
+mapping functions and Ehrhart evaluation are all built from it.
+
+Expressions are immutable and hashable; arithmetic returns new objects.
+Exactness matters — Fourier–Motzkin elimination multiplies constraints by
+coefficients, and any floating-point rounding would corrupt loop bounds —
+so coefficients are :class:`fractions.Fraction` throughout.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+from .._util import as_fraction, gcd_all, lcm_all
+
+Number = Union[int, Fraction]
+
+
+class LinExpr:
+    """Immutable affine expression with exact rational coefficients."""
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, Number] | None = None, const: Number = 0):
+        clean: Dict[str, Fraction] = {}
+        if coeffs:
+            for name, c in coeffs.items():
+                f = as_fraction(c)
+                if f != 0:
+                    clean[name] = f
+        self._coeffs: Dict[str, Fraction] = clean
+        self._const: Fraction = as_fraction(const)
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """The expression consisting of a single variable."""
+        return LinExpr({name: 1})
+
+    @staticmethod
+    def const(value: Number) -> "LinExpr":
+        """A constant expression."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def zero() -> "LinExpr":
+        return _ZERO
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def coeffs(self) -> Mapping[str, Fraction]:
+        return dict(self._coeffs)
+
+    @property
+    def constant(self) -> Fraction:
+        return self._const
+
+    def coeff(self, name: str) -> Fraction:
+        """Coefficient of *name* (0 if absent)."""
+        return self._coeffs.get(name, Fraction(0))
+
+    def variables(self) -> frozenset:
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def terms(self) -> Iterator[Tuple[str, Fraction]]:
+        """Deterministically ordered (name, coefficient) pairs."""
+        return iter(sorted(self._coeffs.items()))
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = _coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, c in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return LinExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({n: -c for n, c in self._coeffs.items()}, -self._const)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        s = as_fraction(scalar)
+        if s == 0:
+            return _ZERO
+        return LinExpr({n: c * s for n, c in self._coeffs.items()}, self._const * s)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar) -> "LinExpr":
+        s = as_fraction(scalar)
+        if s == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (Fraction(1) / s)
+
+    # -- substitution / evaluation ----------------------------------------
+
+    def substitute(self, bindings: Mapping[str, "LinExpr | Number"]) -> "LinExpr":
+        """Replace variables by expressions or numbers, exactly."""
+        out = LinExpr({}, self._const)
+        for name, c in self._coeffs.items():
+            if name in bindings:
+                repl = bindings[name]
+                repl_expr = repl if isinstance(repl, LinExpr) else LinExpr.const(repl)
+                out = out + repl_expr * c
+            else:
+                out = out + LinExpr({name: c})
+        return out
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Evaluate with *every* variable bound; raises KeyError otherwise."""
+        total = self._const
+        for name, c in self._coeffs.items():
+            total += c * as_fraction(env[name])
+        return total
+
+    # -- normalization helpers ------------------------------------------
+
+    def scaled_integral(self) -> Tuple["LinExpr", int]:
+        """Return ``(expr * m, m)`` where *m* is the least positive integer
+        making every coefficient (including the constant) an integer."""
+        denoms = [c.denominator for c in self._coeffs.values()]
+        denoms.append(self._const.denominator)
+        m = lcm_all(denoms)
+        return self * m, m
+
+    def content(self) -> int:
+        """gcd of the integer *variable* coefficients (expr must be integral).
+
+        The constant is deliberately excluded: integer tightening divides
+        variable coefficients by the content and floors the constant.
+        """
+        nums = []
+        for c in self._coeffs.values():
+            if c.denominator != 1:
+                raise ValueError("content() requires integral coefficients")
+            nums.append(c.numerator)
+        return gcd_all(nums)
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (tuple(sorted(self._coeffs.items())), self._const)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for name, c in sorted(self._coeffs.items()):
+            if c == 1:
+                parts.append(f"+ {name}")
+            elif c == -1:
+                parts.append(f"- {name}")
+            elif c > 0:
+                parts.append(f"+ {c}*{name}")
+            else:
+                parts.append(f"- {-c}*{name}")
+        if self._const > 0 or not parts:
+            parts.append(f"+ {self._const}")
+        elif self._const < 0:
+            parts.append(f"- {-self._const}")
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        return text
+
+
+def _coerce(value) -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.const(as_fraction(value))
+
+
+_ZERO = LinExpr({}, 0)
+
+
+def parse_affine(text: str) -> LinExpr:
+    """Parse a human-written affine expression like ``'2*s1 - f2 + N - 3'``.
+
+    Supports ``+``, ``-``, integer (or rational ``p/q``) literals, optional
+    ``*`` between coefficient and variable, and implicit coefficient 1.
+    This is the expression micro-grammar used by the spec-file parser.
+    """
+    import re
+
+    from ..errors import ParseError
+
+    text = text.strip()
+    if not text:
+        raise ParseError("empty affine expression")
+    # Tokenize into signed terms.
+    token_re = re.compile(
+        r"\s*(?P<sign>[+-])?\s*"
+        r"(?:(?P<num>\d+(?:/\d+)?)\s*\*?\s*(?P<var1>[A-Za-z_]\w*)?"
+        r"|(?P<var2>[A-Za-z_]\w*))"
+    )
+    pos = 0
+    expr = LinExpr.zero()
+    first = True
+    while pos < len(text):
+        m = token_re.match(text, pos)
+        if not m or m.end() == pos:
+            raise ParseError(f"cannot parse affine expression {text!r} at offset {pos}")
+        sign = m.group("sign")
+        if sign is None and not first:
+            raise ParseError(
+                f"missing '+'/'-' between terms in {text!r} at offset {pos}"
+            )
+        s = -1 if sign == "-" else 1
+        if m.group("num") is not None:
+            coeff = Fraction(m.group("num"))
+            var = m.group("var1")
+            if var is None:
+                expr = expr + LinExpr.const(coeff * s)
+            else:
+                expr = expr + LinExpr({var: coeff * s})
+        else:
+            expr = expr + LinExpr({m.group("var2"): s})
+        pos = m.end()
+        first = False
+    return expr

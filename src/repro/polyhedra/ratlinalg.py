@@ -1,0 +1,64 @@
+"""Exact rational linear algebra (Gaussian elimination over Fractions).
+
+Used by Ehrhart-polynomial reconstruction, where float least-squares
+would smear the exact integer point counts, and by the hyperplane load
+balancer's plane fitting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from ..errors import PolyhedronError
+
+
+def solve_rational(
+    matrix: Sequence[Sequence[Fraction | int]],
+    rhs: Sequence[Fraction | int],
+) -> List[Fraction]:
+    """Solve the square system ``matrix @ x = rhs`` exactly.
+
+    Raises :class:`PolyhedronError` on singular systems.
+    """
+    n = len(matrix)
+    if n == 0:
+        return []
+    a: List[List[Fraction]] = [
+        [Fraction(v) for v in row] + [Fraction(rhs[i])] for i, row in enumerate(matrix)
+    ]
+    for row in a:
+        if len(row) != n + 1:
+            raise PolyhedronError("solve_rational requires a square system")
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot_row is None:
+            raise PolyhedronError("singular system in solve_rational")
+        a[col], a[pivot_row] = a[pivot_row], a[col]
+        pivot = a[col][col]
+        a[col] = [v / pivot for v in a[col]]
+        for r in range(n):
+            if r != col and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [rv - factor * cv for rv, cv in zip(a[r], a[col])]
+    return [a[i][n] for i in range(n)]
+
+
+def fit_polynomial(xs: Sequence[int], ys: Sequence[int | Fraction]) -> List[Fraction]:
+    """Exact coefficients (lowest degree first) of the interpolating
+    polynomial through ``(xs[i], ys[i])``; degree = len(xs) - 1."""
+    if len(xs) != len(ys):
+        raise PolyhedronError("fit_polynomial needs matching xs/ys lengths")
+    if len(set(xs)) != len(xs):
+        raise PolyhedronError("fit_polynomial needs distinct sample points")
+    n = len(xs)
+    vandermonde = [[Fraction(x) ** k for k in range(n)] for x in xs]
+    return solve_rational(vandermonde, [Fraction(y) for y in ys])
+
+
+def eval_polynomial(coeffs: Sequence[Fraction], x: int | Fraction) -> Fraction:
+    """Horner evaluation of coefficients stored lowest degree first."""
+    total = Fraction(0)
+    for c in reversed(coeffs):
+        total = total * x + c
+    return total

@@ -1,0 +1,140 @@
+"""Vertex enumeration for (fixed-parameter) rational polyhedra.
+
+Small-scale, exact: every d-subset of constraints is solved as a linear
+system over the rationals; feasible, deduplicated solutions are the
+vertex set.  Intended for the dimensionalities the generator works with
+(d <= 6, tens of constraints) — the combinatorics stay tame there, and
+exactness matters more than asymptotics.
+
+Used for diagnostics (polytope volume sanity, Ehrhart degree checks)
+and exposed as public API; boundedness certification backs the loop
+synthesizer's error messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from ..errors import PolyhedronError
+from .constraints import ConstraintSystem
+from .linexpr import LinExpr
+from .ratlinalg import solve_rational
+
+Vertex = Tuple[Fraction, ...]
+
+
+def _rows(system: ConstraintSystem, names: Sequence[str]):
+    """(coefficients, constant) rows for every constraint; checks that
+    no foreign variables remain."""
+    rows = []
+    extra = system.variables() - set(names)
+    if extra:
+        raise PolyhedronError(
+            f"vertex enumeration needs fixed parameters; free: {sorted(extra)}"
+        )
+    for c in system:
+        coeffs = [c.expr.coeff(n) for n in names]
+        rows.append((coeffs, c.expr.constant, c.is_equality()))
+    return rows
+
+
+def vertices(system: ConstraintSystem, names: Sequence[str]) -> List[Vertex]:
+    """All vertices of the rational polyhedron, exactly.
+
+    Raises if the system mentions variables outside *names* (fix the
+    parameters first).  An empty polyhedron yields an empty list.
+    """
+    names = list(names)
+    d = len(names)
+    rows = _rows(system, names)
+    if d == 0:
+        return []
+    equalities = [r for r in rows if r[2]]
+    inequalities = [r for r in rows if not r[2]]
+    seen = set()
+    out: List[Vertex] = []
+    # Equalities are always active; choose the remainder among inequalities.
+    need = d - len(equalities)
+    if need < 0:
+        need = 0
+    for combo in itertools.combinations(range(len(inequalities)), need):
+        active = equalities + [inequalities[i] for i in combo]
+        matrix = [r[0] for r in active[:d]]
+        rhs = [-r[1] for r in active[:d]]
+        if len(matrix) != d:
+            continue
+        try:
+            point = tuple(solve_rational(matrix, rhs))
+        except PolyhedronError:
+            continue  # singular: constraints not independent
+        if point in seen:
+            continue
+        # Feasibility against every constraint.
+        feasible = True
+        for coeffs, const, is_eq in rows:
+            value = sum(c * p for c, p in zip(coeffs, point)) + const
+            if is_eq:
+                if value != 0:
+                    feasible = False
+                    break
+            elif value < 0:
+                feasible = False
+                break
+        if feasible:
+            seen.add(point)
+            out.append(point)
+    return sorted(out)
+
+
+def is_bounded(system: ConstraintSystem, names: Sequence[str]) -> bool:
+    """Is the polyhedron bounded along every axis?  (Exact LP via scipy.)"""
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover
+        raise PolyhedronError("boundedness check requires scipy")
+
+    names = list(names)
+    rows = _rows(system, names)
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for coeffs, const, is_eq in rows:
+        frow = [float(c) for c in coeffs]
+        if is_eq:
+            a_eq.append(frow)
+            b_eq.append(-float(const))
+        else:
+            a_ub.append([-x for x in frow])
+            b_ub.append(float(const))
+    for axis in range(len(names)):
+        for sign in (1.0, -1.0):
+            obj = [0.0] * len(names)
+            obj[axis] = sign
+            res = linprog(
+                obj,
+                A_ub=a_ub or None,
+                b_ub=b_ub or None,
+                A_eq=a_eq or None,
+                b_eq=b_eq or None,
+                bounds=[(None, None)] * len(names),
+                method="highs",
+            )
+            if res.status == 3:  # unbounded
+                return False
+            if res.status == 2:  # infeasible: empty polyhedron is bounded
+                return True
+    return True
+
+
+def vertex_bounding_box(
+    system: ConstraintSystem, names: Sequence[str]
+) -> List[Tuple[Fraction, Fraction]]:
+    """Per-axis (min, max) over the vertex set — the exact rational box."""
+    vs = vertices(system, names)
+    if not vs:
+        raise PolyhedronError("empty polyhedron has no bounding box")
+    out = []
+    for k in range(len(names)):
+        coords = [v[k] for v in vs]
+        out.append((min(coords), max(coords)))
+    return out

@@ -1,0 +1,81 @@
+"""The paper's problem suite, each with an independent reference solver.
+
+``REGISTRY`` maps problem names to factory callables used by the CLI and
+the benchmarks; factories take the sizing arguments and return a
+:class:`~repro.spec.ProblemSpec`.
+"""
+
+from typing import Callable, Dict
+
+from .bandit import (
+    delayed_two_arm_reference,
+    delayed_two_arm_spec,
+    karm_spec,
+    three_arm_reference,
+    three_arm_spec,
+    two_arm_reference,
+    two_arm_spec,
+)
+from .alignment import (
+    DEFAULT_GAP,
+    DEFAULT_MISMATCH,
+    damerau_reference,
+    damerau_spec,
+    edit_distance_reference,
+    edit_distance_spec,
+    lcs_reference,
+    lcs_spec,
+    msa_reference,
+    msa_spec,
+    random_sequence,
+    smith_waterman_best,
+    smith_waterman_reference,
+    smith_waterman_spec,
+)
+from .viterbi import (
+    random_hmm,
+    viterbi_lattice_reference,
+    viterbi_reference,
+    viterbi_spec,
+)
+
+REGISTRY: Dict[str, Callable] = {
+    "bandit2": two_arm_spec,
+    "bandit3": three_arm_spec,
+    "bandit2-delayed": delayed_two_arm_spec,
+    "edit-distance": edit_distance_spec,
+    "damerau": damerau_spec,
+    "smith-waterman": smith_waterman_spec,
+    "lcs": lcs_spec,
+    "msa": msa_spec,
+    "viterbi": viterbi_spec,
+}
+
+__all__ = [
+    "REGISTRY",
+    "two_arm_spec",
+    "two_arm_reference",
+    "three_arm_spec",
+    "three_arm_reference",
+    "delayed_two_arm_spec",
+    "delayed_two_arm_reference",
+    "karm_spec",
+    "edit_distance_spec",
+    "edit_distance_reference",
+    "lcs_spec",
+    "lcs_reference",
+    "msa_spec",
+    "msa_reference",
+    "random_sequence",
+    "DEFAULT_GAP",
+    "DEFAULT_MISMATCH",
+    "random_hmm",
+    "viterbi_spec",
+    "viterbi_reference",
+    "viterbi_lattice_reference",
+    "damerau_spec",
+    "damerau_reference",
+    "smith_waterman_spec",
+    "smith_waterman_reference",
+    "smith_waterman_best",
+]

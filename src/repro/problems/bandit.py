@@ -1,0 +1,346 @@
+"""Bernoulli bandit problems (paper Sections I, II and VI).
+
+The k-arm Bernoulli bandit is solved by 2k-dimensional dynamic
+programming: the state counts the successes ``s_i`` and failures ``f_i``
+observed on each arm, and the Bayesian value recursion (uniform priors,
+so the posterior success probability of arm ``i`` is
+``(s_i + 1) / (s_i + f_i + 2)``) is
+
+    V(state) = max_i [ p_i * (1 + V(state + success_i))
+                       + (1 - p_i) * V(state + failure_i) ]
+
+with ``V = 0`` once all ``N`` trials are allocated.  ``V(0)`` is the
+expected number of successes under optimal play — the quantity the
+adaptive-clinical-trial application maximizes.
+
+Note: Figure 1 of the paper omits the immediate-reward term (its
+recurrence would evaluate to zero); we use the standard form above.  The
+template structure — the only input the generator consumes — is
+identical: one unit vector per state dimension.
+
+Three instances are provided, matching the paper's evaluation set:
+
+* :func:`two_arm_spec` — the 4-D 2-arm bandit,
+* :func:`three_arm_spec` — the 6-D 3-arm bandit,
+* :func:`delayed_two_arm_spec` — the 6-D 2-arm bandit with response
+  delay, whose iteration space couples the "pulls allocated" and
+  "results observed" dimensions (Section VI: "incrementing the result
+  dimensions requires that the arm-pulled dimension already have been
+  incremented").
+
+Each spec comes with an independent brute-force reference solver used as
+a numerical oracle in tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..spec import ProblemSpec
+
+# ---------------------------------------------------------------------------
+# k-arm bandit (k = 2 and 3)
+# ---------------------------------------------------------------------------
+
+
+def _posterior(s: int, f: int) -> float:
+    """Posterior mean success probability under a uniform prior."""
+    return (s + 1.0) / (s + f + 2.0)
+
+
+def _karm_kernel(k: int):
+    """Python kernel for the k-arm bandit recurrence."""
+
+    def kernel(point: Mapping[str, int], deps: Mapping[str, Optional[float]],
+               params: Mapping[str, int]) -> float:
+        # All 2k dependencies share the single budget constraint, so they
+        # are all valid or all invalid; invalid means the trials are
+        # exhausted and the value is 0.
+        if deps[f"succ1"] is None:
+            return 0.0
+        best = -1.0
+        for arm in range(1, k + 1):
+            s = point[f"s{arm}"]
+            f = point[f"f{arm}"]
+            p = _posterior(s, f)
+            v = p * (1.0 + deps[f"succ{arm}"]) + (1.0 - p) * deps[f"fail{arm}"]
+            if v > best:
+                best = v
+        return best
+
+    return kernel
+
+
+def _karm_center_code_c(k: int) -> str:
+    lines = ["double best = -1.0, p, v;"]
+    for arm in range(1, k + 1):
+        lines += [
+            f"p = (s{arm} + 1.0) / (s{arm} + f{arm} + 2.0);",
+            f"v = is_valid_succ{arm}"
+            f" ? p * (1.0 + V[loc_succ{arm}]) + (1.0 - p) * V[loc_fail{arm}]"
+            f" : 0.0;",
+            "if (v > best) best = v;",
+        ]
+    lines.append("V[loc] = best;")
+    return "\n".join(lines)
+
+
+def _karm_center_code_py(k: int) -> str:
+    lines = ["_best = -1.0"]
+    for arm in range(1, k + 1):
+        lines += [
+            f"_p = (s{arm} + 1.0) / (s{arm} + f{arm} + 2.0)",
+            f"_v = (_p * (1.0 + V[loc_succ{arm}]) + (1.0 - _p) * V[loc_fail{arm}])"
+            f" if is_valid_succ{arm} else 0.0",
+            "if _v > _best:",
+            "    _best = _v",
+        ]
+    lines.append("V[loc] = _best")
+    return "\n".join(lines)
+
+
+def karm_spec(k: int, tile_width: int = 8, lb_dims=None) -> ProblemSpec:
+    """The 2k-dimensional k-arm Bernoulli bandit specification."""
+    loop_vars = []
+    templates: Dict[str, list] = {}
+    for arm in range(1, k + 1):
+        loop_vars += [f"s{arm}", f"f{arm}"]
+    d = len(loop_vars)
+    for arm in range(1, k + 1):
+        succ = [0] * d
+        succ[loop_vars.index(f"s{arm}")] = 1
+        fail = [0] * d
+        fail[loop_vars.index(f"f{arm}")] = 1
+        templates[f"succ{arm}"] = succ
+        templates[f"fail{arm}"] = fail
+    constraints = [f"{v} >= 0" for v in loop_vars]
+    constraints.append(" + ".join(loop_vars) + " <= N")
+    if lb_dims is None:
+        lb_dims = ("s1", "f1")
+    return ProblemSpec.create(
+        name=f"bandit{k}",
+        loop_vars=loop_vars,
+        params=["N"],
+        constraints=constraints,
+        templates=templates,
+        tile_widths=tile_width,
+        lb_dims=lb_dims,
+        kernel=_karm_kernel(k),
+        center_code_c=_karm_center_code_c(k),
+        center_code_py=_karm_center_code_py(k),
+    )
+
+
+def two_arm_spec(tile_width: int = 8, lb_dims=None) -> ProblemSpec:
+    """The paper's running example: the 4-D 2-arm bandit (Figure 1)."""
+    return karm_spec(2, tile_width=tile_width, lb_dims=lb_dims)
+
+
+def three_arm_spec(tile_width: int = 8, lb_dims=None) -> ProblemSpec:
+    """The 6-D 3-arm bandit of [Oehmke, Hardwick & Stout, SC'00]."""
+    return karm_spec(3, tile_width=tile_width, lb_dims=lb_dims)
+
+
+def two_arm_reference(N: int) -> float:
+    """Independent vectorized solver for the 2-arm bandit.
+
+    Sweeps levels ``m = s1+f1+s2+f2`` from ``N-1`` down to 0 over a dense
+    4-D array; never touches the generator or the tiled runtime.
+    Returns ``V(0,0,0,0)``.
+    """
+    V = np.zeros((N + 2,) * 4, dtype=np.float64)
+    s = np.arange(N + 1, dtype=np.float64)
+    for m in range(N - 1, -1, -1):
+        for s1 in range(m + 1):
+            for f1 in range(m - s1 + 1):
+                rem = m - s1 - f1
+                p1 = _posterior(s1, f1)
+                # vector over s2 = 0..rem, with f2 = rem - s2 .. but we
+                # need all (s2, f2) with s2 + f2 <= rem; loop s2, vector f2.
+                for s2 in range(rem + 1):
+                    fmax = rem - s2
+                    f2 = np.arange(fmax + 1)
+                    p2 = (s2 + 1.0) / (s2 + f2 + 2.0)
+                    v1 = (
+                        p1 * (1.0 + V[s1 + 1, f1, s2, f2])
+                        + (1.0 - p1) * V[s1, f1 + 1, s2, f2]
+                    )
+                    v2 = (
+                        p2 * (1.0 + V[s1, f1, s2 + 1, f2])
+                        + (1.0 - p2) * V[s1, f1, s2, f2 + 1]
+                    )
+                    V[s1, f1, s2, f2] = np.maximum(v1, v2)
+    return float(V[0, 0, 0, 0])
+
+
+def three_arm_reference(N: int) -> float:
+    """Brute-force memoized solver for the 3-arm bandit (small N only)."""
+
+    @lru_cache(maxsize=None)
+    def value(s1, f1, s2, f2, s3, f3):
+        if s1 + f1 + s2 + f2 + s3 + f3 >= N:
+            return 0.0
+        best = -1.0
+        state = [s1, f1, s2, f2, s3, f3]
+        for arm in range(3):
+            s, f = state[2 * arm], state[2 * arm + 1]
+            p = _posterior(s, f)
+            up = list(state)
+            up[2 * arm] += 1
+            down = list(state)
+            down[2 * arm + 1] += 1
+            v = p * (1.0 + value(*up)) + (1.0 - p) * value(*down)
+            best = max(best, v)
+        return best
+
+    result = value(0, 0, 0, 0, 0, 0)
+    value.cache_clear()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# 2-arm bandit with response delay (6-D)
+# ---------------------------------------------------------------------------
+
+
+def _delayed_kernel(point, deps, params):
+    """Kernel for the delayed 2-arm bandit.
+
+    State ``<q1, s1, f1, q2, s2, f2>``: ``q_i`` pulls allocated to arm i,
+    of which ``s_i + f_i`` outcomes have been observed.  Moves: allocate
+    a pull (``pull_i``: q_i + 1) while budget remains, or observe a
+    pending outcome (``obs_s_i``/``obs_f_i``, a chance node resolving
+    with the posterior probability).
+
+    *Delay rule*: an arm's newest outcome stays hidden until a newer pull
+    of that arm is in flight — observation of arm ``i`` is only allowed
+    when ``pend_i >= 2``, or at the end of the trial when no budget
+    remains.  So the decision to pull is genuinely made one outcome
+    behind, which is what makes the delayed value strictly below the
+    immediate-feedback value.  (The paper names the 6-D "bandit with
+    delay" but gives no state equations; this realizes its stated
+    cross-dimension coupling: incrementing a result dimension requires
+    the pull dimension to have been incremented first.)
+    """
+    pend1 = point["q1"] - point["s1"] - point["f1"]
+    pend2 = point["q2"] - point["s2"] - point["f2"]
+    can_pull = deps["pull1"] is not None or deps["pull2"] is not None
+    if (pend1 >= 2 or (not can_pull and pend1 >= 1)) and deps["obs_s1"] is not None:
+        p = _posterior(point["s1"], point["f1"])
+        return p * (1.0 + deps["obs_s1"]) + (1.0 - p) * deps["obs_f1"]
+    if (pend2 >= 2 or (not can_pull and pend2 >= 1)) and deps["obs_s2"] is not None:
+        p = _posterior(point["s2"], point["f2"])
+        return p * (1.0 + deps["obs_s2"]) + (1.0 - p) * deps["obs_f2"]
+    candidates = [v for v in (deps["pull1"], deps["pull2"]) if v is not None]
+    if not candidates:
+        return 0.0
+    return max(candidates)
+
+
+_DELAYED_CENTER_C = """\
+int pend1 = q1 - s1 - f1, pend2 = q2 - s2 - f2;
+int can_pull = is_valid_pull1 || is_valid_pull2;
+double p, v1, v2;
+if ((pend1 >= 2 || (!can_pull && pend1 >= 1)) && is_valid_obs_s1) {
+    p = (s1 + 1.0) / (s1 + f1 + 2.0);
+    V[loc] = p * (1.0 + V[loc_obs_s1]) + (1.0 - p) * V[loc_obs_f1];
+} else if ((pend2 >= 2 || (!can_pull && pend2 >= 1)) && is_valid_obs_s2) {
+    p = (s2 + 1.0) / (s2 + f2 + 2.0);
+    V[loc] = p * (1.0 + V[loc_obs_s2]) + (1.0 - p) * V[loc_obs_f2];
+} else {
+    v1 = is_valid_pull1 ? V[loc_pull1] : 0.0;
+    v2 = is_valid_pull2 ? V[loc_pull2] : 0.0;
+    V[loc] = (v1 > v2 ? v1 : v2);
+}
+"""
+
+_DELAYED_CENTER_PY = """\
+_pend1 = q1 - s1 - f1
+_pend2 = q2 - s2 - f2
+_can_pull = is_valid_pull1 or is_valid_pull2
+if (_pend1 >= 2 or (not _can_pull and _pend1 >= 1)) and is_valid_obs_s1:
+    _p = (s1 + 1.0) / (s1 + f1 + 2.0)
+    V[loc] = _p * (1.0 + V[loc_obs_s1]) + (1.0 - _p) * V[loc_obs_f1]
+elif (_pend2 >= 2 or (not _can_pull and _pend2 >= 1)) and is_valid_obs_s2:
+    _p = (s2 + 1.0) / (s2 + f2 + 2.0)
+    V[loc] = _p * (1.0 + V[loc_obs_s2]) + (1.0 - _p) * V[loc_obs_f2]
+else:
+    _v1 = V[loc_pull1] if is_valid_pull1 else 0.0
+    _v2 = V[loc_pull2] if is_valid_pull2 else 0.0
+    V[loc] = _v1 if _v1 > _v2 else _v2
+"""
+
+
+def delayed_two_arm_spec(tile_width: int = 4, lb_dims=None) -> ProblemSpec:
+    """The 6-D delayed 2-arm bandit (paper Section VI).
+
+    Iteration space (the coupled polytope the paper highlights):
+
+        0 <= s_i,  0 <= f_i,  s_i + f_i <= q_i,  q1 + q2 <= N.
+
+    Incrementing a result dimension (s_i or f_i) is only valid when the
+    corresponding pull dimension q_i has room — the cross-dimension
+    relationship that distinguishes this space from the plain simplex.
+    """
+    loop_vars = ["q1", "s1", "f1", "q2", "s2", "f2"]
+    templates = {
+        "pull1": [1, 0, 0, 0, 0, 0],
+        "obs_s1": [0, 1, 0, 0, 0, 0],
+        "obs_f1": [0, 0, 1, 0, 0, 0],
+        "pull2": [0, 0, 0, 1, 0, 0],
+        "obs_s2": [0, 0, 0, 0, 1, 0],
+        "obs_f2": [0, 0, 0, 0, 0, 1],
+    }
+    constraints = [
+        "s1 >= 0", "f1 >= 0", "s2 >= 0", "f2 >= 0",
+        "q1 >= 0", "q2 >= 0",
+        "s1 + f1 <= q1",
+        "s2 + f2 <= q2",
+        "q1 + q2 <= N",
+    ]
+    if lb_dims is None:
+        lb_dims = ("q1", "q2")
+    return ProblemSpec.create(
+        name="bandit2-delayed",
+        loop_vars=loop_vars,
+        params=["N"],
+        constraints=constraints,
+        templates=templates,
+        tile_widths=tile_width,
+        lb_dims=lb_dims,
+        kernel=_delayed_kernel,
+        center_code_c=_DELAYED_CENTER_C,
+        center_code_py=_DELAYED_CENTER_PY,
+    )
+
+
+def delayed_two_arm_reference(N: int) -> float:
+    """Brute-force memoized oracle for the delayed 2-arm bandit."""
+
+    @lru_cache(maxsize=None)
+    def value(q1, s1, f1, q2, s2, f2):
+        pend1 = q1 - s1 - f1
+        pend2 = q2 - s2 - f2
+        can_pull = q1 + q2 + 1 <= N
+        if pend1 >= 2 or (not can_pull and pend1 >= 1):
+            p = _posterior(s1, f1)
+            return p * (1.0 + value(q1, s1 + 1, f1, q2, s2, f2)) + (
+                1.0 - p
+            ) * value(q1, s1, f1 + 1, q2, s2, f2)
+        if pend2 >= 2 or (not can_pull and pend2 >= 1):
+            p = _posterior(s2, f2)
+            return p * (1.0 + value(q1, s1, f1, q2, s2 + 1, f2)) + (
+                1.0 - p
+            ) * value(q1, s1, f1, q2, s2, f2 + 1)
+        best = 0.0
+        if can_pull:
+            best = max(best, value(q1 + 1, s1, f1, q2, s2, f2))
+            best = max(best, value(q1, s1, f1, q2 + 1, s2, f2))
+        return best
+
+    result = value(0, 0, 0, 0, 0, 0)
+    value.cache_clear()
+    return result

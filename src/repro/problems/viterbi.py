@@ -1,0 +1,222 @@
+"""Viterbi decoding as a template-recurrence dynamic program.
+
+An HMM with a *fixed* number of states K fits the paper's model: the
+lattice is (t, s) with ``0 <= t <= T`` (parametric) and
+``0 <= s <= K-1`` (fixed), and the recurrence
+
+    f(t, s) = emit[s, obs[t]] + max_{s'} ( trans[s', s] + f(t-1, s') )
+
+(in log domain) has exactly the 2K-1 ... actually ``2K-1`` distinct
+offsets ``(-1, s'-s)`` for ``s'-s`` in ``[-(K-1), K-1]`` — constant
+template vectors, one per state offset.  This exercises parts of the
+generator the bandit/alignment suite does not: *mixed-sign* template
+components within one vector, ghost margins on both sides of the state
+dimension, and validity checks that prune state offsets falling off the
+state axis.
+
+The base case falls out of the validity machinery: at ``t = 0`` every
+dependency is invalid and the kernel returns the prior + emission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..spec import ProblemSpec
+
+NEG_INF = -1e30
+
+
+def random_hmm(
+    n_states: int, n_symbols: int, length: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A deterministic random HMM instance.
+
+    Returns ``(prior_log, trans_log, emit_log, observations)`` with
+    shapes (K,), (K, K), (K, M) and (T+1,).
+    """
+    rng = np.random.default_rng(seed)
+
+    def normalize_log(raw: np.ndarray, axis=None) -> np.ndarray:
+        p = raw / raw.sum(axis=axis, keepdims=axis is not None)
+        return np.log(p)
+
+    prior = normalize_log(rng.random(n_states) + 0.1)
+    trans = normalize_log(rng.random((n_states, n_states)) + 0.1, axis=1)
+    emit = normalize_log(rng.random((n_states, n_symbols)) + 0.1, axis=1)
+    obs = rng.integers(0, n_symbols, length + 1)
+    return prior, trans, emit, obs
+
+
+def viterbi_spec(
+    prior_log: np.ndarray,
+    trans_log: np.ndarray,
+    emit_log: np.ndarray,
+    observations: Sequence[int],
+    tile_width_t: int = 8,
+) -> ProblemSpec:
+    """Build the (t, s) lattice spec for one concrete HMM instance.
+
+    The state dimension is tiled at exactly K (one tile across states —
+    the templates reach K-1 cells, so no narrower width is legal), and
+    the time dimension at *tile_width_t*.
+    """
+    K = len(prior_log)
+    templates: Dict[str, List[int]] = {}
+    for off in range(-(K - 1), K):
+        templates[f"from_{'m' if off < 0 else 'p'}{abs(off)}"] = [-1, off]
+
+    prior = np.asarray(prior_log, dtype=float)
+    trans = np.asarray(trans_log, dtype=float)
+    emit = np.asarray(emit_log, dtype=float)
+    obs = np.asarray(observations, dtype=int)
+
+    def kernel(point: Mapping[str, int], deps: Mapping[str, Optional[float]],
+               params: Mapping[str, int]) -> float:
+        t, s = point["t_step"], point["s_state"]
+        e = emit[s, obs[t]]
+        if all(v is None for v in deps.values()):
+            return float(prior[s] + e)
+        best = NEG_INF
+        for off in range(-(K - 1), K):
+            name = f"from_{'m' if off < 0 else 'p'}{abs(off)}"
+            v = deps[name]
+            if v is None:
+                continue
+            sp = s + off
+            cand = trans[sp, s] + v
+            if cand > best:
+                best = cand
+        return float(e + best)
+
+    # Generated-code fragments: the HMM tables are embedded as literals,
+    # exactly like the alignment problems embed their sequences.
+    def c_matrix(name: str, array: np.ndarray) -> str:
+        if array.ndim == 1:
+            body = ", ".join(f"{v!r}" for v in array.tolist())
+            return f"static const double {name}[] = {{{body}}};"
+        rows = ", ".join(
+            "{" + ", ".join(f"{v!r}" for v in row) + "}"
+            for row in array.tolist()
+        )
+        return (
+            f"static const double {name}[][{array.shape[1]}] = {{{rows}}};"
+        )
+
+    global_c = "\n".join(
+        [
+            c_matrix("PRIOR_LOG", prior),
+            c_matrix("TRANS_LOG", trans),
+            c_matrix("EMIT_LOG", emit),
+            "static const int OBS[] = {"
+            + ", ".join(str(int(v)) for v in obs)
+            + "};",
+        ]
+    )
+    center_c_lines = [
+        "double e = EMIT_LOG[s_state][OBS[t_step]];",
+        "double best = -1e300; double cand; int any = 0;",
+    ]
+    for off in range(-(K - 1), K):
+        name = f"from_{'m' if off < 0 else 'p'}{abs(off)}"
+        center_c_lines += [
+            f"if (is_valid_{name}) {{",
+            f"    any = 1;",
+            f"    cand = TRANS_LOG[s_state + ({off})][s_state] + V[loc_{name}];",
+            "    if (cand > best) best = cand;",
+            "}",
+        ]
+    center_c_lines.append(
+        "V[loc] = any ? e + best : PRIOR_LOG[s_state] + e;"
+    )
+
+    global_py = "\n".join(
+        [
+            f"PRIOR_LOG = {prior.tolist()!r}",
+            f"TRANS_LOG = {trans.tolist()!r}",
+            f"EMIT_LOG = {emit.tolist()!r}",
+            f"OBS = {obs.tolist()!r}",
+        ]
+    )
+    center_py_lines = [
+        "_e = EMIT_LOG[s_state][OBS[t_step]]",
+        "_best = None",
+    ]
+    for off in range(-(K - 1), K):
+        name = f"from_{'m' if off < 0 else 'p'}{abs(off)}"
+        center_py_lines += [
+            f"if is_valid_{name}:",
+            f"    _c = TRANS_LOG[s_state + ({off})][s_state] + V[loc_{name}]",
+            "    if _best is None or _c > _best:",
+            "        _best = _c",
+        ]
+    center_py_lines.append(
+        "V[loc] = (PRIOR_LOG[s_state] + _e) if _best is None else (_e + _best)"
+    )
+
+    return ProblemSpec.create(
+        name=f"viterbi-k{K}",
+        loop_vars=["t_step", "s_state"],
+        params=["T"],
+        constraints=[
+            "t_step >= 0",
+            "t_step <= T",
+            "s_state >= 0",
+            f"s_state <= {K - 1}",
+        ],
+        templates=templates,
+        tile_widths={"t_step": tile_width_t, "s_state": K},
+        lb_dims=("t_step",),
+        kernel=kernel,
+        objective_point={"t_step": len(obs) - 1, "s_state": 0},
+        global_code_c=global_c,
+        center_code_c="\n".join(center_c_lines),
+        global_code_py=global_py,
+        center_code_py="\n".join(center_py_lines),
+    )
+
+
+def viterbi_reference(
+    prior_log: np.ndarray,
+    trans_log: np.ndarray,
+    emit_log: np.ndarray,
+    observations: Sequence[int],
+) -> Tuple[float, List[int]]:
+    """Classic Viterbi: returns (best final log-prob, best state path)."""
+    prior = np.asarray(prior_log, dtype=float)
+    trans = np.asarray(trans_log, dtype=float)
+    emit = np.asarray(emit_log, dtype=float)
+    obs = list(observations)
+    K = len(prior)
+    delta = prior + emit[:, obs[0]]
+    back: List[np.ndarray] = []
+    for t in range(1, len(obs)):
+        scores = delta[:, None] + trans  # scores[s', s]
+        choice = scores.argmax(axis=0)
+        delta = scores.max(axis=0) + emit[:, obs[t]]
+        back.append(choice)
+    best_final = int(delta.argmax())
+    path = [best_final]
+    for choice in reversed(back):
+        path.append(int(choice[path[-1]]))
+    path.reverse()
+    return float(delta.max()), path
+
+
+def viterbi_lattice_reference(
+    prior_log, trans_log, emit_log, observations
+) -> np.ndarray:
+    """The full delta lattice (T+1, K) — per-cell oracle for the kernel."""
+    prior = np.asarray(prior_log, dtype=float)
+    trans = np.asarray(trans_log, dtype=float)
+    emit = np.asarray(emit_log, dtype=float)
+    obs = list(observations)
+    K = len(prior)
+    out = np.empty((len(obs), K))
+    out[0] = prior + emit[:, obs[0]]
+    for t in range(1, len(obs)):
+        scores = out[t - 1][:, None] + trans
+        out[t] = scores.max(axis=0) + emit[:, obs[t]]
+    return out

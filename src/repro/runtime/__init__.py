@@ -1,0 +1,18 @@
+"""In-process tiled runtime: the Python twin of the generated C program."""
+
+from .graph import Edge, TileGraph, TileIndex
+from .memory import EdgeMemoryTracker
+from .executor import ExecutionResult, execute, solve_reference
+from .recover import Policy, SolutionRecovery
+
+__all__ = [
+    "TileGraph",
+    "TileIndex",
+    "Edge",
+    "EdgeMemoryTracker",
+    "ExecutionResult",
+    "execute",
+    "solve_reference",
+    "SolutionRecovery",
+    "Policy",
+]

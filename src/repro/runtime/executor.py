@@ -1,0 +1,305 @@
+"""In-process execution of a generated program (paper Section V).
+
+This is the Python twin of the generated C runtime: tiles wait in a
+pending table until their dependencies are satisfied, move to a priority
+queue, and execute one at a time (the host is a single core; parallelism
+is studied with :mod:`repro.simulate`).  Each executing tile allocates a
+padded array, unpacks the incoming edges into its ghost margins, scans
+its local iteration space in the legal direction evaluating the user
+kernel, packs its outgoing edges, and frees the array — only edges stay
+buffered, which is the paper's memory-saving design (Section V-B).
+
+Every numerical result is produced here by actually evaluating the
+recurrence; tests compare the outputs against independent brute-force
+solvers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import RuntimeExecutionError
+from ..generator.pipeline import GeneratedProgram
+from ..generator.tile_deps import delta_between
+from ..polyhedra.compile import compile_scanner
+from ..spec import Kernel
+from .graph import TileGraph, TileIndex
+from .memory import EdgeMemoryTracker
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one in-process run."""
+
+    objective_point: Dict[str, int]
+    objective_value: Optional[float]
+    tiles_executed: int
+    cells_computed: int
+    tile_order: List[TileIndex]
+    memory: Dict[str, int]
+    values: Optional[Dict[Tuple[int, ...], float]] = None
+    #: With ``keep_edges=True``: every packed edge, keyed by
+    #: (producer, consumer) — the raw material of solution recovery
+    #: (paper Section VII-A).
+    edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = None
+
+    def value_at(self, point: Mapping[str, int], loop_vars) -> float:
+        if self.values is None:
+            raise RuntimeExecutionError(
+                "run with record_values=True to query arbitrary points"
+            )
+        key = tuple(point[v] for v in loop_vars)
+        return self.values[key]
+
+
+def _compile_checks(program: GeneratedProgram):
+    """Turn validity constraints into fast integer closures.
+
+    Returns ``(check_fns, per_template)`` where each check function maps a
+    global environment (loop vars + params) to bool.
+    """
+    check_fns = []
+    for c in program.validity.checks:
+        items: List[Tuple[str, int]] = []
+        for name, coef in c.expr.terms():
+            if coef.denominator != 1:
+                raise RuntimeExecutionError(f"non-integral check constraint {c}")
+            items.append((name, coef.numerator))
+        const = c.expr.constant
+        if const.denominator != 1:
+            raise RuntimeExecutionError(f"non-integral check constraint {c}")
+        const_i = const.numerator
+        is_eq = c.is_equality()
+
+        def fn(env, items=tuple(items), const_i=const_i, is_eq=is_eq):
+            total = const_i
+            for name, coef in items:
+                total += coef * env[name]
+            return total == 0 if is_eq else total >= 0
+
+        check_fns.append(fn)
+    per_template = {
+        name: tuple(ids) for name, ids in program.validity.per_template.items()
+    }
+    return check_fns, per_template
+
+
+def execute(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    kernel: Optional[Kernel] = None,
+    priority_scheme: str = "lb-first",
+    record_values: bool = False,
+    graph: Optional[TileGraph] = None,
+    keep_edges: bool = False,
+) -> ExecutionResult:
+    """Solve the problem instance and return the objective value.
+
+    *kernel* defaults to the spec's Python kernel.  *record_values*
+    additionally returns every computed cell (use only on small
+    instances).  A prebuilt *graph* can be passed to amortize graph
+    construction across runs with identical parameters.  *keep_edges*
+    retains every packed edge after the run — O(n^(d-1)) memory instead
+    of the O(n^d) full space — enabling solution recovery by on-the-fly
+    tile recomputation (paper Section VII-A; see
+    :class:`repro.runtime.recover.SolutionRecovery`).
+    """
+    spec = program.spec
+    if kernel is None:
+        kernel = spec.kernel
+    if kernel is None:
+        raise RuntimeExecutionError(
+            f"problem {spec.name!r} has no Python kernel; pass kernel="
+        )
+    params = dict(params)
+    if graph is None:
+        graph = TileGraph.build(program, params)
+    spaces = program.spaces
+    layout = program.layout
+
+    directions_x = spec.scan_directions()
+    local_directions = {
+        spaces.local_vars[k]: directions_x[x]
+        for k, x in enumerate(spec.loop_vars)
+    }
+
+    check_fns, per_template = _compile_checks(program)
+    template_items = list(spec.templates.items())
+    template_local_offsets = {
+        name: tuple(vec) for name, vec in template_items
+    }
+
+    objective = spec.objective(params)
+    objective_key = tuple(objective[v] for v in spec.loop_vars)
+    objective_value: Optional[float] = None
+
+    values: Optional[Dict[Tuple[int, ...], float]] = {} if record_values else None
+
+    priority = program.priority(priority_scheme)
+    remaining = graph.dependency_counts()
+    heap: List[Tuple[tuple, TileIndex]] = []
+    for t in sorted(graph.initial_tiles()):
+        heapq.heappush(heap, (priority(t), t))
+
+    edge_store: Dict[Tuple[TileIndex, TileIndex], np.ndarray] = {}
+    kept_edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = (
+        {} if keep_edges else None
+    )
+    tracker = EdgeMemoryTracker()
+    tile_order: List[TileIndex] = []
+    cells_computed = 0
+
+    loop_vars = spec.loop_vars
+    local_vars = spaces.local_vars
+    widths = spec.tile_width_vector()
+
+    while heap:
+        _, tile = heapq.heappop(heap)
+        tile_order.append(tile)
+        array = np.full(layout.padded_shape, np.nan, dtype=np.float64)
+
+        # Unpack incoming edges into the ghost margins.
+        for producer in graph.producers[tile]:
+            delta = delta_between(tile, producer)
+            plan = program.pack_plans[delta]
+            buffer = edge_store.pop((producer, tile))
+            tracker.remove_edge((producer, tile))
+            env = dict(params)
+            env.update(spaces.tile_env(producer))
+            plan.unpack(env, buffer, array, layout, local_vars)
+
+        # Execute the tile's local iteration space in the legal order.
+        tile_env = dict(params)
+        tile_env.update(spaces.tile_env(tile))
+        scan = compile_scanner(spaces.local_nest, local_directions)
+        for local in scan(tile_env):
+            point = {
+                x: widths[k] * tile[k] + local[k] for k, x in enumerate(loop_vars)
+            }
+            genv = dict(params)
+            genv.update(point)
+            deps: Dict[str, Optional[float]] = {}
+            for name, vec in template_items:
+                ok = all(check_fns[idx](genv) for idx in per_template[name])
+                if ok:
+                    ghost = tuple(i + r for i, r in zip(local, vec))
+                    value = array[layout.array_index(ghost)]
+                    if np.isnan(value):
+                        raise RuntimeExecutionError(
+                            f"tile {tile}: dependency {name} of point "
+                            f"{point} is valid but its value was never "
+                            "computed or delivered"
+                        )
+                    deps[name] = float(value)
+                else:
+                    deps[name] = None
+            result = kernel(point, deps, params)
+            array[layout.array_index(local)] = result
+            cells_computed += 1
+            key = tuple(point[v] for v in loop_vars)
+            if values is not None:
+                values[key] = float(result)
+            if key == objective_key:
+                objective_value = float(result)
+
+        # Pack outgoing edges, deliver to consumers, release the tile.
+        for consumer in graph.consumers[tile]:
+            delta = delta_between(consumer, tile)
+            plan = program.pack_plans[delta]
+            env = dict(params)
+            env.update(spaces.tile_env(tile))
+            buffer = plan.pack(env, array, layout, local_vars)
+            edge_store[(tile, consumer)] = buffer
+            if kept_edges is not None:
+                kept_edges[(tile, consumer)] = buffer.copy()
+            tracker.add_edge((tile, consumer), len(buffer))
+            remaining[consumer] -= 1
+            if remaining[consumer] == 0:
+                heapq.heappush(heap, (priority(consumer), consumer))
+            elif remaining[consumer] < 0:
+                raise RuntimeExecutionError(
+                    f"tile {consumer} received more edges than it has "
+                    "producers"
+                )
+
+    if len(tile_order) != len(graph.tiles):
+        raise RuntimeExecutionError(
+            f"executed {len(tile_order)} of {len(graph.tiles)} tiles; "
+            "the dependency graph deadlocked"
+        )
+    if cells_computed != graph.total_work():
+        raise RuntimeExecutionError(
+            f"computed {cells_computed} cells but the graph holds "
+            f"{graph.total_work()} points"
+        )
+    if edge_store:
+        raise RuntimeExecutionError(
+            f"{len(edge_store)} edges were packed but never consumed"
+        )
+
+    return ExecutionResult(
+        objective_point=objective,
+        objective_value=objective_value,
+        tiles_executed=len(tile_order),
+        cells_computed=cells_computed,
+        tile_order=tile_order,
+        memory=tracker.snapshot(),
+        values=values,
+        edges=kept_edges,
+    )
+
+
+def solve_reference(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    kernel: Optional[Kernel] = None,
+    record_values: bool = False,
+):
+    """Untiled oracle: scan the original iteration space in scan order.
+
+    Exercises none of the tiling machinery — a second, independent path
+    to the same numbers, used by tests to validate the tiled executor.
+    """
+    spec = program.spec
+    if kernel is None:
+        kernel = spec.kernel
+    if kernel is None:
+        raise RuntimeExecutionError("no kernel available")
+    params = dict(params)
+    check_fns, per_template = _compile_checks(program)
+    directions = spec.scan_directions()
+    store: Dict[Tuple[int, ...], float] = {}
+    objective = spec.objective(params)
+    objective_key = tuple(objective[v] for v in spec.loop_vars)
+    objective_value = None
+    for env in program.spaces.original_nest.iterate(params, directions):
+        point = {v: env[v] for v in spec.loop_vars}
+        genv = dict(params)
+        genv.update(point)
+        deps: Dict[str, Optional[float]] = {}
+        for name, vec in spec.templates.items():
+            ok = all(check_fns[idx](genv) for idx in per_template[name])
+            if ok:
+                key = tuple(point[v] + r for v, r in zip(spec.loop_vars, vec))
+                deps[name] = store[key]
+            else:
+                deps[name] = None
+        value = float(kernel(point, deps, params))
+        key = tuple(point[v] for v in spec.loop_vars)
+        store[key] = value
+        if key == objective_key:
+            objective_value = value
+    return ExecutionResult(
+        objective_point=objective,
+        objective_value=objective_value,
+        tiles_executed=0,
+        cells_computed=len(store),
+        tile_order=[],
+        memory={},
+        values=store if record_values else None,
+    )

@@ -1,0 +1,163 @@
+"""The tile dependency graph for one concrete problem instance.
+
+Built once per (generated program, parameter values): every valid tile,
+its valid producers/consumers, its work (iteration points), and each
+edge's packed size.  The in-process executor and the cluster simulator
+both run off this graph, which is what makes the simulator's schedule
+"real": it orders exactly the tiles and edges the generated program
+would execute and communicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+from ..errors import RuntimeExecutionError
+from ..generator.pipeline import GeneratedProgram
+from ..generator.tile_deps import delta_between
+
+TileIndex = Tuple[int, ...]
+Edge = Tuple[TileIndex, TileIndex]  # (producer, consumer)
+
+
+@dataclass
+class TileGraph:
+    """Concrete tile DAG: nodes are valid tiles, edges follow the deltas."""
+
+    program: GeneratedProgram
+    params: Dict[str, int]
+    tiles: Set[TileIndex]
+    producers: Dict[TileIndex, Tuple[TileIndex, ...]]
+    consumers: Dict[TileIndex, Tuple[TileIndex, ...]]
+    work: Dict[TileIndex, int]
+    edge_cells: Dict[Edge, int]
+
+    @staticmethod
+    def build(program: GeneratedProgram, params: Mapping[str, int]) -> "TileGraph":
+        params = dict(params)
+        spaces = program.spaces
+        deltas = program.deltas
+        tiles = set(spaces.tiles(params))
+        if not tiles:
+            raise RuntimeExecutionError(
+                f"problem {program.spec.name!r} has no tiles for params {params}"
+            )
+        producers: Dict[TileIndex, Tuple[TileIndex, ...]] = {}
+        consumers: Dict[TileIndex, List[TileIndex]] = {t: [] for t in tiles}
+        for tile in tiles:
+            prods = []
+            for delta in deltas:
+                p = tuple(t + d for t, d in zip(tile, delta))
+                if p in tiles:
+                    prods.append(p)
+                    consumers[p].append(tile)
+            producers[tile] = tuple(prods)
+
+        work: Dict[TileIndex, int] = {
+            t: spaces.tile_point_count(t, params) for t in tiles
+        }
+
+        edge_cells: Dict[Edge, int] = {}
+        for consumer in tiles:
+            for producer in producers[consumer]:
+                delta = delta_between(consumer, producer)
+                plan = program.pack_plans[delta]
+                env = dict(params)
+                env.update(spaces.tile_env(producer))
+                edge_cells[(producer, consumer)] = plan.region_size(env)
+
+        return TileGraph(
+            program=program,
+            params=params,
+            tiles=tiles,
+            producers=producers,
+            consumers={t: tuple(c) for t, c in consumers.items()},
+            work=work,
+            edge_cells=edge_cells,
+        )
+
+    # -- derived quantities --------------------------------------------------
+
+    def initial_tiles(self) -> Set[TileIndex]:
+        """Tiles with no valid producer (the runtime's seed set)."""
+        return {t for t in self.tiles if not self.producers[t]}
+
+    def total_work(self) -> int:
+        return sum(self.work.values())
+
+    def dependency_counts(self) -> Dict[TileIndex, int]:
+        return {t: len(self.producers[t]) for t in self.tiles}
+
+    def validate_acyclic(self) -> None:
+        """Sanity check: the tile DAG must admit a topological order."""
+        indeg = self.dependency_counts()
+        ready = [t for t, d in indeg.items() if d == 0]
+        seen = 0
+        while ready:
+            tile = ready.pop()
+            seen += 1
+            for c in self.consumers[tile]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if seen != len(self.tiles):
+            raise RuntimeExecutionError(
+                f"tile dependency graph has a cycle: only {seen} of "
+                f"{len(self.tiles)} tiles are reachable"
+            )
+
+    def validate_schedule(self, order) -> None:
+        """Check that *order* is a legal execution of this graph.
+
+        Every tile must appear exactly once, and strictly after all of
+        its producers.  Raises :class:`RuntimeExecutionError` with the
+        first violation — used by tests and by simulator debugging.
+        """
+        position = {}
+        for idx, tile in enumerate(order):
+            if tile in position:
+                raise RuntimeExecutionError(
+                    f"tile {tile} appears twice in the schedule"
+                )
+            if tile not in self.tiles:
+                raise RuntimeExecutionError(
+                    f"schedule contains unknown tile {tile}"
+                )
+            position[tile] = idx
+        missing = self.tiles - position.keys()
+        if missing:
+            raise RuntimeExecutionError(
+                f"schedule misses {len(missing)} tiles (e.g. "
+                f"{next(iter(missing))})"
+            )
+        for tile in order:
+            for producer in self.producers[tile]:
+                if position[producer] >= position[tile]:
+                    raise RuntimeExecutionError(
+                        f"tile {tile} scheduled before its producer "
+                        f"{producer}"
+                    )
+
+    def critical_path_work(self) -> int:
+        """Longest producer->consumer chain weighted by tile work.
+
+        Lower-bounds the makespan of any schedule; the simulator reports
+        it alongside measured spans.
+        """
+        indeg = self.dependency_counts()
+        ready = [t for t, d in indeg.items() if d == 0]
+        longest: Dict[TileIndex, int] = {t: self.work[t] for t in ready}
+        order: List[TileIndex] = []
+        while ready:
+            tile = ready.pop()
+            order.append(tile)
+            base = longest[tile]
+            for c in self.consumers[tile]:
+                cand = base + self.work[c]
+                if cand > longest.get(c, 0):
+                    longest[c] = cand
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        return max(longest.values()) if longest else 0

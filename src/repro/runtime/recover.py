@@ -1,0 +1,201 @@
+"""Solution recovery (paper Section VII-A), implemented.
+
+The generated programs normally discard a tile's interior once its
+edges are packed — only the objective value survives.  Recovering the
+*solution* (a traceback through the decision space, or arbitrary cell
+values) does not require storing the whole O(n^d) space: as the paper
+sketches, "the edges of the tiles could be saved, and needed tiles
+recalculated on the fly during the traceback".
+
+:class:`SolutionRecovery` does exactly that: one forward pass with
+``keep_edges=True`` retains the O(n^(d-1)) packed edges; any tile can
+then be recomputed in isolation by unpacking its stored incoming edges
+and re-running the kernel over its local space.  ``value_at`` answers
+point queries, and ``traceback`` walks a user-supplied policy through
+the space, recomputing tiles on demand (with a small LRU of recomputed
+tiles, since tracebacks revisit neighbours).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import RuntimeExecutionError
+from ..generator.pipeline import GeneratedProgram
+from ..generator.tile_deps import delta_between
+from ..polyhedra.compile import compile_scanner
+from ..spec import Kernel
+from .executor import _compile_checks, execute
+from .graph import TileGraph, TileIndex
+
+Point = Tuple[int, ...]
+
+#: A traceback policy: given the current point, its dependency values
+#: (None when invalid) and its own value, return the chosen template
+#: name — or None to stop the walk.
+Policy = Callable[[Mapping[str, int], Mapping[str, Optional[float]], float], Optional[str]]
+
+
+class SolutionRecovery:
+    """Point queries and tracebacks from saved edges (Section VII-A)."""
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        params: Mapping[str, int],
+        kernel: Optional[Kernel] = None,
+        cache_tiles: int = 16,
+    ):
+        self.program = program
+        self.params = dict(params)
+        self.kernel = kernel if kernel is not None else program.spec.kernel
+        if self.kernel is None:
+            raise RuntimeExecutionError(
+                "solution recovery needs a Python kernel"
+            )
+        self.graph = TileGraph.build(program, self.params)
+        self.result = execute(
+            program,
+            self.params,
+            kernel=self.kernel,
+            graph=self.graph,
+            keep_edges=True,
+        )
+        self._cache: "OrderedDict[TileIndex, Dict[Point, float]]" = OrderedDict()
+        self._cache_tiles = cache_tiles
+        self._check_fns, self._per_template = _compile_checks(program)
+
+    # -- tile recomputation -------------------------------------------------
+
+    def tile_values(self, tile: TileIndex) -> Dict[Point, float]:
+        """All cell values of one tile, recomputed from its saved edges."""
+        cached = self._cache.get(tile)
+        if cached is not None:
+            self._cache.move_to_end(tile)
+            return cached
+        if tile not in self.graph.tiles:
+            raise RuntimeExecutionError(f"{tile} is not a valid tile")
+        program = self.program
+        spec = program.spec
+        spaces = program.spaces
+        layout = program.layout
+        params = self.params
+        edges = self.result.edges
+        assert edges is not None
+
+        array = np.full(layout.padded_shape, np.nan)
+        for producer in self.graph.producers[tile]:
+            delta = delta_between(tile, producer)
+            plan = program.pack_plans[delta]
+            env = dict(params)
+            env.update(spaces.tile_env(producer))
+            plan.unpack(
+                env, edges[(producer, tile)], array, layout, spaces.local_vars
+            )
+
+        directions_x = spec.scan_directions()
+        local_directions = {
+            spaces.local_vars[k]: directions_x[x]
+            for k, x in enumerate(spec.loop_vars)
+        }
+        scan = compile_scanner(spaces.local_nest, local_directions)
+        tile_env = dict(params)
+        tile_env.update(spaces.tile_env(tile))
+        widths = spec.tile_width_vector()
+        template_items = list(spec.templates.items())
+
+        values: Dict[Point, float] = {}
+        for local in scan(tile_env):
+            point = {
+                x: widths[k] * tile[k] + local[k]
+                for k, x in enumerate(spec.loop_vars)
+            }
+            genv = dict(params)
+            genv.update(point)
+            deps: Dict[str, Optional[float]] = {}
+            for name, vec in template_items:
+                ok = all(
+                    self._check_fns[i](genv)
+                    for i in self._per_template[name]
+                )
+                if ok:
+                    ghost = tuple(i + r for i, r in zip(local, vec))
+                    deps[name] = float(array[layout.array_index(ghost)])
+                else:
+                    deps[name] = None
+            value = float(self.kernel(point, deps, params))
+            array[layout.array_index(local)] = value
+            values[tuple(point[v] for v in spec.loop_vars)] = value
+
+        self._cache[tile] = values
+        if len(self._cache) > self._cache_tiles:
+            self._cache.popitem(last=False)
+        return values
+
+    # -- queries -------------------------------------------------------------
+
+    def value_at(self, point: Mapping[str, int]) -> float:
+        """The DP value at any iteration-space point."""
+        spec = self.program.spec
+        env = dict(self.params)
+        env.update(point)
+        if not spec.constraints.satisfied(env):
+            raise RuntimeExecutionError(
+                f"point {dict(point)} is outside the iteration space"
+            )
+        tile = self.program.spaces.point_to_tile(point)
+        key = tuple(point[v] for v in spec.loop_vars)
+        return self.tile_values(tile)[key]
+
+    def dependencies_at(
+        self, point: Mapping[str, int]
+    ) -> Dict[str, Optional[float]]:
+        """Dependency values of a point (None where invalid)."""
+        spec = self.program.spec
+        out: Dict[str, Optional[float]] = {}
+        for name in spec.templates.names():
+            offsets = spec.templates.as_offset_map(name)
+            target = {v: point[v] + offsets[v] for v in spec.loop_vars}
+            env = dict(self.params)
+            env.update(target)
+            if spec.constraints.satisfied(env):
+                out[name] = self.value_at(target)
+            else:
+                out[name] = None
+        return out
+
+    def traceback(
+        self,
+        policy: Policy,
+        start: Optional[Mapping[str, int]] = None,
+        max_steps: int = 100000,
+    ) -> List[Tuple[Dict[str, int], Optional[str]]]:
+        """Walk *policy* through the space, recomputing tiles on demand.
+
+        Returns the visited ``(point, chosen_template)`` path; the final
+        entry has ``None`` as its choice.
+        """
+        spec = self.program.spec
+        point = dict(start if start is not None else spec.objective(self.params))
+        path: List[Tuple[Dict[str, int], Optional[str]]] = []
+        for _ in range(max_steps):
+            value = self.value_at(point)
+            deps = self.dependencies_at(point)
+            choice = policy(point, deps, value)
+            path.append((dict(point), choice))
+            if choice is None:
+                return path
+            offsets = spec.templates.as_offset_map(choice)
+            point = {v: point[v] + offsets[v] for v in spec.loop_vars}
+        raise RuntimeExecutionError(
+            f"traceback exceeded {max_steps} steps; the policy may loop"
+        )
+
+    @property
+    def edge_memory_cells(self) -> int:
+        """Cells held by the saved edges (the VII-A memory footprint)."""
+        assert self.result.edges is not None
+        return sum(len(buf) for buf in self.result.edges.values())

@@ -1,0 +1,38 @@
+"""Discrete-event cluster simulator: the testbed substitute (Section VI)."""
+
+from .machine import PAPER_CLUSTER, MachineModel
+from .events import EventQueue
+from .hybrid import SimResult, simulate, simulate_program
+from .metrics import (
+    ScalingPoint,
+    format_scaling_table,
+    shared_memory_scaling,
+    weak_scaling,
+)
+from .trace import (
+    TileSpan,
+    render_timeline,
+    utilization_timeline,
+    validate_trace,
+)
+from .calibrate import CalibrationRun, calibrate_machine, run_generated_c
+
+__all__ = [
+    "MachineModel",
+    "PAPER_CLUSTER",
+    "EventQueue",
+    "SimResult",
+    "simulate",
+    "simulate_program",
+    "ScalingPoint",
+    "shared_memory_scaling",
+    "weak_scaling",
+    "format_scaling_table",
+    "TileSpan",
+    "validate_trace",
+    "utilization_timeline",
+    "render_timeline",
+    "CalibrationRun",
+    "calibrate_machine",
+    "run_generated_c",
+]

@@ -1,0 +1,139 @@
+"""Calibrate the machine model against the real generated program.
+
+The simulator's default constants approximate the paper's 2011 testbed.
+When a C compiler is available, the cost model can instead be *measured*:
+compile the generated program for a problem, run it single-threaded at a
+couple of sizes, and fit
+
+* ``sec_per_cell`` from the cells/second of the larger run, and
+* ``tile_overhead_s`` from the per-tile residual between two runs with
+  different tile counts.
+
+The result is a :class:`~repro.simulate.machine.MachineModel` whose
+single-core behaviour matches this host's compiled code, making the
+simulated scaling curves host-grounded rather than purely synthetic.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..generator.cgen import emit_c_program
+from ..generator.pipeline import GeneratedProgram
+from .machine import MachineModel
+
+
+@dataclass(frozen=True)
+class CalibrationRun:
+    """One measured execution of the compiled generated program."""
+
+    params: Mapping[str, int]
+    tiles: int
+    cells: int
+    seconds: float
+
+    @property
+    def sec_per_cell(self) -> float:
+        return self.seconds / self.cells if self.cells else 0.0
+
+
+def gcc_available() -> bool:
+    return shutil.which("gcc") is not None
+
+
+def run_generated_c(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    threads: int = 1,
+    workdir: Optional[Path] = None,
+    extra_cflags: Sequence[str] = (),
+) -> CalibrationRun:
+    """Compile (once per workdir) and run the generated C program."""
+    if not gcc_available():
+        raise SimulationError("calibration requires gcc")
+    spec = program.spec
+    own_dir = workdir is None
+    workdir = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-cal-"))
+    cpath = workdir / f"{spec.name}.c"
+    binpath = workdir / spec.name
+    if not binpath.exists():
+        cpath.write_text(emit_c_program(program))
+        build = subprocess.run(
+            [
+                "gcc", "-O2", "-std=c99", "-fopenmp",
+                *extra_cflags,
+                str(cpath), "-o", str(binpath), "-lm",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if build.returncode != 0:
+            raise SimulationError(f"gcc failed:\n{build.stderr[-2000:]}")
+    args = [str(params[p]) for p in spec.params]
+    run = subprocess.run(
+        [str(binpath), *args],
+        capture_output=True,
+        text=True,
+        env={"OMP_NUM_THREADS": str(threads)},
+    )
+    if run.returncode != 0:
+        raise SimulationError(f"generated program failed:\n{run.stderr[-2000:]}")
+    header = next(
+        (l for l in run.stdout.splitlines() if l.startswith("tiles")), None
+    )
+    if header is None:
+        raise SimulationError(f"unexpected program output:\n{run.stdout}")
+    toks = header.split()
+    return CalibrationRun(
+        params=dict(params),
+        tiles=int(toks[1]),
+        cells=int(toks[3]),
+        seconds=float(toks[5]),
+    )
+
+
+def calibrate_machine(
+    program: GeneratedProgram,
+    small_params: Mapping[str, int],
+    large_params: Mapping[str, int],
+    base: Optional[MachineModel] = None,
+) -> Tuple[MachineModel, CalibrationRun, CalibrationRun]:
+    """Fit per-cell and per-tile costs from two single-thread runs.
+
+    Solves the 2x2 system ``seconds = cells * spc + tiles * overhead``
+    for the two runs; degenerate fits (negative overhead from noise)
+    clamp the overhead at zero and refit the per-cell cost alone.
+    Returns the fitted model plus both measurements.
+    """
+    base = base or MachineModel()
+    small = run_generated_c(program, small_params)
+    large = run_generated_c(program, large_params)
+    det = (
+        small.cells * large.tiles - large.cells * small.tiles
+    )
+    spc: float
+    overhead: float
+    if det != 0:
+        spc = (
+            small.seconds * large.tiles - large.seconds * small.tiles
+        ) / det
+        overhead = (
+            small.cells * large.seconds - large.cells * small.seconds
+        ) / det
+    else:
+        spc = large.sec_per_cell
+        overhead = 0.0
+    if spc <= 0 or overhead < 0:
+        spc = large.sec_per_cell
+        overhead = 0.0
+    return (
+        base.with_(sec_per_cell=spc, tile_overhead_s=overhead),
+        small,
+        large,
+    )

@@ -1,0 +1,42 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, payload)``; the sequence number makes
+ordering total and the simulation reproducible regardless of payload
+types (tiles, edges) that are not mutually comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, Optional, Tuple
+
+
+class EventQueue:
+    """Time-ordered queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, payload: Any) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        heapq.heappush(self._heap, (time, next(self._seq), payload))
+
+    def pop(self) -> Tuple[float, Any]:
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,255 @@
+"""Discrete-event simulation of the generated hybrid program (Section VI).
+
+The simulator executes the *real* schedule of the generated program — the
+same tile DAG, priority queue, load-balance assignment and packed-edge
+communication the in-process runtime uses — against the cost model of
+:class:`~repro.simulate.machine.MachineModel`.  Inside a node, tiles are
+dispatched to cores through a serialized work queue (the OpenMP critical
+section); between nodes, packed edges travel over a finite set of send
+channels with latency + bandwidth costs (the MPI send buffers).
+
+This is the substitution for the paper's 8x24-core testbed: wall-clock
+numbers are synthetic, but who waits for whom — the thing that determines
+scaling shape, pipeline critical paths and buffer starvation — is
+computed exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SimulationError
+from ..generator.pipeline import GeneratedProgram
+from ..runtime.graph import TileGraph, TileIndex
+from .events import EventQueue
+from .machine import MachineModel
+
+NodeId = int
+
+
+@dataclass
+class SimResult:
+    """Measurements from one simulated run."""
+
+    makespan_s: float
+    serial_time_s: float
+    busy_s_per_node: List[float]
+    tiles_per_node: List[int]
+    work_cells_per_node: List[int]
+    node_finish_s: List[float]
+    messages: int
+    bytes_sent: int
+    max_send_queue_wait_s: float
+    total_cells: int
+    machine: MachineModel
+    #: Per-tile execution spans when simulate(..., trace=True).
+    spans: Optional[list] = None
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the same machine's single sequential core."""
+        return self.serial_time_s / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.machine.total_cores
+
+    @property
+    def idle_fraction(self) -> float:
+        capacity = self.makespan_s * self.machine.total_cores
+        busy = sum(self.busy_s_per_node)
+        return 1.0 - busy / capacity if capacity else 0.0
+
+    @property
+    def cells_per_second(self) -> float:
+        return self.total_cells / self.makespan_s if self.makespan_s else 0.0
+
+
+def simulate(
+    graph: TileGraph,
+    machine: MachineModel,
+    assignment: Optional[Mapping[TileIndex, NodeId]] = None,
+    priority_scheme: str = "lb-first",
+    trace: bool = False,
+) -> SimResult:
+    """Simulate the tiled execution of *graph* on *machine*.
+
+    *assignment* maps each tile to its owning node (default: everything
+    on node 0 — pure shared-memory execution).  *trace* additionally
+    records one :class:`~repro.simulate.trace.TileSpan` per tile.
+    """
+    program = graph.program
+    tiles = graph.tiles
+    if assignment is None:
+        assignment = {t: 0 for t in tiles}
+    else:
+        missing = [t for t in tiles if t not in assignment]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} tiles lack a node assignment (e.g. {missing[0]})"
+            )
+        bad = [t for t in tiles if not 0 <= assignment[t] < machine.nodes]
+        if bad:
+            raise SimulationError(
+                f"tile {bad[0]} assigned to node {assignment[bad[0]]} outside "
+                f"0..{machine.nodes - 1}"
+            )
+
+    priority = program.priority(priority_scheme)
+
+    # Per-tile cost: compute cells plus pack/unpack traffic through the tile.
+    packed_through: Dict[TileIndex, int] = {t: 0 for t in tiles}
+    for (producer, consumer), cells in graph.edge_cells.items():
+        packed_through[producer] += cells
+        packed_through[consumer] += cells
+
+    def duration(tile: TileIndex) -> float:
+        return machine.tile_duration(graph.work[tile], packed_through[tile])
+
+    serial_time = sum(
+        machine.queue_lock_s + duration(t) for t in tiles
+    )
+
+    # Node state.
+    ready: List[List[Tuple[tuple, TileIndex]]] = [
+        [] for _ in range(machine.nodes)
+    ]
+    core_free: List[List[float]] = [
+        [0.0] * machine.cores_per_node for _ in range(machine.nodes)
+    ]
+    for h in core_free:
+        heapq.heapify(h)
+    # One dequeue lock per core group (Section VII-C: queue_groups == 1
+    # is the paper's single shared queue; more groups relieve contention).
+    lock_free: List[List[float]] = [
+        [0.0] * machine.queue_groups for _ in range(machine.nodes)
+    ]
+    send_free: List[List[float]] = [
+        [0.0] * machine.send_buffers for _ in range(machine.nodes)
+    ]
+    for h in send_free:
+        heapq.heapify(h)
+
+    busy: List[float] = [0.0] * machine.nodes
+    tiles_done: List[int] = [0] * machine.nodes
+    work_done: List[int] = [0] * machine.nodes
+    node_finish: List[float] = [0.0] * machine.nodes
+    messages = 0
+    bytes_sent = 0
+    max_queue_wait = 0.0
+
+    pending: Dict[TileIndex, int] = graph.dependency_counts()
+    events = EventQueue()
+    spans: Optional[list] = [] if trace else None
+
+    for t in sorted(graph.initial_tiles()):
+        events.push(0.0, ("ready", t))
+
+    finished = 0
+
+    def dispatch(node: NodeId, now: float) -> None:
+        nonlocal finished
+        rq = ready[node]
+        cf = core_free[node]
+        while rq and cf and cf[0] <= now:
+            heapq.heappop(cf)  # core taken
+            _, tile = heapq.heappop(rq)
+            locks = lock_free[node]
+            group = min(range(len(locks)), key=locks.__getitem__)
+            start = max(now, locks[group])
+            locks[group] = start + machine.queue_lock_s
+            dur = duration(tile)
+            finish = start + machine.queue_lock_s + dur
+            busy[node] += machine.queue_lock_s + dur
+            if spans is not None:
+                from .trace import TileSpan
+
+                spans.append(TileSpan(tile, node, start, finish))
+            events.push(finish, ("finish", tile, node))
+
+    while events:
+        now, payload = events.pop()
+        kind = payload[0]
+        if kind == "ready":
+            tile = payload[1]
+            node = assignment[tile]
+            heapq.heappush(ready[node], (priority(tile), tile))
+            dispatch(node, now)
+        elif kind == "finish":
+            tile, node = payload[1], payload[2]
+            finished += 1
+            tiles_done[node] += 1
+            work_done[node] += graph.work[tile]
+            node_finish[node] = max(node_finish[node], now)
+            heapq.heappush(core_free[node], now)
+            for consumer in graph.consumers[tile]:
+                cnode = assignment[consumer]
+                cells = graph.edge_cells[(tile, consumer)]
+                if cnode == node:
+                    arrival = now
+                else:
+                    channel = heapq.heappop(send_free[node])
+                    tx_start = max(now, channel)
+                    max_queue_wait = max(max_queue_wait, tx_start - now)
+                    done = tx_start + machine.message_duration(cells)
+                    heapq.heappush(send_free[node], done)
+                    arrival = done
+                    messages += 1
+                    bytes_sent += cells * machine.bytes_per_cell
+                events.push(arrival, ("edge", consumer))
+            dispatch(node, now)
+        elif kind == "edge":
+            consumer = payload[1]
+            pending[consumer] -= 1
+            if pending[consumer] == 0:
+                node = assignment[consumer]
+                heapq.heappush(ready[node], (priority(consumer), consumer))
+                dispatch(node, now)
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown event {payload!r}")
+
+    if finished != len(tiles):
+        raise SimulationError(
+            f"simulation deadlocked: {finished} of {len(tiles)} tiles ran"
+        )
+
+    makespan = max(node_finish) if node_finish else 0.0
+    return SimResult(
+        makespan_s=makespan,
+        serial_time_s=serial_time,
+        busy_s_per_node=busy,
+        tiles_per_node=tiles_done,
+        work_cells_per_node=work_done,
+        node_finish_s=node_finish,
+        messages=messages,
+        bytes_sent=bytes_sent,
+        max_send_queue_wait_s=max_queue_wait,
+        total_cells=graph.total_work(),
+        machine=machine,
+        spans=spans,
+    )
+
+
+def simulate_program(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    machine: MachineModel,
+    lb_method: str = "dimension-cut",
+    priority_scheme: str = "lb-first",
+    graph: Optional[TileGraph] = None,
+) -> SimResult:
+    """Convenience: build the graph, load-balance, and simulate."""
+    if graph is None:
+        graph = TileGraph.build(program, params)
+    if machine.nodes == 1:
+        assignment = {t: 0 for t in graph.tiles}
+    else:
+        balance = program.load_balance(params, machine.nodes, method=lb_method)
+        assignment = {
+            t: balance.node_of_tile(t, program.spaces) for t in graph.tiles
+        }
+    return simulate(
+        graph, machine, assignment=assignment, priority_scheme=priority_scheme
+    )

@@ -1,0 +1,102 @@
+"""Machine model for the simulated cluster of shared-memory nodes.
+
+The paper evaluates on 8 nodes x 24 cores with MPI between nodes and
+OpenMP inside a node.  This model captures the cost structure that
+shapes those measurements:
+
+* per-cell compute cost (the recurrences are memory-bound flops),
+* a fixed per-tile overhead (loop setup, allocation reuse),
+* a serialized per-tile dequeue cost on each node's shared work queue
+  (the OpenMP critical section the paper's Section VII-C discusses as a
+  potential bottleneck),
+* per-message latency plus bandwidth for MPI edges, and
+* a finite number of concurrent send buffers per node (a user-tunable
+  option in the generated code, Section VI-C).
+
+Defaults approximate a 2011-era cluster (2.5 GF/core effective on this
+kernel, QDR InfiniBand-like link).  Absolute times are synthetic; the
+*shape* of the scaling curves comes from the real schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost parameters of the simulated cluster."""
+
+    nodes: int = 1
+    cores_per_node: int = 24
+    sec_per_cell: float = 2.0e-8          # ~50 M recurrence cells/s/core
+    tile_overhead_s: float = 5.0e-6       # per-tile setup (alloc, bounds)
+    queue_lock_s: float = 1.5e-6          # serialized dequeue per tile
+    pack_sec_per_cell: float = 2.0e-9     # packing/unpacking per edge cell
+    bytes_per_cell: int = 8               # double-precision state
+    latency_s: float = 4.0e-6             # per MPI message
+    bandwidth_bps: float = 2.5e9          # bytes/s per send channel
+    send_buffers: int = 4                 # concurrent sends per node
+    #: Work-queue sharing (paper Section VII-C future work): 1 = the
+    #: paper's single shared queue per node; g > 1 = g independent
+    #: queue locks for groups of closely connected cores, relieving
+    #: dequeue contention on large core counts.
+    queue_groups: int = 1
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise SimulationError(f"nodes must be >= 1, got {self.nodes}")
+        if self.cores_per_node < 1:
+            raise SimulationError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        if self.send_buffers < 1:
+            raise SimulationError(
+                f"send_buffers must be >= 1, got {self.send_buffers}"
+            )
+        if self.queue_groups < 1:
+            raise SimulationError(
+                f"queue_groups must be >= 1, got {self.queue_groups}"
+            )
+        if self.queue_groups > self.cores_per_node:
+            raise SimulationError(
+                f"queue_groups ({self.queue_groups}) cannot exceed "
+                f"cores_per_node ({self.cores_per_node})"
+            )
+        for fieldname in (
+            "sec_per_cell",
+            "tile_overhead_s",
+            "queue_lock_s",
+            "pack_sec_per_cell",
+            "latency_s",
+        ):
+            if getattr(self, fieldname) < 0:
+                raise SimulationError(f"{fieldname} must be >= 0")
+        if self.bandwidth_bps <= 0:
+            raise SimulationError("bandwidth_bps must be > 0")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def with_(self, **kwargs) -> "MachineModel":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+    def tile_duration(self, work_cells: int, packed_cells: int = 0) -> float:
+        """Compute time for one tile of *work_cells* recurrence cells."""
+        return (
+            self.tile_overhead_s
+            + work_cells * self.sec_per_cell
+            + packed_cells * self.pack_sec_per_cell
+        )
+
+    def message_duration(self, cells: int) -> float:
+        """Wire time for one packed edge of *cells* state values."""
+        return self.latency_s + (cells * self.bytes_per_cell) / self.bandwidth_bps
+
+
+#: The paper's testbed: 8 nodes x 24 cores.
+PAPER_CLUSTER = MachineModel(nodes=8, cores_per_node=24)

@@ -1,0 +1,135 @@
+"""Scaling-study helpers: the measurements Figures 6 and 7 plot.
+
+* :func:`shared_memory_scaling` — fix the problem, sweep core counts on
+  one node, report speedup vs one core (Figure 6).
+* :func:`weak_scaling` — scale the problem with the node count so the
+  locations per node stay roughly constant, normalize time by the actual
+  location count as the paper does, and report efficiency relative to
+  one node (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..generator.pipeline import GeneratedProgram
+from ..runtime.graph import TileGraph
+from .hybrid import SimResult, simulate_program
+from .machine import MachineModel
+
+
+@dataclass
+class ScalingPoint:
+    """One sweep point of a scaling study."""
+
+    cores: int
+    nodes: int
+    params: Dict[str, int]
+    total_cells: int
+    makespan_s: float
+    speedup: float
+    efficiency: float
+    result: SimResult
+
+
+def shared_memory_scaling(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    core_counts: Sequence[int],
+    machine: Optional[MachineModel] = None,
+    priority_scheme: str = "lb-first",
+) -> List[ScalingPoint]:
+    """Figure 6: speedup vs cores on a single shared-memory node."""
+    base = machine or MachineModel()
+    graph = TileGraph.build(program, params)
+    t1: Optional[float] = None
+    out: List[ScalingPoint] = []
+    for cores in core_counts:
+        m = base.with_(nodes=1, cores_per_node=cores)
+        res = simulate_program(
+            program, params, m, priority_scheme=priority_scheme, graph=graph
+        )
+        if t1 is None:
+            one = base.with_(nodes=1, cores_per_node=1)
+            t1 = simulate_program(
+                program, params, one, priority_scheme=priority_scheme, graph=graph
+            ).makespan_s
+        speedup = t1 / res.makespan_s
+        out.append(
+            ScalingPoint(
+                cores=cores,
+                nodes=1,
+                params=dict(params),
+                total_cells=res.total_cells,
+                makespan_s=res.makespan_s,
+                speedup=speedup,
+                efficiency=speedup / cores,
+                result=res,
+            )
+        )
+    return out
+
+
+def weak_scaling(
+    program_factory: Callable[[int], Tuple[GeneratedProgram, Dict[str, int]]],
+    node_counts: Sequence[int],
+    machine: Optional[MachineModel] = None,
+    lb_method: str = "dimension-cut",
+    priority_scheme: str = "lb-first",
+) -> List[ScalingPoint]:
+    """Figure 7: weak scaling across MPI nodes.
+
+    *program_factory(nodes)* returns the (program, params) whose total
+    location count is roughly proportional to *nodes* — exactly scaling
+    the work is impossible for simplex spaces, so, like the paper,
+    efficiency is computed from time normalized by the actual number of
+    locations:
+
+        eff(P) = (cells_P / (P * T_P)) / (cells_1 / T_1)
+    """
+    base = machine or MachineModel()
+    baseline_rate: Optional[float] = None
+    out: List[ScalingPoint] = []
+    for nodes in node_counts:
+        program, params = program_factory(nodes)
+        m = base.with_(nodes=nodes)
+        res = simulate_program(
+            program,
+            params,
+            m,
+            lb_method=lb_method,
+            priority_scheme=priority_scheme,
+        )
+        rate_per_node = res.total_cells / (nodes * res.makespan_s)
+        if baseline_rate is None:
+            baseline_rate = rate_per_node
+        eff = rate_per_node / baseline_rate
+        out.append(
+            ScalingPoint(
+                cores=nodes * m.cores_per_node,
+                nodes=nodes,
+                params=dict(params),
+                total_cells=res.total_cells,
+                makespan_s=res.makespan_s,
+                speedup=eff * nodes,
+                efficiency=eff,
+                result=res,
+            )
+        )
+    return out
+
+
+def format_scaling_table(points: Sequence[ScalingPoint], label: str) -> str:
+    """Fixed-width table of a scaling study (benchmark report output)."""
+    lines = [
+        f"== {label} ==",
+        f"{'nodes':>5} {'cores':>6} {'cells':>12} {'time(s)':>10} "
+        f"{'speedup':>8} {'eff':>6}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.nodes:>5} {p.cores:>6} {p.total_cells:>12} "
+            f"{p.makespan_s:>10.4f} {p.speedup:>8.2f} {p.efficiency:>6.1%}"
+        )
+    return "\n".join(lines)

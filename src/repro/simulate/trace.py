@@ -1,0 +1,115 @@
+"""Execution traces and utilization timelines for simulated runs.
+
+``simulate(..., trace=True)`` records one :class:`TileSpan` per executed
+tile; this module turns those spans into per-node utilization timelines
+and an ASCII rendering — the tooling behind the idle-time analysis of
+the FIG8 benchmark (which node waits on whom, and when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import SimulationError
+
+TileIndex = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TileSpan:
+    """One tile's execution interval on one node."""
+
+    tile: TileIndex
+    node: int
+    start_s: float
+    finish_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+def validate_trace(
+    spans: Sequence[TileSpan], nodes: int, cores_per_node: int
+) -> None:
+    """Consistency checks: capacity respected, spans well-formed.
+
+    Raises :class:`SimulationError` on violations; used by tests as the
+    simulator's own auditor.
+    """
+    for s in spans:
+        if s.finish_s < s.start_s:
+            raise SimulationError(f"span of {s.tile} ends before it starts")
+        if not 0 <= s.node < nodes:
+            raise SimulationError(f"span of {s.tile} on unknown node {s.node}")
+    # Capacity: at no event boundary may more than cores_per_node tiles
+    # overlap on one node.
+    for node in range(nodes):
+        events: List[Tuple[float, int]] = []
+        for s in spans:
+            if s.node != node:
+                continue
+            events.append((s.start_s, 1))
+            events.append((s.finish_s, -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        live = 0
+        for _, delta in events:
+            live += delta
+            if live > cores_per_node:
+                raise SimulationError(
+                    f"node {node} ran {live} tiles concurrently with only "
+                    f"{cores_per_node} cores"
+                )
+
+
+def utilization_timeline(
+    spans: Sequence[TileSpan],
+    nodes: int,
+    cores_per_node: int,
+    bins: int = 40,
+    makespan_s: float | None = None,
+) -> List[List[float]]:
+    """Per-node busy fraction per time bin: ``timeline[node][bin]``."""
+    if bins < 1:
+        raise SimulationError(f"bins must be >= 1, got {bins}")
+    if makespan_s is None:
+        makespan_s = max((s.finish_s for s in spans), default=0.0)
+    if makespan_s <= 0:
+        return [[0.0] * bins for _ in range(nodes)]
+    width = makespan_s / bins
+    out = [[0.0] * bins for _ in range(nodes)]
+    for s in spans:
+        b0 = int(s.start_s / width)
+        b1 = min(int(s.finish_s / width), bins - 1)
+        for b in range(b0, b1 + 1):
+            lo = max(s.start_s, b * width)
+            hi = min(s.finish_s, (b + 1) * width)
+            if hi > lo:
+                out[s.node][b] += (hi - lo) / (width * cores_per_node)
+    return out
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_timeline(
+    spans: Sequence[TileSpan],
+    nodes: int,
+    cores_per_node: int,
+    bins: int = 60,
+    makespan_s: float | None = None,
+) -> str:
+    """ASCII utilization chart: one row per node, dark = busy."""
+    timeline = utilization_timeline(
+        spans, nodes, cores_per_node, bins, makespan_s
+    )
+    lines = []
+    for node, row in enumerate(timeline):
+        cells = "".join(
+            _SHADES[min(int(u * (len(_SHADES) - 1) + 0.5), len(_SHADES) - 1)]
+            for u in row
+        )
+        busy = sum(row) / len(row) if row else 0.0
+        lines.append(f"node {node:>2} |{cells}| {busy:5.1%}")
+    return "\n".join(lines)

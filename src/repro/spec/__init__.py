@@ -1,0 +1,20 @@
+"""Problem specifications: the generator's user input (paper Section IV-A)."""
+
+from .templates import ASCENDING, DESCENDING, TemplateSet
+from .problem import Kernel, ProblemSpec, RESERVED_NAMES
+from .parser import format_spec, parse_spec_file, parse_spec_text
+from .kernel_adapter import ensure_kernel, kernel_from_center_code
+
+__all__ = [
+    "TemplateSet",
+    "ASCENDING",
+    "DESCENDING",
+    "ProblemSpec",
+    "Kernel",
+    "RESERVED_NAMES",
+    "parse_spec_text",
+    "parse_spec_file",
+    "format_spec",
+    "kernel_from_center_code",
+    "ensure_kernel",
+]

@@ -1,0 +1,108 @@
+"""Synthesize an executable kernel from a spec's ``center_code_py``.
+
+The in-process runtime wants a Python callable ``kernel(point, deps,
+params)``; spec *files* only carry the textual center-loop fragment
+written against the Section IV-B interface (``V[loc]``, ``V[loc_r]``,
+``is_valid_r``).  This module bridges the two: the fragment is compiled
+once, and at each cell it executes against a tiny proxy object that
+maps ``V[loc_r]`` reads to the dependency values and captures the
+``V[loc]`` write.
+
+This is what lets ``repro-run --spec file.spec`` solve problems defined
+purely in the text format, with no Python code outside the fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..errors import SpecError
+
+#: Sentinel location tokens: the fragment's ``loc`` / ``loc_<r>`` names
+#: are bound to these, so V-indexing dispatches without arithmetic.
+_CURRENT = ("__current__",)
+
+
+class _StateProxy:
+    """Stands in for the flat state array inside one cell's execution."""
+
+    __slots__ = ("deps", "result", "wrote")
+
+    def __init__(self):
+        self.deps: Mapping[str, Optional[float]] = {}
+        self.result: float = 0.0
+        self.wrote: bool = False
+
+    def __getitem__(self, key):
+        if key is _CURRENT:
+            raise SpecError(
+                "center_code_py read V[loc] before writing it; the center "
+                "loop must only compute the current location"
+            )
+        value = self.deps[key]
+        if value is None:
+            raise SpecError(
+                f"center_code_py read V[loc_{key}] while is_valid_{key} "
+                "is False; guard the access"
+            )
+        return value
+
+    def __setitem__(self, key, value):
+        if key is not _CURRENT:
+            raise SpecError(
+                "center_code_py may only assign V[loc]; writing other "
+                "locations would race with their owners"
+            )
+        self.result = float(value)
+        self.wrote = True
+
+
+def kernel_from_center_code(spec) -> "callable":
+    """Build ``kernel(point, deps, params)`` from ``spec.center_code_py``.
+
+    The fragment sees: the loop variables and parameters as locals, the
+    proxy ``V`` with ``loc``/``loc_<r>`` tokens, ``is_valid_<r>`` flags,
+    and anything defined by ``spec.global_code_py`` / ``init_code_py``
+    (executed once at build time).
+    """
+    if not spec.center_code_py.strip():
+        raise SpecError(
+            f"problem {spec.name!r} has no center_code_py to synthesize a "
+            "kernel from"
+        )
+    module_env: Dict = {}
+    if spec.global_code_py:
+        exec(spec.global_code_py, module_env)  # noqa: S102 - user input
+    if spec.init_code_py:
+        exec(spec.init_code_py, module_env)  # noqa: S102 - user input
+
+    template_names = list(spec.templates.names())
+    code = compile(spec.center_code_py, f"<center:{spec.name}>", "exec")
+    proxy = _StateProxy()
+
+    def kernel(point, deps, params):
+        local: Dict = dict(module_env)
+        local.update(params)
+        local.update(point)
+        proxy.deps = deps
+        proxy.wrote = False
+        local["V"] = proxy
+        local["loc"] = _CURRENT
+        for name in template_names:
+            local[f"loc_{name}"] = name
+            local[f"is_valid_{name}"] = deps[name] is not None
+        exec(code, local)  # noqa: S102 - user-supplied center loop
+        if not proxy.wrote:
+            raise SpecError(
+                f"center_code_py of {spec.name!r} never assigned V[loc]"
+            )
+        return proxy.result
+
+    return kernel
+
+
+def ensure_kernel(spec):
+    """The spec's kernel, synthesizing one from center_code_py if needed."""
+    if spec.kernel is not None:
+        return spec.kernel
+    return kernel_from_center_code(spec)

@@ -1,0 +1,280 @@
+"""Parser for the textual problem-description file (paper Section IV-A).
+
+The paper's generator reads a text file holding the center-loop code, the
+loop-variable and parameter names, the iteration-space inequalities, the
+template vectors, the loop ordering, the load-balancing dimensions and
+the tile widths.  This module defines an equivalent concrete syntax:
+
+.. code-block:: text
+
+    problem: bandit2
+    loop_vars: s1 f1 s2 f2        # doubles as the loop ordering
+    params: N
+    state: V
+    lb_dims: s1 f1
+    tile_widths: s1=8 f1=8 s2=8 f2=8
+
+    constraints:
+        s1 >= 0
+        f1 >= 0
+        s2 >= 0
+        f2 >= 0
+        s1 + f1 + s2 + f2 <= N
+
+    templates:
+        r1 = 1 0 0 0
+        r2 = 0 1 0 0
+        r3 = 0 0 1 0
+        r4 = 0 0 0 1
+
+    center_code_c: |
+        double p1 = (s1 + 1.0) / (s1 + f1 + 2.0);
+        ...
+
+Scalar keys take the rest of the line; block keys (``constraints``,
+``templates``) read following indented lines; literal-code keys use the
+``key: |`` form with an indented body.  ``#`` starts a comment outside
+code blocks.  Comments and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ParseError
+from ..polyhedra import ConstraintSystem
+from .problem import ProblemSpec
+
+_SCALAR_KEYS = {
+    "problem",
+    "loop_vars",
+    "params",
+    "state",
+    "lb_dims",
+    "tile_widths",
+    "objective",
+}
+_BLOCK_KEYS = {"constraints", "templates"}
+_CODE_KEYS = {
+    "center_code_c",
+    "init_code_c",
+    "global_code_c",
+    "center_code_py",
+    "init_code_py",
+    "global_code_py",
+}
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        return line.split("#", 1)[0]
+    return line
+
+
+def parse_spec_text(text: str) -> ProblemSpec:
+    """Parse a problem-description document into a :class:`ProblemSpec`."""
+    scalars: Dict[str, str] = {}
+    blocks: Dict[str, List[str]] = {}
+    codes: Dict[str, str] = {}
+
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        line = _strip_comment(raw).rstrip()
+        i += 1
+        if not line.strip():
+            continue
+        if line[0] in " \t":
+            raise ParseError(
+                f"line {i}: unexpected indented line outside a block: {raw!r}"
+            )
+        if ":" not in line:
+            raise ParseError(f"line {i}: expected 'key: value', got {raw!r}")
+        key, _, rest = line.partition(":")
+        key = key.strip()
+        rest = rest.strip()
+        if key in _SCALAR_KEYS:
+            if not rest:
+                raise ParseError(f"line {i}: key {key!r} needs a value")
+            if key in scalars:
+                raise ParseError(f"line {i}: duplicate key {key!r}")
+            scalars[key] = rest
+        elif key in _BLOCK_KEYS:
+            if rest:
+                raise ParseError(
+                    f"line {i}: block key {key!r} takes no inline value"
+                )
+            body: List[str] = []
+            while i < len(lines) and (
+                not lines[i].strip() or lines[i][0] in " \t"
+            ):
+                entry = _strip_comment(lines[i]).strip()
+                i += 1
+                if entry:
+                    body.append(entry)
+            if key in blocks:
+                raise ParseError(f"duplicate block {key!r}")
+            blocks[key] = body
+        elif key in _CODE_KEYS:
+            if rest != "|":
+                raise ParseError(
+                    f"line {i}: code key {key!r} must use the 'key: |' form"
+                )
+            body_lines: List[str] = []
+            while i < len(lines) and (
+                not lines[i].strip() or lines[i][0] in " \t"
+            ):
+                body_lines.append(lines[i])
+                i += 1
+            codes[key] = _dedent_block(body_lines)
+        else:
+            raise ParseError(f"line {i}: unknown key {key!r}")
+
+    for required in ("problem", "loop_vars", "tile_widths"):
+        if required not in scalars:
+            raise ParseError(f"missing required key {required!r}")
+    if "constraints" not in blocks:
+        raise ParseError("missing required block 'constraints'")
+    if "templates" not in blocks:
+        raise ParseError("missing required block 'templates'")
+
+    loop_vars = scalars["loop_vars"].split()
+    params = scalars.get("params", "").split()
+    templates = _parse_templates(blocks["templates"])
+    tile_widths = _parse_tile_widths(scalars["tile_widths"], loop_vars)
+    lb_dims = scalars.get("lb_dims", "").split() or None
+    objective = None
+    if "objective" in scalars:
+        objective = {}
+        for tok in scalars["objective"].split():
+            if "=" not in tok:
+                raise ParseError(
+                    f"objective token {tok!r} must look like 'var=value'"
+                )
+            var, _, val = tok.partition("=")
+            try:
+                objective[var.strip()] = int(val)
+            except ValueError as exc:
+                raise ParseError(f"bad objective value in {tok!r}") from exc
+
+    return ProblemSpec.create(
+        name=scalars["problem"],
+        loop_vars=loop_vars,
+        params=params,
+        constraints=ConstraintSystem.parse(blocks["constraints"]),
+        templates=templates,
+        tile_widths=tile_widths,
+        lb_dims=lb_dims,
+        state_name=scalars.get("state", "V"),
+        objective_point=objective,
+        center_code_c=codes.get("center_code_c", ""),
+        init_code_c=codes.get("init_code_c", ""),
+        global_code_c=codes.get("global_code_c", ""),
+        center_code_py=codes.get("center_code_py", ""),
+        init_code_py=codes.get("init_code_py", ""),
+        global_code_py=codes.get("global_code_py", ""),
+    )
+
+
+def parse_spec_file(path) -> ProblemSpec:
+    """Parse a problem-description file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_spec_text(fh.read())
+
+
+def _parse_templates(entries: List[str]) -> Dict[str, Tuple[int, ...]]:
+    out: Dict[str, Tuple[int, ...]] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise ParseError(
+                f"template entry {entry!r} must look like 'name = c1 c2 ...'"
+            )
+        name, _, vec_text = entry.partition("=")
+        name = name.strip()
+        try:
+            vec = tuple(int(tok) for tok in vec_text.split())
+        except ValueError as exc:
+            raise ParseError(f"bad template components in {entry!r}") from exc
+        if name in out:
+            raise ParseError(f"duplicate template name {name!r}")
+        out[name] = vec
+    return out
+
+
+def _parse_tile_widths(text: str, loop_vars: List[str]) -> Dict[str, int]:
+    # Accept either a single integer (applied to all dims) or name=value pairs.
+    tokens = text.split()
+    if len(tokens) == 1 and "=" not in tokens[0]:
+        try:
+            w = int(tokens[0])
+        except ValueError as exc:
+            raise ParseError(f"bad tile width {text!r}") from exc
+        return {v: w for v in loop_vars}
+    out: Dict[str, int] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ParseError(f"tile width token {tok!r} must be 'var=width'")
+        var, _, val = tok.partition("=")
+        try:
+            out[var.strip()] = int(val)
+        except ValueError as exc:
+            raise ParseError(f"bad tile width in {tok!r}") from exc
+    return out
+
+
+def _dedent_block(body_lines: List[str]) -> str:
+    nonempty = [ln for ln in body_lines if ln.strip()]
+    if not nonempty:
+        return ""
+    indent = min(len(ln) - len(ln.lstrip()) for ln in nonempty)
+    stripped = [ln[indent:] if ln.strip() else "" for ln in body_lines]
+    # Drop trailing blank lines.
+    while stripped and not stripped[-1].strip():
+        stripped.pop()
+    return "\n".join(stripped) + ("\n" if stripped else "")
+
+
+def format_spec(spec: ProblemSpec) -> str:
+    """Render a :class:`ProblemSpec` back into the textual format.
+
+    ``parse_spec_text(format_spec(s))`` reproduces *s* (up to the Python
+    kernel, which has no textual form).
+    """
+    out: List[str] = [
+        f"problem: {spec.name}",
+        f"loop_vars: {' '.join(spec.loop_vars)}",
+    ]
+    if spec.params:
+        out.append(f"params: {' '.join(spec.params)}")
+    out.append(f"state: {spec.state_name}")
+    out.append(f"lb_dims: {' '.join(spec.lb_dims)}")
+    widths = " ".join(f"{v}={spec.tile_widths[v]}" for v in spec.loop_vars)
+    out.append(f"tile_widths: {widths}")
+    if spec.objective_point is not None:
+        obj = " ".join(
+            f"{v}={spec.objective_point[v]}" for v in spec.loop_vars
+        )
+        out.append(f"objective: {obj}")
+    out.append("")
+    out.append("constraints:")
+    for c in spec.constraints:
+        out.append(f"    {c.expr} {c.kind} 0")
+    out.append("")
+    out.append("templates:")
+    for name, vec in spec.templates.items():
+        out.append(f"    {name} = {' '.join(str(c) for c in vec)}")
+    for key, code in (
+        ("center_code_c", spec.center_code_c),
+        ("init_code_c", spec.init_code_c),
+        ("global_code_c", spec.global_code_c),
+        ("center_code_py", spec.center_code_py),
+        ("init_code_py", spec.init_code_py),
+        ("global_code_py", spec.global_code_py),
+    ):
+        if code:
+            out.append("")
+            out.append(f"{key}: |")
+            for ln in code.splitlines():
+                out.append(f"    {ln}" if ln.strip() else "")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,221 @@
+"""The user-facing problem specification (paper Section IV-A).
+
+A :class:`ProblemSpec` carries exactly the inputs the paper's generator
+reads from its text file:
+
+* loop-variable names (which double as the loop ordering),
+* input-parameter names,
+* the iteration space as linear inequalities,
+* named template vectors,
+* the load-balancing dimensions in priority order,
+* tile widths per dimension,
+* and the center-loop code: a C fragment for the C backend plus an
+  equivalent Python kernel for the in-process runtime.
+
+The Python kernel has the signature ``kernel(point, deps, params)``:
+
+* ``point`` — mapping of loop-variable name to its integer value,
+* ``deps`` — mapping of template name to the dependency's value, or
+  ``None`` when the dependency falls outside the iteration space (the
+  ``is_valid_r*`` mechanism of Section IV-B),
+* ``params`` — mapping of parameter name to value;
+
+and returns the value to store at the current location.
+"""
+
+from __future__ import annotations
+
+import keyword
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SpecError
+from ..polyhedra import ConstraintSystem
+from .templates import TemplateSet
+
+Kernel = Callable[[Mapping[str, int], Mapping[str, Optional[float]], Mapping[str, int]], float]
+
+_NAME_RE = re.compile(r"^[A-Za-z_]\w*$")
+
+#: Names the generator (and its generated C runtime) introduces; user
+#: names must avoid them.
+RESERVED_NAMES = frozenset(
+    {
+        "loc", "tile", "node", "omp", "mpi",
+        # identifiers of the generated C program and runtime library
+        "t", "buf", "n", "lo", "hi", "key", "d", "work", "slot", "total",
+        "cum", "stride", "main", "argv", "argc",
+    }
+)
+
+
+def _check_name(name: str, what: str) -> None:
+    if not _NAME_RE.match(name):
+        raise SpecError(f"{what} {name!r} is not a valid identifier")
+    if keyword.iskeyword(name):
+        raise SpecError(f"{what} {name!r} is a Python keyword")
+    if name in RESERVED_NAMES:
+        raise SpecError(f"{what} {name!r} is reserved by the generator")
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Complete description of one template-recurrence DP problem."""
+
+    name: str
+    loop_vars: Tuple[str, ...]
+    params: Tuple[str, ...]
+    constraints: ConstraintSystem
+    templates: TemplateSet
+    tile_widths: Mapping[str, int]
+    lb_dims: Tuple[str, ...]
+    state_name: str = "V"
+    kernel: Optional[Kernel] = None
+    center_code_c: str = ""
+    init_code_c: str = ""
+    global_code_c: str = ""
+    center_code_py: str = ""
+    init_code_py: str = ""
+    global_code_py: str = ""
+    objective_point: Optional[Mapping[str, int]] = None
+    dtype: str = "float64"
+
+    def __post_init__(self):
+        self._validate()
+
+    # -- construction helper ------------------------------------------------
+
+    @staticmethod
+    def create(
+        name: str,
+        loop_vars: Sequence[str],
+        params: Sequence[str],
+        constraints,
+        templates: Mapping[str, Sequence[int]],
+        tile_widths: Mapping[str, int] | int,
+        lb_dims: Sequence[str] | None = None,
+        **kwargs,
+    ) -> "ProblemSpec":
+        """Ergonomic constructor accepting plain dicts / constraint text."""
+        lv = tuple(loop_vars)
+        if isinstance(constraints, (list, tuple)):
+            constraints = ConstraintSystem.parse(constraints)
+        tset = TemplateSet.from_dict(lv, templates)
+        if isinstance(tile_widths, int):
+            tile_widths = {v: tile_widths for v in lv}
+        if lb_dims is None:
+            lb_dims = (lv[0],)
+        return ProblemSpec(
+            name=name,
+            loop_vars=lv,
+            params=tuple(params),
+            constraints=constraints,
+            templates=tset,
+            tile_widths=dict(tile_widths),
+            lb_dims=tuple(lb_dims),
+            **kwargs,
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise SpecError("problem name must be non-empty")
+        if not self.loop_vars:
+            raise SpecError("at least one loop variable is required")
+        for v in self.loop_vars:
+            _check_name(v, "loop variable")
+        for p in self.params:
+            _check_name(p, "parameter")
+        _check_name(self.state_name, "state array name")
+        all_names = list(self.loop_vars) + list(self.params)
+        if len(set(all_names)) != len(all_names):
+            raise SpecError(
+                f"loop variables and parameters must be distinct: {all_names}"
+            )
+        if self.state_name in all_names:
+            raise SpecError(
+                f"state array name {self.state_name!r} collides with a variable"
+            )
+        unknown = self.constraints.variables() - set(all_names)
+        if unknown:
+            raise SpecError(
+                f"constraints mention undeclared names: {sorted(unknown)}"
+            )
+        if tuple(self.templates.loop_vars) != self.loop_vars:
+            raise SpecError("template set was built for different loop variables")
+        for v in self.loop_vars:
+            w = self.tile_widths.get(v)
+            if w is None:
+                raise SpecError(f"missing tile width for dimension {v!r}")
+            if not isinstance(w, int) or w < 1:
+                raise SpecError(f"tile width for {v!r} must be a positive int, got {w!r}")
+        extra = set(self.tile_widths) - set(self.loop_vars)
+        if extra:
+            raise SpecError(f"tile widths given for unknown dimensions: {sorted(extra)}")
+        reach = self.templates.max_reach()
+        for v in self.loop_vars:
+            if self.tile_widths[v] < reach[v]:
+                raise SpecError(
+                    f"tile width {self.tile_widths[v]} for {v!r} is smaller than "
+                    f"the template reach {reach[v]}; tiles must be at least as "
+                    "wide as the farthest dependency"
+                )
+        if not self.lb_dims:
+            raise SpecError("at least one load-balancing dimension is required")
+        for v in self.lb_dims:
+            if v not in self.loop_vars:
+                raise SpecError(f"load-balancing dimension {v!r} is not a loop variable")
+        if len(set(self.lb_dims)) != len(self.lb_dims):
+            raise SpecError(f"duplicate load-balancing dimensions: {self.lb_dims}")
+        # Dependence legality: both the sequential scan and a linear
+        # schedule must exist.
+        self.templates.scan_directions()
+        if not self.templates.has_linear_schedule():
+            raise SpecError(
+                "the template vectors admit no linear schedule; the "
+                "recurrence is cyclic and cannot be evaluated"
+            )
+        if self.objective_point is not None:
+            missing = set(self.loop_vars) - set(self.objective_point)
+            if missing:
+                raise SpecError(
+                    f"objective point is missing coordinates: {sorted(missing)}"
+                )
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return len(self.loop_vars)
+
+    def scan_directions(self) -> Dict[str, int]:
+        return self.templates.scan_directions()
+
+    def tile_width_vector(self) -> Tuple[int, ...]:
+        return tuple(self.tile_widths[v] for v in self.loop_vars)
+
+    def objective(self, params: Mapping[str, int]) -> Dict[str, int]:
+        """Concrete objective point; defaults to the all-zeros corner."""
+        if self.objective_point is None:
+            return {v: 0 for v in self.loop_vars}
+        return dict(self.objective_point)
+
+    def describe(self) -> str:
+        """A human-readable summary (used by the CLI)."""
+        lines = [
+            f"problem {self.name!r}: {self.dims}-dimensional",
+            f"  loop order : {', '.join(self.loop_vars)}",
+            f"  parameters : {', '.join(self.params) or '(none)'}",
+            f"  state array: {self.state_name}",
+            f"  constraints: {len(self.constraints)}",
+        ]
+        for c in self.constraints:
+            lines.append(f"    {c}")
+        lines.append(f"  templates  : {len(self.templates)}")
+        for name, vec in self.templates.items():
+            lines.append(f"    {name} = {vec}")
+        lines.append(f"  tile widths: {self.tile_width_vector()}")
+        lines.append(f"  lb dims    : {', '.join(self.lb_dims)}")
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Template vectors: the constant dependency offsets of the recurrence.
+
+The paper's problems have the form ``f(x) = F(f(x + r1), ..., f(x + rk))``
+with constant vectors ``r_i``.  This module holds the named template set
+plus the dependence analysis the generator needs:
+
+* a *legal sequential scan* exists iff per loop dimension all templates
+  whose first nonzero component (in loop order) lies in that dimension
+  agree in sign — that sign fixes whether the loop runs ascending or
+  descending (paper Section IV-L);
+* global acyclicity (a linear schedule exists) is certified with an LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from ..errors import SpecError
+
+ASCENDING = 1
+DESCENDING = -1
+
+
+@dataclass(frozen=True)
+class TemplateSet:
+    """An ordered, named set of template vectors over *loop_vars*."""
+
+    loop_vars: Tuple[str, ...]
+    vectors: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    @staticmethod
+    def from_dict(
+        loop_vars: Sequence[str], vectors: Mapping[str, Sequence[int]]
+    ) -> "TemplateSet":
+        lv = tuple(loop_vars)
+        items = []
+        for name, vec in vectors.items():
+            v = tuple(int(c) for c in vec)
+            if len(v) != len(lv):
+                raise SpecError(
+                    f"template {name!r} has {len(v)} components but there "
+                    f"are {len(lv)} loop variables"
+                )
+            if all(c == 0 for c in v):
+                raise SpecError(f"template {name!r} is the zero vector")
+            items.append((name, v))
+        if not items:
+            raise SpecError("at least one template vector is required")
+        names = [n for n, _ in items]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate template names: {names}")
+        return TemplateSet(lv, tuple(items))
+
+    # -- accessors ---------------------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.vectors)
+
+    def vector(self, name: str) -> Tuple[int, ...]:
+        for n, v in self.vectors:
+            if n == name:
+                return v
+        raise SpecError(f"unknown template {name!r}")
+
+    def items(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        return iter(self.vectors)
+
+    def as_offset_map(self, name: str) -> Dict[str, int]:
+        """The template as a {loop_var: offset} mapping (zeros included)."""
+        return dict(zip(self.loop_vars, self.vector(name)))
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    # -- dependence analysis -------------------------------------------------
+
+    def scan_directions(self) -> Dict[str, int]:
+        """Per-dimension scan direction making the sequential order legal.
+
+        A cell ``x`` reads ``x + r``, so ``x + r`` must be scanned before
+        ``x``: the first nonzero component of ``r`` (in loop order) must
+        point *against* the scan.  Dimensions unconstrained by any
+        template default to DESCENDING (the paper's Figure 3 convention,
+        where positive templates scan from upper bound to lower bound).
+        """
+        forced: Dict[str, int] = {}
+        for name, vec in self.vectors:
+            for var, comp in zip(self.loop_vars, vec):
+                if comp == 0:
+                    continue
+                want = DESCENDING if comp > 0 else ASCENDING
+                prev = forced.get(var)
+                if prev is not None and prev != want:
+                    raise SpecError(
+                        f"templates conflict on scan direction of {var!r}: "
+                        f"template {name!r} needs "
+                        f"{'descending' if want == DESCENDING else 'ascending'} "
+                        "but an earlier template needs the opposite. "
+                        "Reorder the loop variables so the conflicting "
+                        "templates are distinguished by an earlier dimension."
+                    )
+                if prev is None:
+                    forced[var] = want
+                break  # only the first nonzero component matters
+        return {v: forced.get(v, DESCENDING) for v in self.loop_vars}
+
+    def has_linear_schedule(self) -> bool:
+        """True iff some vector λ satisfies λ·r >= 1 for every template.
+
+        Existence of such a λ certifies the dependence graph is acyclic
+        for every problem size (the recurrences are well-defined).
+        """
+        try:
+            from scipy.optimize import linprog
+        except ImportError:  # pragma: no cover
+            return True
+        d = len(self.loop_vars)
+        # feasibility: -r·λ <= -1 for each template; minimize 0.
+        a_ub = [[-float(c) for c in vec] for _, vec in self.vectors]
+        b_ub = [-1.0] * len(self.vectors)
+        res = linprog(
+            [0.0] * d,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=[(None, None)] * d,
+            method="highs",
+        )
+        return res.status == 0
+
+    def ghost_widths(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Ghost-cell margins per dimension: ``(low_side, high_side)``.
+
+        A positive component ``r_k`` reads up to ``r_k`` cells beyond the
+        tile's high face (so the high margin is ``max r_k``); a negative
+        component reads below the low face.
+        """
+        lo = {v: 0 for v in self.loop_vars}
+        hi = {v: 0 for v in self.loop_vars}
+        for _, vec in self.vectors:
+            for var, comp in zip(self.loop_vars, vec):
+                if comp > 0:
+                    hi[var] = max(hi[var], comp)
+                elif comp < 0:
+                    lo[var] = max(lo[var], -comp)
+        return lo, hi
+
+    def max_reach(self) -> Dict[str, int]:
+        """Per-dimension maximum |component| over all templates."""
+        lo, hi = self.ghost_widths()
+        return {v: max(lo[v], hi[v]) for v in self.loop_vars}

@@ -1,0 +1,85 @@
+"""Shared fixtures: specs and generated programs, cached per session.
+
+Generation (Fourier–Motzkin, loop synthesis) is deterministic and
+moderately expensive for the 6-D problems, so programs are generated
+once and shared; they are immutable analysis products.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.generator import generate
+from repro.problems import (
+    delayed_two_arm_spec,
+    edit_distance_spec,
+    lcs_spec,
+    msa_spec,
+    random_sequence,
+    three_arm_spec,
+    two_arm_spec,
+)
+
+
+@pytest.fixture(scope="session")
+def bandit2_spec():
+    return two_arm_spec(tile_width=3)
+
+
+@pytest.fixture(scope="session")
+def bandit2_program(bandit2_spec):
+    return generate(bandit2_spec)
+
+
+@pytest.fixture(scope="session")
+def bandit2_w4_program():
+    return generate(two_arm_spec(tile_width=4))
+
+
+@pytest.fixture(scope="session")
+def bandit3_program():
+    return generate(three_arm_spec(tile_width=3))
+
+
+@pytest.fixture(scope="session")
+def delayed_program():
+    return generate(delayed_two_arm_spec(tile_width=3))
+
+
+@pytest.fixture(scope="session")
+def edit_strings():
+    return random_sequence(14, seed=11), random_sequence(11, seed=22)
+
+
+@pytest.fixture(scope="session")
+def edit_program(edit_strings):
+    a, b = edit_strings
+    return generate(edit_distance_spec(a, b, tile_width=4))
+
+
+@pytest.fixture(scope="session")
+def lcs3_strings():
+    return [random_sequence(8 + k, seed=33 + k) for k in range(3)]
+
+
+@pytest.fixture(scope="session")
+def lcs3_program(lcs3_strings):
+    return generate(lcs_spec(lcs3_strings, tile_width=3))
+
+
+@pytest.fixture(scope="session")
+def msa3_program(lcs3_strings):
+    return generate(msa_spec(lcs3_strings, tile_width=3))
+
+
+@pytest.fixture(scope="session")
+def gcc_available():
+    return shutil.which("gcc") is not None
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests (C compilation etc.)"
+    )

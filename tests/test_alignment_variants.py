@@ -1,0 +1,112 @@
+"""Damerau-Levenshtein (reach-2 templates) and Smith-Waterman variants."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.generator import generate
+from repro.problems import (
+    damerau_reference,
+    damerau_spec,
+    edit_distance_reference,
+    random_sequence,
+    smith_waterman_best,
+    smith_waterman_reference,
+    smith_waterman_spec,
+)
+from repro.runtime import execute
+from repro.spec import kernel_from_center_code
+
+
+class TestDamerauReference:
+    def test_transposition_is_one(self):
+        assert damerau_reference("AB", "BA") == 1
+        assert edit_distance_reference("AB", "BA") == 2
+
+    def test_classic_case(self):
+        assert damerau_reference("CA", "ABC") == 3  # restricted OSA
+
+    def test_never_exceeds_levenshtein(self):
+        for seed in range(5):
+            a = random_sequence(9, seed)
+            b = random_sequence(8, seed + 50)
+            assert damerau_reference(a, b) <= edit_distance_reference(a, b)
+
+    def test_identical(self):
+        assert damerau_reference("ACGT", "ACGT") == 0
+
+
+class TestDamerauSpec:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference(self, seed):
+        a = random_sequence(11, seed)
+        b = random_sequence(9, seed + 100)
+        program = generate(damerau_spec(a, b, tile_width=3))
+        res = execute(program, {"LA": len(a), "LB": len(b)})
+        assert res.objective_value == damerau_reference(a, b)
+
+    def test_transposition_instance(self):
+        # Force a case where the swap template matters.
+        a, b = "ACGT", "CAGT"
+        program = generate(damerau_spec(a, b, tile_width=2))
+        res = execute(program, {"LA": 4, "LB": 4})
+        assert res.objective_value == 1.0
+
+    def test_reach2_ghost_margins(self):
+        program = generate(damerau_spec("ACGTAC", "GATTAC", tile_width=4))
+        assert program.layout.ghost_lo == (2, 2)
+        assert program.layout.ghost_hi == (0, 0)
+
+    def test_width_below_reach_rejected(self):
+        with pytest.raises(SpecError):
+            damerau_spec("ACGT", "GATT", tile_width=1)
+
+    def test_synthesized_kernel_agrees(self):
+        a, b = random_sequence(8, 5), random_sequence(7, 6)
+        spec = damerau_spec(a, b, tile_width=3)
+        program = generate(spec)
+        synthesized = kernel_from_center_code(spec)
+        res = execute(program, {"LA": len(a), "LB": len(b)}, kernel=synthesized)
+        assert res.objective_value == damerau_reference(a, b)
+
+
+class TestSmithWaterman:
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_best_score_matches_reference(self, seed):
+        a = random_sequence(14, seed)
+        b = random_sequence(12, seed + 30)
+        program = generate(smith_waterman_spec(a, b, tile_width=4))
+        best = smith_waterman_best(program, {"LA": len(a), "LB": len(b)})
+        assert best == pytest.approx(
+            smith_waterman_reference(a, b), abs=1e-9
+        )
+
+    def test_perfect_substring(self):
+        a = "TTTTACGTACGTTTT"
+        b = "ACGTACG"
+        program = generate(smith_waterman_spec(a, b, tile_width=4))
+        best = smith_waterman_best(program, {"LA": len(a), "LB": len(b)})
+        # 7 matching characters at +2 each.
+        assert best == 14.0
+
+    def test_disjoint_alphabets_score_zero(self):
+        program = generate(
+            smith_waterman_spec("AAAA", "TTTT", tile_width=2, match=2.0)
+        )
+        best = smith_waterman_best(program, {"LA": 4, "LB": 4})
+        assert best == 0.0
+
+    def test_scores_nonnegative_everywhere(self):
+        a, b = random_sequence(9, 9), random_sequence(9, 10)
+        program = generate(smith_waterman_spec(a, b, tile_width=3))
+        res = execute(
+            program, {"LA": 9, "LB": 9}, record_values=True
+        )
+        assert all(v >= 0.0 for v in res.values.values())
+
+    def test_local_beats_global_prefix_scores(self):
+        # The local optimum is at least the score of any single cell.
+        a, b = random_sequence(10, 11), random_sequence(10, 12)
+        program = generate(smith_waterman_spec(a, b, tile_width=4))
+        res = execute(program, {"LA": 10, "LB": 10}, record_values=True)
+        best = max(res.values.values())
+        assert best >= res.values[(10, 10)]

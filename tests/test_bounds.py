@@ -1,0 +1,138 @@
+"""Loop-bound synthesis: nests must scan exactly the integer points."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import (
+    ConstraintSystem,
+    count_box_filtered,
+    enumerate_box_filtered,
+    synthesize_loop_nest,
+)
+from repro.polyhedra.bounds import bounds_for_variable
+
+
+SIMPLEX = ConstraintSystem.parse(["x >= 0", "y >= 0", "z >= 0", "x + y + z <= N"])
+
+
+class TestSynthesis:
+    def test_scans_simplex_exactly(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        got = {(p["x"], p["y"], p["z"]) for p in nest.iterate({"N": 4})}
+        box = {"x": (-1, 5), "y": (-1, 5), "z": (-1, 5)}
+        want = set(
+            enumerate_box_filtered(SIMPLEX, ["x", "y", "z"], box, {"N": 4})
+        )
+        assert got == want
+
+    def test_count_matches_enumeration(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        for n in range(0, 7):
+            assert nest.count({"N": n}) == sum(1 for _ in nest.iterate({"N": n}))
+
+    def test_lex_order(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        pts = [(p["x"], p["y"], p["z"]) for p in nest.iterate({"N": 3})]
+        assert pts == sorted(pts)
+
+    def test_descending_direction(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        pts = [
+            (p["x"], p["y"], p["z"])
+            for p in nest.iterate({"N": 3}, directions={"x": -1, "y": -1, "z": -1})
+        ]
+        assert pts == sorted(pts, reverse=True)
+        assert set(pts) == {
+            (p["x"], p["y"], p["z"]) for p in nest.iterate({"N": 3})
+        }
+
+    def test_mixed_directions_visit_same_set(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        base = {(p["x"], p["y"], p["z"]) for p in nest.iterate({"N": 3})}
+        mixed = {
+            (p["x"], p["y"], p["z"])
+            for p in nest.iterate({"N": 3}, directions={"y": -1})
+        }
+        assert mixed == base
+
+    def test_empty_for_negative_parameter(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        assert nest.count({"N": -1}) == 0
+        assert nest.is_empty({"N": -1})
+        assert not nest.is_empty({"N": 0})
+
+    def test_first_point(self):
+        nest = synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+        assert nest.first_point({"N": 2}) == {"N": 2, "x": 0, "y": 0, "z": 0}
+
+    def test_unbounded_rejected(self):
+        s = ConstraintSystem.parse(["x >= 0"])
+        with pytest.raises(PolyhedronError):
+            synthesize_loop_nest(s, ["x"])
+
+    def test_unbounded_rejected_strict(self):
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "y <= 4"])
+        with pytest.raises(PolyhedronError):
+            synthesize_loop_nest(s, ["x", "y"])
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(PolyhedronError):
+            synthesize_loop_nest(SIMPLEX, ["x", "y", "w"])
+
+    def test_strided_coefficients(self):
+        # 3 <= 2x <= 9  ->  x in {2, 3, 4}
+        s = ConstraintSystem.parse(["2*x >= 3", "2*x <= 9"])
+        nest = synthesize_loop_nest(s, ["x"])
+        assert [p["x"] for p in nest.iterate({})] == [2, 3, 4]
+
+    def test_equality_forces_single_value(self):
+        s = ConstraintSystem.parse(["x + y = 4", "x >= 0", "x <= 4", "y >= 0"])
+        nest = synthesize_loop_nest(s, ["x", "y"])
+        pts = [(p["x"], p["y"]) for p in nest.iterate({})]
+        assert pts == [(0, 4), (1, 3), (2, 2), (3, 1), (4, 0)]
+
+    def test_infeasible_equality_yields_empty_range(self):
+        # 2y == 1 has no integer solutions anywhere.
+        s = ConstraintSystem.parse(["x >= 0", "x <= 3", "2*y = 1", "y >= -5", "y <= 5"])
+        nest = synthesize_loop_nest(s, ["x", "y"])
+        assert nest.count({}) == 0
+
+
+class TestBoundsForVariable:
+    def test_ceil_floor_bounds(self):
+        s = ConstraintSystem.parse(["3*x >= 2", "2*x <= 11"])
+        b = bounds_for_variable(s, "x")
+        assert b.lower({}) == 1   # ceil(2/3)
+        assert b.upper({}) == 5   # floor(11/2)
+        assert list(b.range({})) == [1, 2, 3, 4, 5]
+
+    def test_multiple_lower_bounds_max(self):
+        s = ConstraintSystem.parse(["x >= 2", "x >= y", "x <= 9"])
+        b = bounds_for_variable(s, "x")
+        assert b.lower({"y": 5}) == 5
+        assert b.lower({"y": 0}) == 2
+
+    def test_unbounded_flags(self):
+        s = ConstraintSystem.parse(["x >= 0"])
+        b = bounds_for_variable(s, "x")
+        assert not b.is_bounded()
+        with pytest.raises(PolyhedronError):
+            b.upper({})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 8),
+    st.integers(1, 3),
+    st.integers(1, 3),
+)
+def test_weighted_simplex_against_oracle(n, a, b):
+    s = ConstraintSystem.parse(["x >= 0", "y >= 0", f"{a}*x + {b}*y <= N"])
+    nest = synthesize_loop_nest(s, ["x", "y"])
+    got = {(p["x"], p["y"]) for p in nest.iterate({"N": n})}
+    box = {"x": (-1, n + 1), "y": (-1, n + 1)}
+    want = set(enumerate_box_filtered(s, ["x", "y"], box, {"N": n}))
+    assert got == want
+    assert nest.count({"N": n}) == len(want)

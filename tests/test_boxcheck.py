@@ -1,0 +1,98 @@
+"""Interior-tile fast path: the box-min checker vs exhaustive scanning."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator.boxcheck import make_box_min_checker
+from repro.polyhedra import ConstraintSystem
+
+
+SIMPLEX = ConstraintSystem.parse(
+    ["x >= 0", "y >= 0", "x + y <= N"]
+)
+
+
+def brute_full(system, box_ranges, env):
+    """Oracle: is every box point inside the system?"""
+    for combo in itertools.product(*box_ranges.values()):
+        point = dict(zip(box_ranges.keys(), combo))
+        point.update(env)
+        if not system.satisfied(point):
+            return False
+    return True
+
+
+class TestChecker:
+    def test_simplex_tiles(self):
+        w = 3
+        box = {
+            "x": (({"tx": w}, 0), ({"tx": w}, w - 1)),
+            "y": (({"ty": w}, 0), ({"ty": w}, w - 1)),
+        }
+        checker = make_box_min_checker(SIMPLEX, box)
+        for tx in range(0, 5):
+            for ty in range(0, 5):
+                for n in (6, 9, 14):
+                    env = {"tx": tx, "ty": ty, "N": n}
+                    ranges = {
+                        "x": range(w * tx, w * tx + w),
+                        "y": range(w * ty, w * ty + w),
+                    }
+                    assert checker(env) == brute_full(SIMPLEX, ranges, {"N": n})
+
+    def test_constant_bounds(self):
+        box = {"x": (2, 4)}
+        s = ConstraintSystem.parse(["x >= 0", "x <= M"])
+        checker = make_box_min_checker(s, box)
+        assert checker({"M": 4})
+        assert not checker({"M": 3})
+
+    def test_negative_coefficients_use_high_corner(self):
+        # M - 2x >= 0 minimized at the high corner of x.
+        s = ConstraintSystem.parse(["2*x <= M"])
+        checker = make_box_min_checker(s, {"x": (1, 5)})
+        assert checker({"M": 10})
+        assert not checker({"M": 9})
+
+    def test_equalities_never_full(self):
+        s = ConstraintSystem.parse(["x = 3"])
+        checker = make_box_min_checker(s, {"x": (3, 3)})
+        assert checker({"x": 3}) is False  # conservative by design
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 6),
+        st.integers(0, 6),
+        st.integers(0, 25),
+        st.integers(1, 4),
+    )
+    def test_never_false_positive(self, tx, ty, n, w):
+        box = {
+            "x": (({"tx": w}, 0), ({"tx": w}, w - 1)),
+            "y": (({"ty": w}, 0), ({"ty": w}, w - 1)),
+        }
+        checker = make_box_min_checker(SIMPLEX, box)
+        env = {"tx": tx, "ty": ty, "N": n}
+        ranges = {
+            "x": range(w * tx, w * tx + w),
+            "y": range(w * ty, w * ty + w),
+        }
+        assert checker(env) == brute_full(SIMPLEX, ranges, {"N": n})
+
+
+class TestFastPathConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 18))
+    def test_tile_counts_agree_with_compiled_scan(self, bandit2_program, n):
+        """tile_point_count (fast path + fallback) vs brute recount."""
+        spaces = bandit2_program.spaces
+        from repro.polyhedra.compile import compile_counter
+
+        counter = compile_counter(spaces.local_nest)
+        for tile in spaces.tiles({"N": n}):
+            env = {"N": n}
+            env.update(spaces.tile_env(tile))
+            assert spaces.tile_point_count(tile, {"N": n}) == counter(env)

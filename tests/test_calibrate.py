@@ -1,0 +1,79 @@
+"""Host calibration of the machine model from the compiled generated C."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate import (
+    MachineModel,
+    calibrate_machine,
+    run_generated_c,
+    simulate_program,
+)
+from repro.simulate.calibrate import gcc_available
+
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("calibration")
+
+
+class TestRunGeneratedC:
+    def test_reports_counts(self, bandit2_w4_program, workdir):
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        run = run_generated_c(bandit2_w4_program, {"N": 40}, workdir=workdir)
+        assert run.cells == bandit2_w4_program.spaces.total_points({"N": 40})
+        assert run.tiles > 0
+        assert run.seconds >= 0.0
+
+    def test_check_mode_passes(self, bandit2_w4_program, tmp_path):
+        # -DREPRO_CHECK cross-validates the face-scan seeding inside the
+        # generated binary itself.
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        run = run_generated_c(
+            bandit2_w4_program,
+            {"N": 25},
+            workdir=tmp_path,
+            extra_cflags=["-DREPRO_CHECK"],
+        )
+        assert run.cells > 0
+
+
+class TestCalibrateMachine:
+    def test_fitted_model_reasonable(self, bandit2_w4_program, workdir):
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        machine, small, large = calibrate_machine(
+            bandit2_w4_program, {"N": 30}, {"N": 70}
+        )
+        # A 2020s x86 core runs this kernel somewhere between 10 M and
+        # 10 G cells/s; anything outside that is a fitting bug.
+        assert 1e-10 < machine.sec_per_cell < 1e-7
+        assert machine.tile_overhead_s >= 0.0
+        assert large.cells > small.cells
+
+    def test_calibrated_simulation_predicts_serial_time(
+        self, bandit2_w4_program, workdir
+    ):
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        machine, _, large = calibrate_machine(
+            bandit2_w4_program, {"N": 30}, {"N": 70}
+        )
+        one_core = machine.with_(nodes=1, cores_per_node=1, queue_lock_s=0.0)
+        sim = simulate_program(bandit2_w4_program, large.params, one_core)
+        # The calibrated single-core simulation should land within 2x of
+        # the real measured run (same cells, fitted constants; pack-cost
+        # and cache effects account for the slack).
+        assert sim.makespan_s == pytest.approx(large.seconds, rel=1.0)
+
+    def test_requires_gcc(self, bandit2_w4_program, monkeypatch):
+        import repro.simulate.calibrate as cal
+
+        monkeypatch.setattr(cal.shutil, "which", lambda _: None)
+        with pytest.raises(SimulationError):
+            run_generated_c(bandit2_w4_program, {"N": 10})

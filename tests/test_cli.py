@@ -1,0 +1,137 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main_generate, main_run, main_simulate
+
+SPEC = """\
+problem: staircase
+loop_vars: x y
+params: M
+tile_widths: 3
+
+constraints:
+    x >= 0
+    y >= 0
+    x + y <= M
+
+templates:
+    right = 1 0
+    up = 0 1
+
+center_code_c: |
+    V[loc] = 1.0;
+
+center_code_py: |
+    V[loc] = 1.0
+"""
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "prob.spec"
+    path.write_text(SPEC)
+    return path
+
+
+class TestGenerate:
+    def test_c_output(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "prog.c"
+        rc = main_generate([str(spec_file), "-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "#pragma omp parallel" in text
+        assert "staircase" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_py_output(self, spec_file, tmp_path):
+        out = tmp_path / "prog.py"
+        rc = main_generate([str(spec_file), "-o", str(out), "--target", "py"])
+        assert rc == 0
+        compile(out.read_text(), "prog.py", "exec")
+
+    def test_stdout_default(self, spec_file, capsys):
+        rc = main_generate([str(spec_file)])
+        assert rc == 0
+        assert "int main(" in capsys.readouterr().out
+
+    def test_describe_flag(self, spec_file, capsys):
+        rc = main_generate([str(spec_file), "--describe"])
+        assert rc == 0
+        assert "tile dependencies" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.spec"
+        bad.write_text("problem: x\n")
+        rc = main_generate([str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lp_prune_option(self, spec_file, capsys):
+        rc = main_generate([str(spec_file), "--prune", "lp"])
+        assert rc == 0
+
+
+class TestRun:
+    def test_bandit(self, capsys):
+        rc = main_run(["--problem", "bandit2", "--tile-width", "3", "N=6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        assert "tiles executed" in out
+
+    def test_alignment_defaults(self, capsys):
+        rc = main_run(["--problem", "edit-distance", "--tile-width", "5"])
+        assert rc == 0
+        assert "objective" in capsys.readouterr().out
+
+    def test_unknown_problem(self):
+        with pytest.raises(SystemExit):
+            main_run(["--problem", "nope"])
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit):
+            main_run(["--problem", "bandit2", "N:6"])
+
+    def test_non_integer_param(self):
+        with pytest.raises(SystemExit):
+            main_run(["--problem", "bandit2", "N=six"])
+
+
+class TestSimulate:
+    def test_single_run(self, capsys):
+        rc = main_simulate(
+            ["--problem", "bandit2", "--tile-width", "5", "--nodes", "2",
+             "--cores", "4", "N=20"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+        assert "messages" in out
+
+    def test_core_sweep(self, capsys):
+        rc = main_simulate(
+            ["--problem", "bandit2", "--tile-width", "5", "--sweep-cores",
+             "N=16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_hyperplane_lb(self, capsys):
+        rc = main_simulate(
+            ["--problem", "bandit2", "--tile-width", "5", "--nodes", "2",
+             "--cores", "4", "--lb", "hyperplane", "N=20"]
+        )
+        assert rc == 0
+        assert "hyperplane" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        rc = main_simulate(
+            ["--problem", "bandit2", "--tile-width", "5", "--nodes", "2",
+             "--cores", "4", "--timeline", "N=20"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "node  0 |" in out
+        assert "node  1 |" in out

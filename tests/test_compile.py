@@ -1,0 +1,95 @@
+"""Compiled counters/scanners must agree exactly with the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import ConstraintSystem, synthesize_loop_nest
+from repro.polyhedra.compile import compile_counter, compile_scanner
+
+SIMPLEX = ConstraintSystem.parse(
+    ["x >= 0", "y >= 0", "z >= 0", "x + y + z <= N"]
+)
+
+
+@pytest.fixture(scope="module")
+def nest():
+    return synthesize_loop_nest(SIMPLEX, ["x", "y", "z"])
+
+
+class TestCounter:
+    def test_matches_interpreted(self, nest):
+        counter = compile_counter(nest)
+        for n in range(-2, 9):
+            assert counter({"N": n}) == nest.count({"N": n})
+
+    def test_cached_on_nest(self, nest):
+        assert compile_counter(nest) is compile_counter(nest)
+
+    def test_source_attached(self, nest):
+        src = compile_counter(nest).source
+        assert "def _count" in src
+        assert "range(" in src
+
+    def test_strided_bounds(self):
+        s = ConstraintSystem.parse(["3*x >= 2", "2*x <= M", "y >= x", "y <= 7"])
+        nest = synthesize_loop_nest(s, ["x", "y"])
+        counter = compile_counter(nest)
+        for m in range(0, 18):
+            assert counter({"M": m}) == nest.count({"M": m})
+
+    def test_context_guard(self):
+        # After eliminating everything, N >= 0 remains as context.
+        s = ConstraintSystem.parse(["x >= 0", "x <= N"])
+        nest = synthesize_loop_nest(s, ["x"])
+        counter = compile_counter(nest)
+        assert counter({"N": -5}) == 0
+
+
+class TestScanner:
+    def test_matches_interpreted_order(self, nest):
+        scan = compile_scanner(nest)
+        got = list(scan({"N": 4}))
+        want = [(p["x"], p["y"], p["z"]) for p in nest.iterate({"N": 4})]
+        assert got == want
+
+    def test_descending(self, nest):
+        directions = {"x": -1, "y": -1, "z": -1}
+        scan = compile_scanner(nest, directions)
+        got = list(scan({"N": 3}))
+        want = [
+            (p["x"], p["y"], p["z"])
+            for p in nest.iterate({"N": 3}, directions)
+        ]
+        assert got == want
+
+    def test_mixed_directions(self, nest):
+        directions = {"y": -1}
+        scan = compile_scanner(nest, directions)
+        got = list(scan({"N": 3}))
+        want = [
+            (p["x"], p["y"], p["z"])
+            for p in nest.iterate({"N": 3}, directions)
+        ]
+        assert got == want
+
+    def test_direction_cache_is_per_signature(self, nest):
+        a = compile_scanner(nest, {"x": -1})
+        b = compile_scanner(nest, {"x": 1})
+        c = compile_scanner(nest, {"x": -1})
+        assert a is c
+        assert a is not b
+
+    def test_single_variable_yields_tuples(self):
+        s = ConstraintSystem.parse(["x >= 1", "x <= 3"])
+        nest = synthesize_loop_nest(s, ["x"])
+        scan = compile_scanner(nest)
+        assert list(scan({})) == [(1,), (2,), (3,)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10), st.integers(1, 4))
+def test_counter_property_weighted(n, a):
+    s = ConstraintSystem.parse(["x >= 0", "y >= 0", f"{a}*x + y <= N"])
+    nest = synthesize_loop_nest(s, ["x", "y"])
+    assert compile_counter(nest)({"N": n}) == nest.count({"N": n})

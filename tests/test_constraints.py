@@ -1,0 +1,238 @@
+"""Unit tests for constraints and constraint systems."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, PolyhedronError
+from repro.polyhedra import (
+    EQ,
+    GE,
+    Constraint,
+    ConstraintSystem,
+    LinExpr,
+    box,
+    nonneg_orthant,
+    parse_constraint,
+)
+
+
+class TestNormalization:
+    def test_gcd_division(self):
+        c = Constraint(LinExpr({"x": 4, "y": 8}, 12))
+        assert c.expr.coeff("x") == 1
+        assert c.expr.coeff("y") == 2
+        assert c.expr.constant == 3
+
+    def test_integer_tightening_floors_constant(self):
+        # 2x - 3 >= 0 -> x >= 3/2 -> x - 2 >= ... floor(-3/2) = -2
+        c = Constraint(LinExpr({"x": 2}, -3))
+        assert c.expr.coeff("x") == 1
+        assert c.expr.constant == -2
+
+    def test_tightening_preserves_integer_points(self):
+        raw = LinExpr({"x": 3}, -4)  # 3x >= 4  <=> x >= 2 over integers
+        c = Constraint(raw)
+        for x in range(-5, 6):
+            assert c.satisfied({"x": x}) == (3 * x - 4 >= 0)
+
+    def test_fractional_coefficients_scaled(self):
+        c = Constraint(LinExpr({"x": Fraction(1, 2)}, Fraction(1, 4)))
+        # 1/2 x + 1/4 >= 0 -> 2x + 1 >= 0 -> tightened to x >= 0 over ints.
+        assert c.expr.coeff("x") == 1
+        assert c.expr.constant == 0
+        for x in range(-4, 5):
+            assert c.satisfied({"x": x}) == (Fraction(x, 2) + Fraction(1, 4) >= 0)
+
+    def test_equality_not_tightened(self):
+        # 2x - 3 == 0 has no integer solution; must remain detectable.
+        c = Constraint(LinExpr({"x": 2}, -3), EQ)
+        assert not c.satisfied({"x": 1})
+        assert not c.satisfied({"x": 2})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolyhedronError):
+            Constraint(LinExpr.var("x"), "<=")
+
+
+class TestPredicates:
+    def test_trivial(self):
+        assert Constraint(LinExpr.const(0)).is_trivial()
+        assert Constraint(LinExpr.const(3)).is_trivial()
+        assert Constraint(LinExpr.const(0), EQ).is_trivial()
+
+    def test_contradiction(self):
+        assert Constraint(LinExpr.const(-1)).is_contradiction()
+        assert Constraint(LinExpr.const(2), EQ).is_contradiction()
+
+    def test_nontrivial_neither(self):
+        c = Constraint(LinExpr.var("x"))
+        assert not c.is_trivial()
+        assert not c.is_contradiction()
+
+    def test_satisfied_ge(self):
+        c = Constraint(LinExpr({"x": 1}, -2))
+        assert c.satisfied({"x": 2})
+        assert not c.satisfied({"x": 1})
+
+    def test_satisfied_eq(self):
+        c = Constraint(LinExpr({"x": 1}, -2), EQ)
+        assert c.satisfied({"x": 2})
+        assert not c.satisfied({"x": 3})
+
+
+class TestShift:
+    def test_shifted_constraint(self):
+        c = Constraint(LinExpr({"x": -1, "y": -1}, 10))  # x + y <= 10
+        shifted = c.shifted({"x": 1})
+        assert shifted.satisfied({"x": 9, "y": 0})
+        assert not shifted.satisfied({"x": 10, "y": 0})
+
+    def test_shift_matches_pointwise(self):
+        c = Constraint(LinExpr({"x": 2, "y": -3}, 5))
+        shifted = c.shifted({"x": 2, "y": -1})
+        for x in range(-3, 4):
+            for y in range(-3, 4):
+                assert shifted.satisfied({"x": x, "y": y}) == c.satisfied(
+                    {"x": x + 2, "y": y - 1}
+                )
+
+
+class TestParseConstraint:
+    def test_le(self):
+        (c,) = parse_constraint("x + y <= N")
+        assert c.satisfied({"x": 1, "y": 2, "N": 3})
+        assert not c.satisfied({"x": 2, "y": 2, "N": 3})
+
+    def test_ge(self):
+        (c,) = parse_constraint("x >= 1")
+        assert not c.satisfied({"x": 0})
+
+    def test_eq(self):
+        (c,) = parse_constraint("x = 2")
+        assert c.is_equality()
+
+    def test_strict_tightened(self):
+        (c,) = parse_constraint("x < 3")
+        assert c.satisfied({"x": 2})
+        assert not c.satisfied({"x": 3})
+        (c,) = parse_constraint("x > 0")
+        assert not c.satisfied({"x": 0})
+
+    def test_chained(self):
+        cs = parse_constraint("0 <= x <= N")
+        assert len(cs) == 2
+        sys_ = ConstraintSystem(cs)
+        assert sys_.satisfied({"x": 0, "N": 5})
+        assert not sys_.satisfied({"x": -1, "N": 5})
+        assert not sys_.satisfied({"x": 6, "N": 5})
+
+    def test_missing_operator(self):
+        with pytest.raises(ParseError):
+            parse_constraint("x + y")
+
+
+class TestConstraintSystem:
+    def test_deduplication(self):
+        c = Constraint(LinExpr.var("x"))
+        s = ConstraintSystem([c, c, Constraint(LinExpr({"x": 2}))])
+        # 2x >= 0 normalizes to x >= 0, so all three collapse.
+        assert len(s) == 1
+
+    def test_trivial_dropped(self):
+        s = ConstraintSystem([Constraint(LinExpr.const(1))])
+        assert len(s) == 0
+
+    def test_parse_skips_comments_and_blanks(self):
+        s = ConstraintSystem.parse(["# header", "", "x >= 0", "x <= 4  # note"])
+        assert len(s) == 2
+
+    def test_fix(self):
+        s = ConstraintSystem.parse(["x + y <= N"])
+        fixed = s.fix({"N": 5})
+        assert fixed.satisfied({"x": 2, "y": 3})
+        assert not fixed.satisfied({"x": 3, "y": 3})
+
+    def test_and_also(self):
+        s = nonneg_orthant(["x"]).and_also(parse_constraint("x <= 3"))
+        assert len(s) == 2
+
+    def test_constraints_on(self):
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "x + y <= 4"])
+        assert len(s.constraints_on("x")) == 2
+
+    def test_equalities_split(self):
+        s = ConstraintSystem.parse(["x = y", "x >= 0"])
+        assert len(s.equalities()) == 1
+        assert len(s.inequalities()) == 1
+
+    def test_is_trivially_empty(self):
+        s = ConstraintSystem([Constraint(LinExpr.const(-1))])
+        assert s.is_trivially_empty()
+
+    def test_eq_and_hash_order_independent(self):
+        a = ConstraintSystem.parse(["x >= 0", "y >= 0"])
+        b = ConstraintSystem.parse(["y >= 0", "x >= 0"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_box_helper(self):
+        s = box({"x": (1, 3), "y": (0, 0)})
+        assert s.satisfied({"x": 2, "y": 0})
+        assert not s.satisfied({"x": 0, "y": 0})
+        assert not s.satisfied({"x": 2, "y": 1})
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-5, 5), max_size=2),
+            st.integers(-10, 10),
+        ),
+        max_size=5,
+    ),
+    st.integers(-6, 6),
+    st.integers(-6, 6),
+)
+def test_system_satisfaction_is_conjunction(raw, x, y):
+    constraints = [Constraint(LinExpr(d, c)) for d, c in raw]
+    system = ConstraintSystem(constraints)
+    env = {"x": x, "y": y}
+    assert system.satisfied(env) == all(c.satisfied(env) for c in constraints)
+
+
+@given(
+    st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-8, 8), max_size=2),
+    st.integers(-20, 20),
+    st.integers(1, 6),
+    st.integers(-6, 6),
+    st.integers(-6, 6),
+)
+def test_scaling_never_changes_satisfaction(coeffs, const, scale, x, y):
+    """c >= 0 and k*c >= 0 are the same constraint for k > 0."""
+    base = Constraint(LinExpr(coeffs, const))
+    scaled = Constraint(LinExpr({k: v * scale for k, v in coeffs.items()},
+                                const * scale))
+    env = {"x": x, "y": y}
+    assert base.satisfied(env) == scaled.satisfied(env)
+
+
+@given(
+    st.dictionaries(st.sampled_from(["x", "y"]), st.integers(-5, 5), max_size=2),
+    st.integers(-10, 10),
+    st.integers(-4, 4),
+    st.integers(-4, 4),
+    st.integers(-4, 4),
+    st.integers(-4, 4),
+)
+def test_shift_composition(coeffs, const, dx1, dy1, dx2, dy2):
+    """Shifting twice equals shifting by the sum of the offsets."""
+    c = Constraint(LinExpr(coeffs, const))
+    twice = c.shifted({"x": dx1, "y": dy1}).shifted({"x": dx2, "y": dy2})
+    once = c.shifted({"x": dx1 + dx2, "y": dy1 + dy2})
+    for x in range(-3, 4):
+        for y in range(-3, 4):
+            env = {"x": x, "y": y}
+            assert twice.satisfied(env) == once.satisfied(env)

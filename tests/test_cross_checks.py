@@ -1,0 +1,126 @@
+"""Cross-cutting consistency checks between subsystems.
+
+Each test here ties two independently-tested components together:
+formatter/parser idempotence, Ehrhart vs the load balancer, recovery vs
+the forward pass on ascending-scan problems, hyperplane balancing on
+ascending dimensions, and the generated counters vs the graph builder.
+"""
+
+import pytest
+
+from repro import execute, generate, parse_spec_text
+from repro.generator import (
+    balance_hyperplane,
+    compute_slab_work,
+    total_work_polynomial,
+)
+from repro.problems import (
+    lcs_reference,
+    lcs_spec,
+    msa_reference,
+    msa_spec,
+    three_arm_spec,
+)
+from repro.runtime import SolutionRecovery, TileGraph
+from repro.spec import format_spec
+
+
+class TestFormatterIdempotence:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: three_arm_spec(tile_width=4),
+            lambda: lcs_spec(["ACGT", "GATT"], tile_width=3),
+            lambda: msa_spec(["ACG", "TTA", "CAG"], tile_width=3),
+        ],
+        ids=["bandit3", "lcs2", "msa3"],
+    )
+    def test_format_parse_format_fixpoint(self, builder):
+        spec = builder()
+        once = format_spec(spec)
+        twice = format_spec(parse_spec_text(once))
+        assert once == twice
+
+
+class TestEhrhartAgreesWithBalancer:
+    def test_total_work_polynomial_equals_slab_sum(self, bandit2_program):
+        qp = total_work_polynomial(bandit2_program.spec)
+        for n in (5, 9, 14):
+            works = compute_slab_work(bandit2_program.spaces, {"N": n})
+            assert qp(n) == sum(works.values())
+
+    def test_total_work_polynomial_equals_graph_work(self, bandit2_program):
+        qp = total_work_polynomial(bandit2_program.spec)
+        for n in (4, 8):
+            graph = TileGraph.build(bandit2_program, {"N": n})
+            assert qp(n) == graph.total_work()
+
+
+class TestRecoveryOnAscendingProblems:
+    def test_msa3_values_recoverable(self, msa3_program, lcs3_strings):
+        params = {f"L{k+1}": len(s) for k, s in enumerate(lcs3_strings)}
+        rec = SolutionRecovery(msa3_program, params)
+        point = {
+            v: params[f"L{k+1}"]
+            for k, v in enumerate(msa3_program.spec.loop_vars)
+        }
+        assert rec.value_at(point) == pytest.approx(
+            msa_reference(lcs3_strings), abs=1e-9
+        )
+
+    def test_lcs3_origin_is_zero(self, lcs3_program):
+        params = {"L1": 8, "L2": 9, "L3": 10}
+        rec = SolutionRecovery(lcs3_program, params)
+        assert rec.value_at({"x1": 0, "x2": 0, "x3": 0}) == 0.0
+
+
+class TestHyperplaneOnAscendingDims:
+    def test_levels_ascend_with_scan(self):
+        # LCS dims ascend; the wavefront functional must follow.
+        spec = lcs_spec(["ACGTACGT", "GATTACAA"], tile_width=3,
+                        lb_dims=("x1", "x2"))
+        program = generate(spec)
+        params = {"L1": 8, "L2": 8}
+        lb = balance_hyperplane(program.spaces, params, 3)
+        levels = [s[0] + s[1] for s in lb.slab_order]
+        assert levels == sorted(levels)
+        # node 0 owns the first-executed (origin-corner) slabs
+        first = lb.slab_order[0]
+        assert lb.slab_node[first] == 0
+        assert first == (0, 0)
+
+
+class TestGraphVsCounters:
+    def test_edge_totals_symmetric(self, bandit2_w4_program):
+        graph = TileGraph.build(bandit2_w4_program, {"N": 13})
+        outgoing = {}
+        incoming = {}
+        for (p, c), cells in graph.edge_cells.items():
+            outgoing[p] = outgoing.get(p, 0) + cells
+            incoming[c] = incoming.get(c, 0) + cells
+        assert sum(outgoing.values()) == sum(incoming.values())
+
+    def test_interior_edges_full_size(self, bandit2_w4_program):
+        graph = TileGraph.build(bandit2_w4_program, {"N": 30})
+        # Edge from the origin tile to any neighbour is a full face.
+        origin = (0, 0, 0, 0)
+        for consumer in graph.consumers[origin]:
+            pass  # origin produces nothing below it (descending scan)
+        # instead inspect an interior producer at (1,1,1,1)
+        producer = (1, 1, 1, 1)
+        for consumer in graph.consumers[producer]:
+            cells = graph.edge_cells[(producer, consumer)]
+            assert cells == 4 ** 3
+
+
+class TestSpecFileKernelEndToEnd:
+    def test_lcs_via_text_format(self):
+        # Round-trip a built-in problem through the text format and run
+        # it with the synthesized kernel: full-stack consistency.
+        from repro.spec import ensure_kernel
+
+        original = lcs_spec(["ACGTAC", "GATTAC"], tile_width=3)
+        reparsed = parse_spec_text(format_spec(original))
+        kernel = ensure_kernel(reparsed)
+        res = execute(generate(reparsed), {"L1": 6, "L2": 6}, kernel=kernel)
+        assert res.objective_value == lcs_reference(["ACGTAC", "GATTAC"])

@@ -1,0 +1,91 @@
+"""CUDA backend prototype: structural validation (no GPU on this host)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import generate
+from repro.generator.cugen import emit_cuda_program
+from repro.problems import (
+    edit_distance_spec,
+    msa_spec,
+    random_hmm,
+    three_arm_spec,
+    two_arm_spec,
+    viterbi_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def bandit_cu(bandit2_w4_program):
+    return emit_cuda_program(bandit2_w4_program)
+
+
+class TestStructure:
+    def test_cuda_scaffolding(self, bandit_cu):
+        for marker in [
+            "#include <cuda_runtime.h>",
+            "__global__ void execute_wavefront",
+            "__shared__ double V[TILE_CELLS]",
+            "__syncthreads();",
+            "__constant__ long dev_N",
+            "cudaMalloc",
+            "cudaMemcpyToSymbol",
+            "execute_wavefront<<<",
+            "cudaDeviceSynchronize();",
+        ]:
+            assert marker in bandit_cu, f"missing {marker}"
+
+    def test_generated_ingredients_shared_with_c_backend(self, bandit_cu):
+        # Mapping functions, validity checks and center code are the
+        # same generated artifacts the CPU backend executes.
+        assert "long loc =" in bandit_cu
+        assert "long loc_succ1 = loc + (125);" in bandit_cu
+        assert "int _chk0 =" in bandit_cu
+        assert "(s1 + 1.0) / (s1 + f1 + 2.0)" in bandit_cu
+
+    def test_wavefront_grouping_on_host(self, bandit_cu):
+        assert "levels[n] =" in bandit_cu
+        assert "for (long level = min_level; level <= max_level; level++)" in bandit_cu
+
+    def test_objective_readback(self, bandit_cu):
+        assert "cudaMemcpyDeviceToHost" in bandit_cu
+        assert 'printf("objective %.12f\\n", result);' in bandit_cu
+
+    def test_deterministic(self, bandit2_w4_program):
+        assert emit_cuda_program(bandit2_w4_program) == emit_cuda_program(
+            bandit2_w4_program
+        )
+
+
+class TestOtherProblems:
+    def test_bandit3(self, bandit3_program):
+        src = emit_cuda_program(bandit3_program)
+        assert "__global__" in src
+        assert src.count("__syncthreads();") >= 2
+
+    def test_negative_templates(self, edit_program):
+        src = emit_cuda_program(edit_program)
+        assert "SEQ_A" in src
+        assert "loc_diag" in src
+
+    def test_msa3(self, msa3_program):
+        src = emit_cuda_program(msa3_program)
+        assert "loc_adv_123" in src
+
+
+class TestScheduleGuards:
+    def test_viterbi_rejected_with_reason(self):
+        # Viterbi's (-1, +k) templates sit inside a local wavefront of
+        # the default direction vector; the backend must refuse loudly
+        # rather than emit a racy kernel.
+        hmm = random_hmm(3, 4, 10, seed=1)
+        program = generate(viterbi_spec(*hmm, tile_width_t=4))
+        with pytest.raises(GenerationError):
+            emit_cuda_program(program)
+
+    def test_missing_center_code_rejected(self, lcs3_program):
+        import dataclasses
+
+        spec = dataclasses.replace(lcs3_program.spec, center_code_c="")
+        with pytest.raises(GenerationError):
+            emit_cuda_program(generate(spec))

@@ -1,0 +1,83 @@
+"""Ehrhart quasi-polynomial reconstruction (the Barvinok substitute)."""
+
+import pytest
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import (
+    ConstraintSystem,
+    count_points,
+    ehrhart_univariate,
+    simplex_count,
+)
+
+
+class TestSimplexPolynomials:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_matches_binomial(self, dim):
+        names = [f"x{i}" for i in range(dim)]
+        lines = [f"{n} >= 0" for n in names] + [" + ".join(names) + " <= N"]
+        s = ConstraintSystem.parse(lines)
+        qp = ehrhart_univariate(s, names, "N")
+        assert qp.degree == dim
+        for n in range(0, 15):
+            assert qp(n) == simplex_count(dim, n)
+
+    def test_box_polynomial(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= N", "y >= 0", "y <= N"])
+        qp = ehrhart_univariate(s, ["x", "y"], "N")
+        for n in range(0, 10):
+            assert qp(n) == (n + 1) ** 2
+
+
+class TestQuasiPolynomials:
+    def test_halved_interval_needs_period_2(self):
+        # points with 0 <= 2x <= N: count = floor(N/2) + 1, period 2.
+        s = ConstraintSystem.parse(["x >= 0", "2*x <= N"])
+        with pytest.raises(PolyhedronError):
+            ehrhart_univariate(s, ["x"], "N", period=1)
+        qp = ehrhart_univariate(s, ["x"], "N", period=2)
+        for n in range(0, 20):
+            assert qp(n) == n // 2 + 1
+
+    def test_period_3(self):
+        s = ConstraintSystem.parse(["x >= 0", "3*x <= N"])
+        qp = ehrhart_univariate(s, ["x"], "N", period=3)
+        for n in range(0, 21):
+            assert qp(n) == n // 3 + 1
+
+    def test_overlarge_period_still_exact(self):
+        # A period that is a multiple of the true one must also verify.
+        s = ConstraintSystem.parse(["x >= 0", "2*x <= N"])
+        qp = ehrhart_univariate(s, ["x"], "N", period=4)
+        for n in range(0, 16):
+            assert qp(n) == n // 2 + 1
+
+
+class TestValidation:
+    def test_invalid_period(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= N"])
+        with pytest.raises(PolyhedronError):
+            ehrhart_univariate(s, ["x"], "N", period=0)
+
+    def test_valid_from_enforced(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= N"])
+        qp = ehrhart_univariate(s, ["x"], "N", start=3)
+        with pytest.raises(PolyhedronError):
+            qp(2)
+        assert qp(3) == 4
+
+    def test_extra_params_fixed(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= N", "x <= M"])
+        qp = ehrhart_univariate(s, ["x"], "N", extra_params={"M": 3}, start=4)
+        # For N >= 4 the binding bound is M=3: always 4 points.
+        for n in range(4, 10):
+            assert qp(n) == 4
+
+    def test_agrees_with_direct_count(self):
+        # Vertices fall at thirds and halves -> the true period divides 6.
+        s = ConstraintSystem.parse(
+            ["x >= 0", "y >= 0", "2*x + y <= N", "y <= x + 2"]
+        )
+        qp = ehrhart_univariate(s, ["x", "y"], "N", period=6)
+        for n in range(0, 20):
+            assert qp(n) == count_points(s, ["x", "y"], {"N": n})

@@ -1,0 +1,83 @@
+"""Bivariate Ehrhart reconstruction (two-parameter point counts)."""
+
+import pytest
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import ConstraintSystem, ehrhart_bivariate
+
+
+class TestGrid:
+    def test_rectangle(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "x <= P", "y >= 0", "y <= Q"]
+        )
+        qp = ehrhart_bivariate(s, ["x", "y"], ("P", "Q"))
+        for p in range(0, 8):
+            for q in range(0, 8):
+                assert qp(p, q) == (p + 1) * (q + 1)
+
+    def test_trapezoid(self):
+        # x in [0, P], y in [0, Q], x + y <= P + Q - 1 clips one corner.
+        s = ConstraintSystem.parse(
+            ["x >= 0", "x <= P", "y >= 0", "y <= Q", "x + y <= P + Q - 1"]
+        )
+        qp = ehrhart_bivariate(s, ["x", "y"], ("P", "Q"), start=(1, 1))
+        for p in range(1, 7):
+            for q in range(1, 7):
+                assert qp(p, q) == (p + 1) * (q + 1) - 1
+
+    def test_msa2_total_work(self):
+        # The 2-sequence alignment grid: (L1 + 1)(L2 + 1) cells.
+        from repro.problems import msa_spec
+
+        spec = msa_spec(["ACGTAC", "GATT"])
+        qp = ehrhart_bivariate(
+            spec.constraints, list(spec.loop_vars), ("L1", "L2")
+        )
+        assert qp(6, 4) == 35
+        assert qp(10, 10) == 121
+
+
+class TestPeriodic:
+    def test_halved_axis(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "2*x <= P", "y >= 0", "y <= Q"]
+        )
+        with pytest.raises(PolyhedronError):
+            ehrhart_bivariate(s, ["x", "y"], ("P", "Q"), periods=(1, 1))
+        qp = ehrhart_bivariate(s, ["x", "y"], ("P", "Q"), periods=(2, 1))
+        for p in range(0, 9):
+            for q in range(0, 5):
+                assert qp(p, q) == (p // 2 + 1) * (q + 1)
+
+    def test_bad_period_rejected(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= P", "y >= 0", "y <= Q"])
+        with pytest.raises(PolyhedronError):
+            ehrhart_bivariate(s, ["x", "y"], ("P", "Q"), periods=(0, 1))
+
+
+class TestValidity:
+    def test_valid_from_enforced(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= P", "y >= 0", "y <= Q"])
+        qp = ehrhart_bivariate(s, ["x", "y"], ("P", "Q"), start=(2, 3))
+        with pytest.raises(PolyhedronError):
+            qp(1, 5)
+        with pytest.raises(PolyhedronError):
+            qp(5, 2)
+        assert qp(2, 3) == 12
+
+    def test_extra_params(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "x <= P", "y >= 0", "y <= Q", "x <= M"]
+        )
+        qp = ehrhart_bivariate(
+            s, ["x", "y"], ("P", "Q"), extra_params={"M": 2}, start=(3, 0)
+        )
+        for p in range(3, 7):
+            for q in range(0, 5):
+                assert qp(p, q) == 3 * (q + 1)
+
+    def test_degree_recorded(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= P", "y >= 0", "y <= Q"])
+        qp = ehrhart_bivariate(s, ["x", "y"], ("P", "Q"))
+        assert qp.degree == 2

@@ -1,0 +1,50 @@
+"""Exception hierarchy: everything public derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    EmptyPolyhedronError,
+    GenerationError,
+    ParseError,
+    PolyhedronError,
+    ReproError,
+    RuntimeExecutionError,
+    SimulationError,
+    SpecError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        SpecError,
+        ParseError,
+        PolyhedronError,
+        EmptyPolyhedronError,
+        GenerationError,
+        RuntimeExecutionError,
+        SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_parse_error_is_spec_error():
+    assert issubclass(ParseError, SpecError)
+
+
+def test_empty_polyhedron_is_polyhedron_error():
+    assert issubclass(EmptyPolyhedronError, PolyhedronError)
+
+
+def test_catching_base_catches_subsystem_errors():
+    with pytest.raises(ReproError):
+        raise GenerationError("x")
+
+
+def test_top_level_reexports():
+    import repro
+
+    assert repro.ReproError is ReproError
+    assert repro.SpecError is SpecError

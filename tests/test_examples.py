@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken one is a bug.  Each is
+executed in a subprocess with the repository's examples directory as
+cwd (they write their generated artifacts next to themselves).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "clinical_trial.py",
+    "sequence_alignment.py",
+    "custom_problem.py",
+    "solution_traceback.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, tmp_path):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,  # keep generated artifacts out of the repo tree
+        timeout=600,
+    )
+    assert out.returncode == 0, f"{script} failed:\n{out.stderr[-2000:]}"
+    assert out.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.slow
+def test_scaling_study_example():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "scaling_study.py")],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert "speedup" in out.stdout

@@ -1,0 +1,205 @@
+"""The tiled in-process runtime vs independent reference solvers."""
+
+import pytest
+
+from repro.errors import RuntimeExecutionError
+from repro.generator import generate
+from repro.problems import (
+    delayed_two_arm_reference,
+    edit_distance_reference,
+    lcs_reference,
+    msa_reference,
+    three_arm_reference,
+    two_arm_reference,
+    two_arm_spec,
+)
+from repro.runtime import TileGraph, execute, solve_reference
+
+
+class TestBandit2:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 9])
+    def test_matches_oracle(self, bandit2_program, n):
+        res = execute(bandit2_program, {"N": n})
+        assert res.objective_value == pytest.approx(
+            two_arm_reference(n), abs=1e-12
+        )
+
+    def test_matches_untiled_scan_exactly(self, bandit2_program):
+        tiled = execute(bandit2_program, {"N": 8}, record_values=True)
+        untiled = solve_reference(bandit2_program, {"N": 8}, record_values=True)
+        assert tiled.values == untiled.values
+
+    def test_tile_width_invariance(self):
+        values = []
+        for w in (2, 3, 5, 9):
+            program = generate(two_arm_spec(tile_width=w))
+            values.append(execute(program, {"N": 8}).objective_value)
+        assert len(set(values)) == 1
+
+    def test_priority_scheme_invariance(self, bandit2_program):
+        values = {
+            scheme: execute(
+                bandit2_program, {"N": 7}, priority_scheme=scheme
+            ).objective_value
+            for scheme in ("column-major", "level-set", "lb-first", "lb-last")
+        }
+        assert len(set(values.values())) == 1
+
+    def test_execution_respects_dependencies(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 7})
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        position = {t: i for i, t in enumerate(res.tile_order)}
+        for tile in graph.tiles:
+            for producer in graph.producers[tile]:
+                assert position[producer] < position[tile]
+
+    def test_counts(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 7})
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        assert res.tiles_executed == len(graph.tiles)
+        assert res.cells_computed == graph.total_work()
+
+    def test_prebuilt_graph_reused(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 6})
+        a = execute(bandit2_program, {"N": 6}, graph=graph)
+        b = execute(bandit2_program, {"N": 6})
+        assert a.objective_value == b.objective_value
+
+    def test_value_at(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 5}, record_values=True)
+        v = res.value_at(
+            {"s1": 0, "f1": 0, "s2": 0, "f2": 0},
+            bandit2_program.spec.loop_vars,
+        )
+        assert v == res.objective_value
+
+    def test_value_at_requires_recording(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 5})
+        with pytest.raises(RuntimeExecutionError):
+            res.value_at(
+                {"s1": 0, "f1": 0, "s2": 0, "f2": 0},
+                bandit2_program.spec.loop_vars,
+            )
+
+
+class TestOtherProblems:
+    def test_bandit3(self, bandit3_program):
+        res = execute(bandit3_program, {"N": 5})
+        assert res.objective_value == pytest.approx(
+            three_arm_reference(5), abs=1e-12
+        )
+
+    def test_delayed(self, delayed_program):
+        res = execute(delayed_program, {"N": 6})
+        assert res.objective_value == pytest.approx(
+            delayed_two_arm_reference(6), abs=1e-12
+        )
+
+    def test_edit_distance(self, edit_program, edit_strings):
+        a, b = edit_strings
+        res = execute(edit_program, {"LA": len(a), "LB": len(b)})
+        assert res.objective_value == edit_distance_reference(a, b)
+
+    def test_edit_distance_prefix(self, edit_program, edit_strings):
+        # Running with smaller parameters solves the prefix problem.
+        a, b = edit_strings
+        res = execute(
+            edit_program,
+            {"LA": 6, "LB": 5},
+            record_values=True,
+        )
+        assert res.values[(6, 5)] == edit_distance_reference(a[:6], b[:5])
+
+    def test_lcs3(self, lcs3_program, lcs3_strings):
+        params = {f"L{k+1}": len(s) for k, s in enumerate(lcs3_strings)}
+        res = execute(lcs3_program, params)
+        assert res.objective_value == lcs_reference(lcs3_strings)
+
+    def test_msa3(self, msa3_program, lcs3_strings):
+        params = {f"L{k+1}": len(s) for k, s in enumerate(lcs3_strings)}
+        res = execute(msa3_program, params)
+        assert res.objective_value == pytest.approx(
+            msa_reference(lcs3_strings), abs=1e-9
+        )
+
+    def test_every_cell_matches_reference_scan(self, lcs3_program, lcs3_strings):
+        params = {f"L{k+1}": len(s) for k, s in enumerate(lcs3_strings)}
+        tiled = execute(lcs3_program, params, record_values=True)
+        untiled = solve_reference(lcs3_program, params, record_values=True)
+        assert tiled.values == untiled.values
+
+
+class TestKernelHandling:
+    def test_missing_kernel_rejected(self, bandit2_spec):
+        import dataclasses
+
+        spec = dataclasses.replace(bandit2_spec, kernel=None)
+        program = generate(spec)
+        with pytest.raises(RuntimeExecutionError):
+            execute(program, {"N": 4})
+
+    def test_kernel_override(self, bandit2_program):
+        # Count reachable cells instead of solving the bandit.
+        res = execute(
+            bandit2_program, {"N": 5}, kernel=lambda point, deps, params: 1.0
+        )
+        assert res.objective_value == 1.0
+
+    def test_kernel_sees_validity_none(self, bandit2_program):
+        seen = []
+
+        def probe(point, deps, params):
+            if all(v == 0 for v in point.values()):
+                seen.append(dict(deps))
+            return 0.0
+
+        execute(bandit2_program, {"N": 3}, kernel=probe)
+        assert len(seen) == 1
+        assert all(v is not None for v in seen[0].values())
+
+    def test_kernel_sees_none_at_boundary(self, bandit2_program):
+        rows = []
+
+        def probe(point, deps, params):
+            total = sum(point.values())
+            if total == params["N"]:
+                rows.append(all(v is None for v in deps.values()))
+            return 0.0
+
+        execute(bandit2_program, {"N": 3}, kernel=probe)
+        assert rows and all(rows)
+
+
+class TestObjectiveHandling:
+    def test_objective_outside_run_is_none(self, edit_program):
+        # Prefix run: the spec's objective cell (full lengths) is never
+        # computed, so the result reports None rather than a stale value.
+        res = execute(edit_program, {"LA": 3, "LB": 2})
+        assert res.objective_value is None
+
+    def test_zero_size_instance(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 0})
+        assert res.cells_computed == 1
+        assert res.objective_value == 0.0
+
+    def test_memory_snapshot_keys(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 5})
+        assert set(res.memory) == {
+            "live_cells",
+            "live_edges",
+            "peak_cells",
+            "peak_edges",
+            "total_packed_cells",
+            "total_edges",
+        }
+
+    def test_keep_edges_returns_buffers(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 5}, keep_edges=True)
+        assert res.edges is not None
+        assert len(res.edges) == res.memory["total_edges"]
+        assert sum(len(b) for b in res.edges.values()) == res.memory[
+            "total_packed_cells"
+        ]
+
+    def test_edges_not_kept_by_default(self, bandit2_program):
+        assert execute(bandit2_program, {"N": 5}).edges is None

@@ -1,0 +1,119 @@
+"""Failure injection: the runtime must detect corrupted schedules.
+
+The executor carries internal consistency checks (NaN reads of "valid"
+dependencies, dangling edges, deadlocks, cell-count mismatches).  These
+tests corrupt the structures deliberately and assert the failures are
+loud, not silent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeExecutionError, SimulationError
+from repro.generator.tile_deps import delta_between
+from repro.runtime import TileGraph, execute
+from repro.simulate import MachineModel, simulate
+
+
+@pytest.fixture()
+def graph(bandit2_program):
+    return TileGraph.build(bandit2_program, {"N": 6})
+
+
+class TestExecutorDetection:
+    def test_missing_producer_edge_detected(self, bandit2_program, graph):
+        # Remove one inner tile from a consumer's producer list: the
+        # consumer starts too early and reads an uncomputed ghost cell.
+        victim = next(
+            t for t in graph.tiles if graph.producers[t] and graph.consumers[t]
+        )
+        producers = dict(graph.producers)
+        removed = producers[victim][0]
+        producers[victim] = tuple(p for p in producers[victim] if p != removed)
+        consumers = {
+            t: tuple(c for c in cs if not (t == removed and c == victim))
+            for t, cs in graph.consumers.items()
+        }
+        consumers[removed] = tuple(
+            c for c in graph.consumers[removed] if c != victim
+        )
+        bad = TileGraph(
+            program=graph.program,
+            params=graph.params,
+            tiles=graph.tiles,
+            producers=producers,
+            consumers=consumers,
+            work=graph.work,
+            edge_cells=graph.edge_cells,
+        )
+        with pytest.raises(RuntimeExecutionError):
+            execute(bandit2_program, {"N": 6}, graph=bad)
+
+    def test_cycle_detected(self, graph):
+        # Insert a fake 2-cycle between two tiles.
+        tiles = sorted(graph.tiles)
+        a, b = tiles[0], tiles[1]
+        producers = dict(graph.producers)
+        consumers = dict(graph.consumers)
+        producers[a] = tuple(producers[a]) + (b,)
+        producers[b] = tuple(producers[b]) + (a,)
+        consumers[a] = tuple(consumers[a]) + (b,)
+        consumers[b] = tuple(consumers[b]) + (a,)
+        bad = TileGraph(
+            program=graph.program,
+            params=graph.params,
+            tiles=graph.tiles,
+            producers=producers,
+            consumers=consumers,
+            work=graph.work,
+            edge_cells=graph.edge_cells,
+        )
+        with pytest.raises(RuntimeExecutionError):
+            bad.validate_acyclic()
+
+    def test_kernel_exception_propagates(self, bandit2_program):
+        class Boom(Exception):
+            pass
+
+        def kernel(point, deps, params):
+            if sum(point.values()) == 2:
+                raise Boom()
+            return 0.0
+
+        with pytest.raises(Boom):
+            execute(bandit2_program, {"N": 5}, kernel=kernel)
+
+    def test_nan_producing_kernel_detected(self, bandit2_program):
+        # A kernel returning NaN poisons downstream validity checks: the
+        # executor flags the first read of a NaN "computed" value.
+        def kernel(point, deps, params):
+            return float("nan")
+
+        with pytest.raises(RuntimeExecutionError):
+            execute(bandit2_program, {"N": 5}, kernel=kernel)
+
+
+class TestSimulatorDetection:
+    def test_cyclic_graph_deadlocks_loudly(self, graph):
+        tiles = sorted(graph.tiles)
+        a, b = tiles[0], tiles[1]
+        producers = dict(graph.producers)
+        consumers = dict(graph.consumers)
+        producers[a] = tuple(producers[a]) + (b,)
+        producers[b] = tuple(producers[b]) + (a,)
+        consumers[a] = tuple(consumers[a]) + (b,)
+        consumers[b] = tuple(consumers[b]) + (a,)
+        edge_cells = dict(graph.edge_cells)
+        edge_cells[(b, a)] = 1
+        edge_cells[(a, b)] = 1
+        bad = TileGraph(
+            program=graph.program,
+            params=graph.params,
+            tiles=graph.tiles,
+            producers=producers,
+            consumers=consumers,
+            work=graph.work,
+            edge_cells=edge_cells,
+        )
+        with pytest.raises(SimulationError):
+            simulate(bad, MachineModel(nodes=1, cores_per_node=2))

@@ -1,0 +1,139 @@
+"""Tile dependency graph construction (runtime substrate)."""
+
+import pytest
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime import TileGraph
+
+
+@pytest.fixture(scope="module")
+def graph(bandit2_program):
+    return TileGraph.build(bandit2_program, {"N": 7})
+
+
+class TestStructure:
+    def test_tiles_match_spaces(self, graph, bandit2_program):
+        assert graph.tiles == set(bandit2_program.spaces.tiles({"N": 7}))
+
+    def test_producers_consumers_are_inverse(self, graph):
+        for tile in graph.tiles:
+            for p in graph.producers[tile]:
+                assert tile in graph.consumers[p]
+            for c in graph.consumers[tile]:
+                assert tile in graph.producers[c]
+
+    def test_acyclic(self, graph):
+        graph.validate_acyclic()
+
+    def test_work_totals(self, graph, bandit2_program):
+        assert graph.total_work() == bandit2_program.spaces.total_points(
+            {"N": 7}
+        )
+        assert all(w > 0 for w in graph.work.values())
+
+    def test_initial_tiles_have_no_producers(self, graph):
+        seeds = graph.initial_tiles()
+        assert seeds
+        for t in seeds:
+            assert not graph.producers[t]
+
+    def test_edge_cells_positive_keys(self, graph):
+        for (p, c), cells in graph.edge_cells.items():
+            assert p in graph.tiles
+            assert c in graph.tiles
+            assert cells >= 0
+
+    def test_edge_sizes_match_plans(self, graph, bandit2_program):
+        from repro.generator.tile_deps import delta_between
+
+        spaces = bandit2_program.spaces
+        for (producer, consumer), cells in list(graph.edge_cells.items())[:40]:
+            delta = delta_between(consumer, producer)
+            plan = bandit2_program.pack_plans[delta]
+            env = {"N": 7}
+            env.update(spaces.tile_env(producer))
+            assert cells == plan.region_size(env)
+
+    def test_critical_path_bounds(self, graph):
+        cp = graph.critical_path_work()
+        assert 0 < cp <= graph.total_work()
+        # the critical path must be at least the heaviest single tile
+        assert cp >= max(graph.work.values())
+
+    def test_dependency_counts(self, graph):
+        counts = graph.dependency_counts()
+        assert sum(counts.values()) == sum(
+            len(p) for p in graph.producers.values()
+        )
+
+    def test_validate_schedule_accepts_executor_order(
+        self, graph, bandit2_program
+    ):
+        from repro.runtime import execute
+
+        res = execute(bandit2_program, {"N": 7}, graph=graph)
+        graph.validate_schedule(res.tile_order)
+
+    def test_validate_schedule_rejects_violations(self, graph):
+        from repro.runtime import execute
+        from repro.errors import RuntimeExecutionError
+
+        order = sorted(graph.tiles)  # lexicographic: producers come later
+        with pytest.raises(RuntimeExecutionError):
+            graph.validate_schedule(order)
+        good = list(graph.tiles)
+        with pytest.raises(RuntimeExecutionError):
+            graph.validate_schedule(good[:-1])  # missing a tile
+
+    def test_validate_schedule_rejects_duplicates(self, graph, bandit2_program):
+        from repro.runtime import execute
+        from repro.errors import RuntimeExecutionError
+
+        res = execute(bandit2_program, {"N": 7}, graph=graph)
+        with pytest.raises(RuntimeExecutionError):
+            graph.validate_schedule(res.tile_order + [res.tile_order[0]])
+
+
+class TestErrors:
+    def test_empty_problem_rejected(self, bandit2_program):
+        with pytest.raises(RuntimeExecutionError):
+            TileGraph.build(bandit2_program, {"N": -1})
+
+
+class TestScaling:
+    def test_graph_grows_with_parameter(self, bandit2_program):
+        small = TileGraph.build(bandit2_program, {"N": 4})
+        large = TileGraph.build(bandit2_program, {"N": 9})
+        assert len(large.tiles) > len(small.tiles)
+        assert large.total_work() > small.total_work()
+
+    def test_pending_bound(self, bandit2_program):
+        """Paper Section V-B: at most O(n^(d-1)) tiles can be pending."""
+        graph = TileGraph.build(bandit2_program, {"N": 9})
+        # Simulate a topological execution and track the pending set:
+        # tiles with >= 1 satisfied dependency that have not executed.
+        import heapq
+
+        prio = bandit2_program.priority("column-major")
+        remaining = graph.dependency_counts()
+        satisfied = {t: 0 for t in graph.tiles}
+        heap = [(prio(t), t) for t in graph.initial_tiles()]
+        heapq.heapify(heap)
+        pending_peak = 0
+        pending = 0
+        executed = set()
+        partially = set()
+        while heap:
+            _, tile = heapq.heappop(heap)
+            executed.add(tile)
+            partially.discard(tile)
+            for c in graph.consumers[tile]:
+                satisfied[c] += 1
+                if satisfied[c] == 1:
+                    partially.add(c)
+                remaining[c] -= 1
+                if remaining[c] == 0:
+                    heapq.heappush(heap, (prio(c), c))
+            pending_peak = max(pending_peak, len(partially) + len(heap))
+        total = len(graph.tiles)
+        assert pending_peak < total, "pending set must stay below all tiles"

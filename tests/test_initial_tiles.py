@@ -1,0 +1,89 @@
+"""Initial-tile generation (Section IV-K): face scan vs exhaustive oracle."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import (
+    build_iteration_spaces,
+    initial_tiles,
+    initial_tiles_exhaustive,
+    initial_tiles_face_scan,
+)
+from repro.problems import (
+    delayed_two_arm_spec,
+    edit_distance_spec,
+    lcs_spec,
+    msa_spec,
+    three_arm_spec,
+    two_arm_spec,
+)
+
+CASES = [
+    (two_arm_spec(tile_width=3), {"N": 7}),
+    (two_arm_spec(tile_width=4), {"N": 11}),
+    (three_arm_spec(tile_width=3), {"N": 5}),
+    (delayed_two_arm_spec(tile_width=3), {"N": 5}),
+    (edit_distance_spec("ACGTACC", "GATTA", tile_width=3), {"LA": 7, "LB": 5}),
+    (lcs_spec(["ACGTA", "GATT"], tile_width=3), {"L1": 5, "L2": 4}),
+    (
+        msa_spec(["ACGT", "GAT", "TTAC"], tile_width=3),
+        {"L1": 4, "L2": 3, "L3": 4},
+    ),
+]
+IDS = ["bandit2-w3", "bandit2-w4", "bandit3", "delayed", "edit", "lcs2", "msa3"]
+
+
+@pytest.mark.parametrize("spec, params", CASES, ids=IDS)
+def test_face_scan_matches_exhaustive(spec, params):
+    spaces = build_iteration_spaces(spec)
+    fast = initial_tiles_face_scan(spaces, params)
+    slow = initial_tiles_exhaustive(spaces, params)
+    assert fast == slow
+    assert fast, "every non-empty problem has at least one initial tile"
+
+
+@pytest.mark.parametrize("spec, params", CASES[:3], ids=IDS[:3])
+def test_initial_tiles_match_graph_seeds(spec, params):
+    """The runtime's zero-dependency tiles are exactly the IV-K set."""
+    from repro.generator import generate
+    from repro.runtime import TileGraph
+
+    program = generate(spec)
+    graph = TileGraph.build(program, params)
+    assert graph.initial_tiles() == initial_tiles(program.spaces, params)
+
+
+class TestSpecificShapes:
+    def test_bandit_initial_tiles_touch_diagonal(self):
+        spec = two_arm_spec(tile_width=3)
+        spaces = build_iteration_spaces(spec)
+        params = {"N": 7}
+        for tile in initial_tiles(spaces, params, method="face-scan"):
+            # tile box upper corner must cross the budget plane
+            hi = sum((t + 1) * 3 - 1 for t in tile)
+            assert hi >= params["N"] - 3, f"{tile} is interior"
+
+    def test_edit_distance_single_initial_corner(self):
+        # Negative templates: dependencies point to smaller indices, so
+        # the unique initial tile is the origin corner.
+        spec = edit_distance_spec("ACGTACC", "GATTA", tile_width=3)
+        spaces = build_iteration_spaces(spec)
+        out = initial_tiles(spaces, {"LA": 7, "LB": 5})
+        assert out == {(0, 0)}
+
+    def test_method_dispatch(self):
+        spec = two_arm_spec(tile_width=3)
+        spaces = build_iteration_spaces(spec)
+        params = {"N": 5}
+        assert initial_tiles(spaces, params, "face-scan") == initial_tiles(
+            spaces, params, "exhaustive"
+        )
+        with pytest.raises(GenerationError):
+            initial_tiles(spaces, params, "bogus")
+
+    def test_parameter_growth_scales_face_count(self):
+        spec = two_arm_spec(tile_width=3)
+        spaces = build_iteration_spaces(spec)
+        small = len(initial_tiles(spaces, {"N": 5}))
+        large = len(initial_tiles(spaces, {"N": 17}))
+        assert large > small

@@ -1,0 +1,140 @@
+"""Kernels synthesized from center_code_py (spec-file-only problems)."""
+
+import pytest
+
+from repro import execute, generate, parse_spec_text
+from repro.errors import SpecError
+from repro.problems import two_arm_reference, two_arm_spec
+from repro.spec import ensure_kernel, kernel_from_center_code
+
+STAIRCASE = """\
+problem: staircase
+loop_vars: x y
+params: M
+tile_widths: 3
+
+constraints:
+    x >= 0
+    y >= 0
+    x + y <= M
+
+templates:
+    right = 1 0
+    up = 0 1
+
+center_code_py: |
+    _c = float((3 * x + 5 * y) % 7)
+    _best = None
+    if is_valid_right:
+        _best = V[loc_right]
+    if is_valid_up and (_best is None or V[loc_up] < _best):
+        _best = V[loc_up]
+    V[loc] = _c + (0.0 if _best is None else _best)
+"""
+
+
+def brute(x, y, m):
+    c = float((3 * x + 5 * y) % 7)
+    options = []
+    if x + 1 + y <= m:
+        options.append(brute(x + 1, y, m))
+    if x + y + 1 <= m:
+        options.append(brute(x, y + 1, m))
+    return c + (min(options) if options else 0.0)
+
+
+class TestSynthesizedKernel:
+    def test_matches_brute_force(self):
+        spec = parse_spec_text(STAIRCASE)
+        kernel = kernel_from_center_code(spec)
+        res = execute(generate(spec), {"M": 11}, kernel=kernel)
+        assert res.objective_value == brute(0, 0, 11)
+
+    def test_matches_handwritten_kernel(self):
+        # The bandit's center_code_py must reproduce its Python kernel.
+        spec = two_arm_spec(tile_width=3)
+        synthesized = kernel_from_center_code(spec)
+        res = execute(generate(spec), {"N": 7}, kernel=synthesized)
+        assert res.objective_value == pytest.approx(
+            two_arm_reference(7), abs=1e-12
+        )
+
+    def test_ensure_kernel_prefers_callable(self):
+        spec = two_arm_spec(tile_width=3)
+        assert ensure_kernel(spec) is spec.kernel
+
+    def test_ensure_kernel_synthesizes(self):
+        spec = parse_spec_text(STAIRCASE)
+        assert spec.kernel is None
+        assert callable(ensure_kernel(spec))
+
+    def test_globals_visible(self):
+        text = STAIRCASE.replace(
+            "center_code_py: |",
+            "global_code_py: |\n    OFFSET = 2.0\n\ncenter_code_py: |",
+        ).replace("V[loc] = _c +", "V[loc] = OFFSET - 2.0 + _c +")
+        spec = parse_spec_text(text)
+        res = execute(generate(spec), {"M": 7}, kernel=ensure_kernel(spec))
+        assert res.objective_value == brute(0, 0, 7)
+
+
+class TestGuards:
+    def test_missing_center_code_rejected(self):
+        spec = two_arm_spec(tile_width=3)
+        import dataclasses
+
+        bare = dataclasses.replace(spec, center_code_py="", kernel=None)
+        with pytest.raises(SpecError):
+            kernel_from_center_code(bare)
+
+    def test_reading_invalid_dependency_rejected(self):
+        text = STAIRCASE.replace(
+            "    if is_valid_right:\n        _best = V[loc_right]\n",
+            "    _best = V[loc_right]\n",
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+    def test_forgetting_to_write_rejected(self):
+        text = STAIRCASE.replace("    V[loc] = _c + (0.0 if _best is None else _best)\n", "    _ignored = _c\n")
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+    def test_reading_current_before_write_rejected(self):
+        text = STAIRCASE.replace(
+            "    _c = float((3 * x + 5 * y) % 7)\n",
+            "    _c = V[loc]\n",
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+    def test_writing_dependency_rejected(self):
+        text = STAIRCASE + "\n"
+        text = text.replace(
+            "    V[loc] = _c + (0.0 if _best is None else _best)",
+            "    V[loc_right] = 1.0\n    V[loc] = _c",
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+
+class TestCliSpecOption:
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        from repro.cli import main_run
+
+        path = tmp_path / "stair.spec"
+        path.write_text(STAIRCASE)
+        rc = main_run(["--spec", str(path), "M=9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        value = float(out.rsplit("=", 1)[1])
+        assert value == brute(0, 0, 9)

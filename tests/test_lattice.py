@@ -1,0 +1,64 @@
+"""Lattice enumeration/counting wrappers and the bounding-box helper."""
+
+import pytest
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import (
+    ConstraintSystem,
+    bounding_box,
+    count_box_filtered,
+    count_points,
+    enumerate_box_filtered,
+    enumerate_points,
+    simplex_count,
+)
+
+SIMPLEX4 = ConstraintSystem.parse(
+    ["a >= 0", "b >= 0", "c >= 0", "d >= 0", "a + b + c + d <= N"]
+)
+ORDER4 = ["a", "b", "c", "d"]
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 9])
+    def test_simplex_closed_form(self, n):
+        assert count_points(SIMPLEX4, ORDER4, {"N": n}) == simplex_count(4, n)
+
+    def test_empty(self):
+        assert count_points(SIMPLEX4, ORDER4, {"N": -3}) == 0
+
+    def test_count_matches_enumerate(self):
+        pts = list(enumerate_points(SIMPLEX4, ORDER4, {"N": 4}))
+        assert len(pts) == count_points(SIMPLEX4, ORDER4, {"N": 4})
+
+    def test_box_oracle_agrees(self):
+        box = {v: (0, 5) for v in ORDER4}
+        assert count_points(SIMPLEX4, ORDER4, {"N": 5}) == count_box_filtered(
+            SIMPLEX4, ORDER4, box, {"N": 5}
+        )
+
+    def test_simplex_count_negative(self):
+        assert simplex_count(3, -1) == 0
+
+
+class TestEnumerate:
+    def test_points_include_parameters(self):
+        pts = list(enumerate_points(SIMPLEX4, ORDER4, {"N": 1}))
+        assert all(p["N"] == 1 for p in pts)
+        assert len(pts) == 5
+
+    def test_oracle_requires_full_box(self):
+        with pytest.raises(PolyhedronError):
+            list(enumerate_box_filtered(SIMPLEX4, ORDER4, {"a": (0, 1)}, {"N": 1}))
+
+
+class TestBoundingBox:
+    def test_simplex_box(self):
+        bb = bounding_box(SIMPLEX4, ORDER4, {"N": 6})
+        assert bb == {v: (0, 6) for v in ORDER4}
+
+    def test_shifted_box(self):
+        s = ConstraintSystem.parse(["x >= 2", "x + y <= 7", "y >= 3"])
+        bb = bounding_box(s, ["x", "y"], {})
+        assert bb["x"] == (2, 4)
+        assert bb["y"] == (3, 5)

@@ -1,0 +1,162 @@
+"""Unit and property tests for exact affine expressions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.polyhedra import LinExpr, parse_affine
+
+names = st.sampled_from(["x", "y", "z", "N", "s1"])
+coeffs = st.integers(-20, 20)
+exprs = st.builds(
+    lambda d, c: LinExpr(d, c),
+    st.dictionaries(names, coeffs, max_size=4),
+    coeffs,
+)
+envs = st.fixed_dictionaries(
+    {n: st.integers(-50, 50) for n in ["x", "y", "z", "N", "s1"]}
+)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({"x": 0, "y": 2})
+        assert e.variables() == frozenset({"y"})
+
+    def test_var_and_const(self):
+        assert LinExpr.var("x").coeff("x") == 1
+        assert LinExpr.const(5).constant == 5
+        assert LinExpr.zero().is_constant()
+
+    def test_fraction_coefficients(self):
+        e = LinExpr({"x": Fraction(1, 3)})
+        assert e.coeff("x") == Fraction(1, 3)
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr({"x": 0.25})
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = LinExpr({"x": 1}, 2) + LinExpr({"x": 3, "y": 1}, -1)
+        assert e.coeff("x") == 4
+        assert e.coeff("y") == 1
+        assert e.constant == 1
+
+    def test_add_scalar(self):
+        assert (LinExpr.var("x") + 5).constant == 5
+
+    def test_sub_cancels(self):
+        e = LinExpr.var("x") - LinExpr.var("x")
+        assert e == LinExpr.zero()
+
+    def test_rsub(self):
+        e = 3 - LinExpr.var("x")
+        assert e.coeff("x") == -1
+        assert e.constant == 3
+
+    def test_mul(self):
+        e = LinExpr({"x": 2}, 3) * Fraction(1, 2)
+        assert e.coeff("x") == 1
+        assert e.constant == Fraction(3, 2)
+
+    def test_mul_zero(self):
+        assert LinExpr({"x": 5}, 7) * 0 == LinExpr.zero()
+
+    def test_div(self):
+        assert (LinExpr({"x": 4}) / 2).coeff("x") == 2
+
+    def test_div_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            LinExpr.var("x") / 0
+
+    @given(exprs, exprs, envs)
+    def test_add_evaluates_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(exprs, coeffs, envs)
+    def test_scale_evaluates_pointwise(self, a, c, env):
+        assert (a * c).evaluate(env) == c * a.evaluate(env)
+
+    @given(exprs)
+    def test_neg_is_additive_inverse(self, a):
+        assert a + (-a) == LinExpr.zero()
+
+
+class TestSubstitution:
+    def test_substitute_with_expr(self):
+        e = LinExpr({"x": 2, "y": 1})
+        out = e.substitute({"x": LinExpr({"i": 1, "t": 4})})
+        assert out.coeff("i") == 2
+        assert out.coeff("t") == 8
+        assert out.coeff("y") == 1
+        assert out.coeff("x") == 0
+
+    def test_substitute_with_number(self):
+        e = LinExpr({"x": 3}, 1)
+        assert e.substitute({"x": 5}) == LinExpr.const(16)
+
+    @given(exprs, st.integers(-10, 10), envs)
+    def test_substitution_matches_evaluation(self, a, v, env):
+        sub = a.substitute({"x": v})
+        env2 = dict(env)
+        env2["x"] = v
+        assert sub.evaluate(env) == a.evaluate(env2)
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            LinExpr.var("q").evaluate({})
+
+
+class TestNormalization:
+    def test_scaled_integral(self):
+        e = LinExpr({"x": Fraction(1, 2), "y": Fraction(1, 3)}, Fraction(1, 6))
+        scaled, m = e.scaled_integral()
+        assert m == 6
+        assert scaled.coeff("x") == 3
+        assert scaled.coeff("y") == 2
+        assert scaled.constant == 1
+
+    def test_content(self):
+        assert LinExpr({"x": 4, "y": 6}, 3).content() == 2
+
+    def test_content_requires_integral(self):
+        with pytest.raises(ValueError):
+            LinExpr({"x": Fraction(1, 2)}).content()
+
+    @given(exprs)
+    def test_hash_consistent_with_eq(self, a):
+        b = LinExpr(dict(a.coeffs), a.constant)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestParseAffine:
+    @pytest.mark.parametrize(
+        "text, env, expected",
+        [
+            ("x", {"x": 3}, 3),
+            ("2*x + 1", {"x": 3}, 7),
+            ("2x - y", {"x": 3, "y": 1}, 5),
+            ("-x + N", {"x": 2, "N": 10}, 8),
+            ("x + y - 4", {"x": 1, "y": 2}, -1),
+            ("3", {}, 3),
+            ("1/2 * x", {"x": 4}, 2),
+        ],
+    )
+    def test_examples(self, text, env, expected):
+        assert parse_affine(text).evaluate(env) == expected
+
+    @pytest.mark.parametrize("bad", ["", "x +", "* x", "x y", "2 **x"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_affine(bad)
+
+    @given(exprs)
+    def test_str_roundtrip(self, e):
+        # str(e) uses the same grammar parse_affine accepts.
+        assert parse_affine(str(e)) == e

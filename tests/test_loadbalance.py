@@ -1,0 +1,157 @@
+"""Load balancing (Section IV-J) and the hyperplane variant (VII-B)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import (
+    balance_dimension_cut,
+    balance_hyperplane,
+    build_iteration_spaces,
+    compute_slab_work,
+    generate,
+    lb_slab_polynomial,
+    total_work_polynomial,
+)
+from repro.polyhedra import simplex_count
+from repro.problems import two_arm_spec
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    return build_iteration_spaces(two_arm_spec(tile_width=3))
+
+
+PARAMS = {"N": 12}
+
+
+class TestSlabWork:
+    def test_slab_works_sum_to_total(self, spaces):
+        works = compute_slab_work(spaces, PARAMS)
+        assert sum(works.values()) == spaces.total_points(PARAMS)
+
+    def test_slab_work_matches_per_tile_sum(self, spaces):
+        works = compute_slab_work(spaces, PARAMS)
+        by_slab = {}
+        for tile in spaces.tiles(PARAMS):
+            key = (tile[0], tile[1])  # lb dims are s1, f1
+            by_slab[key] = by_slab.get(key, 0) + spaces.tile_point_count(
+                tile, PARAMS
+            )
+        assert works == by_slab
+
+    def test_empty_slabs_omitted(self, spaces):
+        works = compute_slab_work(spaces, PARAMS)
+        assert all(w > 0 for w in works.values())
+
+
+class TestDimensionCut:
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 4, 8])
+    def test_every_slab_assigned(self, spaces, nodes):
+        lb = balance_dimension_cut(spaces, PARAMS, nodes)
+        assert set(lb.slab_node) == set(lb.slab_work)
+        assert set(lb.slab_node.values()) <= set(range(nodes))
+
+    def test_single_node_gets_everything(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 1)
+        assert lb.work_per_node() == [lb.total_work]
+        assert lb.imbalance() == 1.0
+
+    def test_contiguous_along_order(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 3)
+        nodes_in_order = [lb.slab_node[s] for s in lb.slab_order]
+        assert nodes_in_order == sorted(nodes_in_order)
+
+    def test_balance_quality(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 4)
+        assert lb.imbalance() < 1.35
+
+    def test_balance_improves_with_resolution(self):
+        # Finer tiles -> finer slabs -> better balance.
+        coarse = build_iteration_spaces(two_arm_spec(tile_width=6))
+        fine = build_iteration_spaces(two_arm_spec(tile_width=2))
+        params = {"N": 23}
+        lb_coarse = balance_dimension_cut(coarse, params, 4)
+        lb_fine = balance_dimension_cut(fine, params, 4)
+        assert lb_fine.imbalance() <= lb_coarse.imbalance() + 1e-9
+
+    def test_node_of_tile(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 2)
+        for tile in spaces.tiles(PARAMS):
+            node = lb.node_of_tile(tile, spaces)
+            assert node == lb.slab_node[(tile[0], tile[1])]
+
+    def test_node_of_unknown_tile_rejected(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 2)
+        with pytest.raises(GenerationError):
+            lb.node_of_tile((99, 99, 0, 0), spaces)
+
+    def test_zero_nodes_rejected(self, spaces):
+        with pytest.raises(GenerationError):
+            balance_dimension_cut(spaces, PARAMS, 0)
+
+    def test_work_conservation(self, spaces):
+        lb = balance_dimension_cut(spaces, PARAMS, 5)
+        assert sum(lb.work_per_node()) == lb.total_work
+
+
+class TestHyperplane:
+    def test_orders_by_wavefront_level(self, spaces):
+        lb = balance_hyperplane(spaces, PARAMS, 3)
+        # default direction: level = -(s1 + f1) for descending dims;
+        # levels must be monotone along the slab order.
+        levels = [-(s[0] + s[1]) for s in lb.slab_order]
+        assert levels == sorted(levels)
+
+    def test_balance_quality(self, spaces):
+        lb = balance_hyperplane(spaces, PARAMS, 4)
+        assert lb.imbalance() < 1.35
+        assert sum(lb.work_per_node()) == lb.total_work
+
+    def test_custom_direction(self, spaces):
+        lb = balance_hyperplane(spaces, PARAMS, 2, direction=[-2, -1])
+        levels = [-2 * s[0] - s[1] for s in lb.slab_order]
+        assert levels == sorted(levels)
+
+    def test_wrong_direction_arity_rejected(self, spaces):
+        with pytest.raises(GenerationError):
+            balance_hyperplane(spaces, PARAMS, 2, direction=[1])
+
+    def test_same_work_different_cut(self, spaces):
+        a = balance_dimension_cut(spaces, PARAMS, 3)
+        b = balance_hyperplane(spaces, PARAMS, 3)
+        assert a.total_work == b.total_work
+        assert a.slab_work == b.slab_work
+        # but the actual assignment differs (the point of Figure 8)
+        assert a.slab_node != b.slab_node
+
+
+class TestEhrhartPolynomials:
+    def test_total_work_polynomial_is_simplex(self):
+        spec = two_arm_spec(tile_width=3)
+        qp = total_work_polynomial(spec)
+        for n in range(0, 12):
+            assert qp(n) == simplex_count(4, n)
+
+    def test_slab_polynomial_matches_counts(self, spaces):
+        qp = lb_slab_polynomial(spaces, (0, 0))
+        for n in range(qp.valid_from, qp.valid_from + 8):
+            works = compute_slab_work(spaces, {"N": n})
+            assert qp(n) == works.get((0, 0), 0)
+
+    def test_total_work_needs_single_param(self):
+        from repro.problems import lcs_spec
+
+        spec = lcs_spec(["ACG", "TTA"], tile_width=3)
+        with pytest.raises(GenerationError):
+            total_work_polynomial(spec)
+
+
+class TestProgramHelpers:
+    def test_load_balance_dispatch(self):
+        program = generate(two_arm_spec(tile_width=3))
+        a = program.load_balance(PARAMS, 2, method="dimension-cut")
+        b = program.load_balance(PARAMS, 2, method="hyperplane")
+        assert a.method == "dimension-cut"
+        assert b.method == "hyperplane"
+        with pytest.raises(GenerationError):
+            program.load_balance(PARAMS, 2, method="nope")

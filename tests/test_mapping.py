@@ -1,0 +1,94 @@
+"""Mapping functions and tile memory layout (Section IV-H)."""
+
+import itertools
+
+import pytest
+
+from repro.generator import build_layout, template_offsets
+from repro.generator.mapping import TileLayout
+from repro.problems import lcs_spec, two_arm_spec
+
+
+class TestLayoutGeometry:
+    def test_bandit_layout(self):
+        layout = build_layout(two_arm_spec(tile_width=4))
+        assert layout.widths == (4, 4, 4, 4)
+        assert layout.ghost_lo == (0, 0, 0, 0)
+        assert layout.ghost_hi == (1, 1, 1, 1)
+        assert layout.padded_shape == (5, 5, 5, 5)
+        assert layout.cells == 625
+        assert layout.strides == (125, 25, 5, 1)
+
+    def test_negative_template_layout(self):
+        layout = build_layout(lcs_spec(["ACGT", "GATTA"], tile_width=4))
+        assert layout.ghost_lo == (1, 1)
+        assert layout.ghost_hi == (0, 0)
+        assert layout.padded_shape == (5, 5)
+
+    def test_base_offset(self):
+        layout = TileLayout(("x", "y"), (3, 3), (1, 2), (0, 0))
+        # origin sits at (1, 2) in the padded array
+        assert layout.base_offset() == 1 * layout.strides[0] + 2
+
+    def test_array_index_interior(self):
+        layout = TileLayout(("x", "y"), (3, 3), (1, 1), (1, 1))
+        assert layout.array_index((0, 0)) == (1, 1)
+        assert layout.array_index((2, 2)) == (3, 3)
+
+    def test_array_index_ghosts(self):
+        layout = TileLayout(("x", "y"), (3, 3), (1, 1), (1, 1))
+        assert layout.array_index((-1, 3)) == (0, 4)
+
+    def test_array_index_out_of_margin(self):
+        layout = TileLayout(("x", "y"), (3, 3), (1, 1), (1, 1))
+        with pytest.raises(IndexError):
+            layout.array_index((-2, 0))
+        with pytest.raises(IndexError):
+            layout.array_index((0, 4))
+
+
+class TestLinearIndex:
+    def test_bijective_over_padded_box(self):
+        layout = TileLayout(("x", "y", "z"), (3, 2, 4), (1, 0, 2), (1, 1, 0))
+        seen = set()
+        ranges = [
+            range(-lo, w + hi)
+            for lo, w, hi in zip(layout.ghost_lo, layout.widths, layout.ghost_hi)
+        ]
+        for local in itertools.product(*ranges):
+            idx = layout.linear_index(local)
+            assert 0 <= idx < layout.cells
+            assert idx not in seen
+            seen.add(idx)
+        assert len(seen) == layout.cells
+
+    def test_template_offset_is_constant_shift(self):
+        layout = TileLayout(("x", "y"), (4, 4), (1, 1), (1, 1))
+        for vec in [(1, 0), (0, 1), (1, 1), (-1, 0), (-1, -1)]:
+            off = layout.template_offset(vec)
+            for local in itertools.product(range(4), repeat=2):
+                shifted = tuple(i + r for i, r in zip(local, vec))
+                assert layout.linear_index(shifted) == layout.linear_index(
+                    local
+                ) + off
+
+
+class TestTemplateOffsets:
+    def test_bandit_offsets(self):
+        spec = two_arm_spec(tile_width=4)
+        layout = build_layout(spec)
+        offsets = template_offsets(spec, layout)
+        assert offsets == {
+            "succ1": 125,
+            "fail1": 25,
+            "succ2": 5,
+            "fail2": 1,
+        }
+
+    def test_negative_offsets(self):
+        spec = lcs_spec(["AC", "GT"], tile_width=3)
+        layout = build_layout(spec)
+        offsets = template_offsets(spec, layout)
+        assert offsets["drop_1"] == -layout.strides[0]
+        assert offsets["drop_2"] == -1
+        assert offsets["drop_12"] == -layout.strides[0] - 1

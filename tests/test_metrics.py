@@ -1,0 +1,66 @@
+"""Scaling-study helpers (the Figure 6 / Figure 7 machinery)."""
+
+import pytest
+
+from repro.simulate import (
+    MachineModel,
+    format_scaling_table,
+    shared_memory_scaling,
+    weak_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def points(bandit2_w4_program):
+    return shared_memory_scaling(
+        bandit2_w4_program, {"N": 15}, core_counts=[1, 2, 4, 8]
+    )
+
+
+class TestSharedMemoryScaling:
+    def test_baseline_is_one(self, points):
+        assert points[0].cores == 1
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].efficiency == pytest.approx(1.0)
+
+    def test_speedup_monotone(self, points):
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_efficiency_bounded(self, points):
+        for p in points:
+            assert 0 < p.efficiency <= 1.0 + 1e-9
+
+    def test_cells_constant(self, points):
+        assert len({p.total_cells for p in points}) == 1
+
+
+class TestWeakScaling:
+    def test_efficiency_definition(self, bandit2_w4_program):
+        def factory(nodes):
+            return bandit2_w4_program, {"N": 12 + 4 * (nodes - 1)}
+
+        pts = weak_scaling(
+            factory, [1, 2], machine=MachineModel(cores_per_node=4)
+        )
+        assert pts[0].efficiency == pytest.approx(1.0)
+        assert pts[1].nodes == 2
+        # normalized throughput per node can only drop
+        assert pts[1].efficiency <= 1.0 + 1e-9
+
+    def test_work_grows(self, bandit2_w4_program):
+        def factory(nodes):
+            return bandit2_w4_program, {"N": 12 + 4 * (nodes - 1)}
+
+        pts = weak_scaling(
+            factory, [1, 2], machine=MachineModel(cores_per_node=4)
+        )
+        assert pts[1].total_cells > pts[0].total_cells
+
+
+class TestFormatting:
+    def test_table_contains_rows(self, points):
+        text = format_scaling_table(points, "demo")
+        assert "demo" in text
+        assert text.count("\n") == len(points) + 1
+        assert "100.0%" in text

@@ -1,0 +1,160 @@
+"""Packing/unpacking (Section IV-I): roundtrips and ghost coverage."""
+
+import numpy as np
+import pytest
+
+from repro.generator import build_iteration_spaces, build_layout, build_pack_plans
+from repro.generator.tile_deps import delta_between, dependency_deltas
+from repro.problems import lcs_spec, two_arm_spec
+
+
+@pytest.fixture(scope="module")
+def bandit_setup():
+    spec = two_arm_spec(tile_width=3)
+    spaces = build_iteration_spaces(spec)
+    layout = build_layout(spec)
+    plans = build_pack_plans(spec, spaces, layout)
+    return spec, spaces, layout, plans
+
+
+@pytest.fixture(scope="module")
+def lcs_setup():
+    spec = lcs_spec(["ACGTACG", "GATTACA"], tile_width=3)
+    spaces = build_iteration_spaces(spec)
+    layout = build_layout(spec)
+    plans = build_pack_plans(spec, spaces, layout)
+    return spec, spaces, layout, plans
+
+
+def fill_tile(spaces, layout, tile, params):
+    """A producer array whose interior cells hold unique markers."""
+    array = np.full(layout.padded_shape, np.nan)
+    for env in spaces.local_points(tile, params):
+        local = tuple(env[v] for v in spaces.local_vars)
+        point = spaces.global_point(tile, local)
+        marker = sum(
+            point[v] * 1000 ** k
+            for k, v in enumerate(spaces.spec.loop_vars)
+        )
+        array[layout.array_index(local)] = float(marker)
+    return array
+
+
+def marker_of(point, loop_vars):
+    return float(sum(point[v] * 1000 ** k for k, v in enumerate(loop_vars)))
+
+
+@pytest.mark.parametrize("setup_name", ["bandit_setup", "lcs_setup"])
+def test_pack_unpack_roundtrip_preserves_values(setup_name, request):
+    spec, spaces, layout, plans = request.getfixturevalue(setup_name)
+    params = (
+        {"N": 7}
+        if "N" in spec.params
+        else {"L1": 7, "L2": 7}
+    )
+    tiles = set(spaces.tiles(params))
+    checked_edges = 0
+    for consumer in tiles:
+        consumer_array = np.full(layout.padded_shape, np.nan)
+        for delta, plan in plans.items():
+            producer = tuple(t + d for t, d in zip(consumer, delta))
+            if producer not in tiles:
+                continue
+            env = dict(params)
+            env.update(spaces.tile_env(producer))
+            producer_array = fill_tile(spaces, layout, producer, params)
+            buf = plan.pack(env, producer_array, layout, spaces.local_vars)
+            assert len(buf) == plan.region_size(env)
+            assert not np.isnan(buf).any(), "packed an uncomputed cell"
+            plan.unpack(env, buf, consumer_array, layout, spaces.local_vars)
+            checked_edges += 1
+        # every ghost value written matches the producer's global marker
+        for idx in np.argwhere(~np.isnan(consumer_array)):
+            local = tuple(
+                int(i) - lo for i, lo in zip(idx, layout.ghost_lo)
+            )
+            point = spaces.global_point(consumer, local)
+            assert consumer_array[tuple(idx)] == marker_of(
+                point, spec.loop_vars
+            )
+    assert checked_edges > 0
+
+
+def test_ghost_coverage_bandit(bandit_setup):
+    """Every valid cross-tile dependency must be delivered by some edge."""
+    spec, spaces, layout, plans = bandit_setup
+    params = {"N": 7}
+    tiles = set(spaces.tiles(params))
+    for consumer in tiles:
+        consumer_array = np.full(layout.padded_shape, np.nan)
+        for delta, plan in plans.items():
+            producer = tuple(t + d for t, d in zip(consumer, delta))
+            if producer not in tiles:
+                continue
+            env = dict(params)
+            env.update(spaces.tile_env(producer))
+            producer_array = fill_tile(spaces, layout, producer, params)
+            buf = plan.pack(env, producer_array, layout, spaces.local_vars)
+            plan.unpack(env, buf, consumer_array, layout, spaces.local_vars)
+        # now check all needed ghosts are present
+        for env in spaces.local_points(consumer, params):
+            local = tuple(env[v] for v in spaces.local_vars)
+            point = spaces.global_point(consumer, local)
+            for name, vec in spec.templates.items():
+                target = {
+                    v: point[v] + o
+                    for v, o in spec.templates.as_offset_map(name).items()
+                }
+                if not spec.constraints.satisfied({**target, **params}):
+                    continue  # invalid access; kernel will not read it
+                ghost = tuple(i + r for i, r in zip(local, vec))
+                target_tile = spaces.point_to_tile(target)
+                if target_tile == consumer:
+                    continue  # computed in-tile, not via ghosts
+                value = consumer_array[layout.array_index(ghost)]
+                assert not np.isnan(value), (
+                    f"dependency {name} of {point} missing from ghosts"
+                )
+                assert value == marker_of(target, spec.loop_vars)
+
+
+def test_pack_buffer_order_is_deterministic(bandit_setup):
+    spec, spaces, layout, plans = bandit_setup
+    params = {"N": 7}
+    tiles = list(spaces.tiles(params))
+    producer = tiles[0]
+    env = dict(params)
+    env.update(spaces.tile_env(producer))
+    array = fill_tile(spaces, layout, producer, params)
+    for plan in plans.values():
+        a = plan.pack(env, array, layout, spaces.local_vars)
+        b = plan.pack(env, array, layout, spaces.local_vars)
+        assert np.array_equal(a, b)
+
+
+def test_unpack_rejects_mismatched_buffer(bandit_setup):
+    from repro.errors import GenerationError
+
+    spec, spaces, layout, plans = bandit_setup
+    params = {"N": 7}
+    producer = next(iter(spaces.tiles(params)))
+    env = dict(params)
+    env.update(spaces.tile_env(producer))
+    plan = next(iter(plans.values()))
+    size = plan.region_size(env)
+    target = np.full(layout.padded_shape, np.nan)
+    with pytest.raises(GenerationError):
+        plan.unpack(env, np.zeros(size + 3), target, layout, spaces.local_vars)
+
+
+def test_region_sizes_smaller_than_tile(bandit_setup):
+    """The paper's memory argument: an edge is w^(d-1), a tile w^d."""
+    spec, spaces, layout, plans = bandit_setup
+    params = {"N": 30}
+    interior = (1, 1, 1, 1)
+    env = dict(params)
+    env.update(spaces.tile_env(interior))
+    tile_cells = spaces.tile_point_count(interior, params)
+    assert tile_cells == 3 ** 4
+    for plan in plans.values():
+        assert plan.region_size(env) == 3 ** 3

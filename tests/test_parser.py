@@ -1,0 +1,164 @@
+"""The textual problem-description format (Section IV-A)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.spec import format_spec, parse_spec_text
+
+MINIMAL = """\
+problem: demo
+loop_vars: x y
+params: N
+tile_widths: 4
+
+constraints:
+    x >= 0
+    y >= 0
+    x + y <= N
+
+templates:
+    r1 = 1 0
+    r2 = 0 1
+"""
+
+
+class TestParse:
+    def test_minimal(self):
+        spec = parse_spec_text(MINIMAL)
+        assert spec.name == "demo"
+        assert spec.loop_vars == ("x", "y")
+        assert spec.params == ("N",)
+        assert spec.tile_widths == {"x": 4, "y": 4}
+        assert spec.lb_dims == ("x",)
+        assert len(spec.constraints) == 3
+        assert spec.templates.vector("r2") == (0, 1)
+
+    def test_per_dimension_tile_widths(self):
+        text = MINIMAL.replace("tile_widths: 4", "tile_widths: x=3 y=5")
+        spec = parse_spec_text(text)
+        assert spec.tile_widths == {"x": 3, "y": 5}
+
+    def test_lb_dims_and_state(self):
+        text = MINIMAL + "lb_dims: y x\nstate: W\n"
+        spec = parse_spec_text(text)
+        assert spec.lb_dims == ("y", "x")
+        assert spec.state_name == "W"
+
+    def test_objective_key(self):
+        text = MINIMAL + "objective: x=5 y=2\n"
+        spec = parse_spec_text(text)
+        assert spec.objective_point == {"x": 5, "y": 2}
+
+    def test_objective_roundtrips(self):
+        text = MINIMAL + "objective: x=5 y=2\n"
+        spec = parse_spec_text(text)
+        again = parse_spec_text(format_spec(spec))
+        assert again.objective_point == {"x": 5, "y": 2}
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spec_text(MINIMAL + "objective: x:5 y=2\n")
+        with pytest.raises(ParseError):
+            parse_spec_text(MINIMAL + "objective: x=five y=2\n")
+
+    def test_comments_ignored(self):
+        text = "# top comment\n" + MINIMAL.replace(
+            "x >= 0", "x >= 0   # nonneg"
+        )
+        spec = parse_spec_text(text)
+        assert len(spec.constraints) == 3
+
+    def test_code_block(self):
+        text = MINIMAL + (
+            "center_code_c: |\n"
+            "    double v = 0;\n"
+            "    if (is_valid_r1) v = V[loc_r1];\n"
+            "    V[loc] = v;\n"
+        )
+        spec = parse_spec_text(text)
+        assert "V[loc] = v;" in spec.center_code_c
+        assert spec.center_code_c.startswith("double v")
+
+    def test_code_block_dedent_preserves_nesting(self):
+        text = MINIMAL + (
+            "center_code_py: |\n"
+            "    if is_valid_r1:\n"
+            "        V[loc] = V[loc_r1]\n"
+            "    else:\n"
+            "        V[loc] = 0.0\n"
+        )
+        spec = parse_spec_text(text)
+        lines = spec.center_code_py.splitlines()
+        assert lines[0] == "if is_valid_r1:"
+        assert lines[1] == "    V[loc] = V[loc_r1]"
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda t: t.replace("problem: demo\n", ""),
+            lambda t: t.replace("loop_vars: x y\n", ""),
+            lambda t: t.replace("tile_widths: 4\n", ""),
+            lambda t: t.replace("constraints:", "constraintz:"),
+            lambda t: t.replace("templates:\n", "templates: inline\n"),
+            lambda t: t + "problem: again\n",
+            lambda t: t.replace("r1 = 1 0", "r1 : 1 0"),
+            lambda t: t.replace("r1 = 1 0", "r1 = 1 zebra"),
+            lambda t: t.replace("tile_widths: 4", "tile_widths: x:4"),
+        ],
+    )
+    def test_malformed_rejected(self, mutation):
+        with pytest.raises(ParseError):
+            parse_spec_text(mutation(MINIMAL))
+
+    def test_unexpected_indent_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spec_text("problem: p\n    stray: indented\n")
+
+    def test_code_key_requires_pipe(self):
+        with pytest.raises(ParseError):
+            parse_spec_text(MINIMAL + "center_code_c: inline\n")
+
+    def test_duplicate_template_rejected(self):
+        bad = MINIMAL + "\n"
+        bad = bad.replace("r2 = 0 1", "r2 = 0 1\n    r2 = 0 1")
+        with pytest.raises(ParseError):
+            parse_spec_text(bad)
+
+
+class TestRoundtrip:
+    def test_format_then_parse(self):
+        spec = parse_spec_text(
+            MINIMAL
+            + "lb_dims: x y\n"
+            + "center_code_c: |\n    V[loc] = 1.0;\n"
+            + "center_code_py: |\n    V[loc] = 1.0\n"
+        )
+        again = parse_spec_text(format_spec(spec))
+        assert again.name == spec.name
+        assert again.loop_vars == spec.loop_vars
+        assert again.params == spec.params
+        assert again.tile_widths == spec.tile_widths
+        assert again.lb_dims == spec.lb_dims
+        assert again.constraints == spec.constraints
+        assert tuple(again.templates.items()) == tuple(spec.templates.items())
+        assert again.center_code_c.strip() == spec.center_code_c.strip()
+        assert again.center_code_py.strip() == spec.center_code_py.strip()
+
+    def test_builtin_problems_roundtrip(self):
+        from repro.problems import two_arm_spec
+
+        spec = two_arm_spec(tile_width=5)
+        again = parse_spec_text(format_spec(spec))
+        assert again.loop_vars == spec.loop_vars
+        assert again.constraints == spec.constraints
+        assert again.tile_widths == spec.tile_widths
+        assert tuple(again.templates.items()) == tuple(spec.templates.items())
+
+
+class TestParseFile:
+    def test_parse_spec_file(self, tmp_path):
+        from repro.spec import parse_spec_file
+
+        path = tmp_path / "demo.spec"
+        path.write_text(MINIMAL)
+        assert parse_spec_file(path).name == "demo"

@@ -1,0 +1,59 @@
+"""The generation pipeline product (Section IV-C)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import GeneratedProgram, generate
+from repro.problems import two_arm_spec
+
+
+class TestGenerate:
+    def test_product_fields(self, bandit2_program):
+        p = bandit2_program
+        assert isinstance(p, GeneratedProgram)
+        assert p.deltas
+        assert set(p.delta_templates) == set(p.deltas)
+        assert set(p.pack_plans) == set(p.deltas)
+        assert set(p.offsets) == set(p.spec.templates.names())
+        assert p.validity.per_template.keys() == set(
+            p.spec.templates.names()
+        )
+
+    def test_stats_recorded(self, bandit2_program):
+        s = bandit2_program.stats
+        assert s.total_s > 0
+        assert s.total_s >= s.spaces_s
+
+    def test_describe(self, bandit2_program):
+        text = bandit2_program.describe()
+        assert "tile dependencies" in text
+        assert "validity checks" in text
+        assert "padded tile shape" in text
+
+    def test_prune_levels_give_equivalent_programs(self):
+        spec = two_arm_spec(tile_width=4)
+        a = generate(spec, prune="syntactic")
+        b = generate(spec, prune="lp")
+        params = {"N": 9}
+        assert set(a.spaces.tiles(params)) == set(b.spaces.tiles(params))
+        for t in a.spaces.tiles(params):
+            assert a.spaces.tile_point_count(
+                t, params
+            ) == b.spaces.tile_point_count(t, params)
+
+    def test_lp_prune_never_more_constraints(self):
+        spec = two_arm_spec(tile_width=4)
+        a = generate(spec, prune="syntactic")
+        b = generate(spec, prune="lp")
+        assert len(b.spaces.tile_space) <= len(a.spaces.tile_space)
+
+    def test_initial_tiles_helper(self, bandit2_program):
+        fast = bandit2_program.initial_tiles({"N": 7})
+        slow = bandit2_program.initial_tiles({"N": 7}, method="exhaustive")
+        assert fast == slow
+
+    def test_slab_work_helper(self, bandit2_program):
+        works = bandit2_program.slab_work({"N": 7})
+        assert sum(works.values()) == bandit2_program.spaces.total_points(
+            {"N": 7}
+        )

@@ -1,0 +1,93 @@
+"""Tile priority schemes (Section V-B, Figures 4 and 5)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import PRIORITY_SCHEMES, make_priority
+from repro.problems import edit_distance_spec, two_arm_spec
+
+
+@pytest.fixture(scope="module")
+def bandit():
+    return two_arm_spec(tile_width=3)
+
+
+@pytest.fixture(scope="module")
+def edit():
+    # negative templates -> ascending scan
+    return edit_distance_spec("ACGTACC", "GATTACA", tile_width=3)
+
+
+class TestColumnMajor:
+    def test_descending_prefers_high_tiles(self, bandit):
+        prio = make_priority(bandit, "column-major")
+        # execution goes from high indices down; high tile pops first.
+        assert prio((3, 0, 0, 0)) < prio((2, 0, 0, 0))
+        assert prio((2, 1, 0, 0)) < prio((2, 0, 1, 0))
+
+    def test_ascending_prefers_low_tiles(self, edit):
+        prio = make_priority(edit, "column-major")
+        assert prio((0, 0)) < prio((1, 0))
+        assert prio((0, 1)) < prio((1, 0))
+
+    def test_total_order_is_lexicographic(self, bandit):
+        prio = make_priority(bandit, "column-major")
+        tiles = [(a, b, 0, 0) for a in range(3) for b in range(3)]
+        ordered = sorted(tiles, key=prio)
+        assert ordered == sorted(
+            tiles, key=lambda t: (-t[0], -t[1], -t[2], -t[3])
+        )
+
+
+class TestLevelSet:
+    def test_wavefront_major(self, bandit):
+        prio = make_priority(bandit, "level-set")
+        # deeper wavefront (larger total for descending) pops first
+        assert prio((2, 2, 0, 0)) < prio((3, 0, 0, 0))
+        assert prio((1, 1, 1, 1)) < prio((3, 0, 0, 0))
+
+    def test_ties_break_lexicographically(self, bandit):
+        prio = make_priority(bandit, "level-set")
+        assert prio((2, 1, 0, 0)) < prio((1, 2, 0, 0))
+
+
+class TestLbFirst:
+    def test_downstream_lb_tiles_pop_first(self, bandit):
+        # lb dims (s1, f1) descending scan: downstream = smaller index.
+        prio = make_priority(bandit, "lb-first")
+        assert prio((1, 0, 0, 0)) < prio((2, 0, 0, 0))
+        assert prio((1, 1, 0, 0)) < prio((1, 2, 0, 0))
+
+    def test_non_lb_dims_stay_column_major(self, bandit):
+        prio = make_priority(bandit, "lb-first")
+        assert prio((1, 1, 2, 0)) < prio((1, 1, 1, 0))
+
+    def test_lb_last_is_opposite_on_lb_dims(self, bandit):
+        first = make_priority(bandit, "lb-first")
+        last = make_priority(bandit, "lb-last")
+        a, b = (1, 0, 0, 0), (2, 0, 0, 0)
+        assert (first(a) < first(b)) != (last(a) < last(b))
+
+    def test_ascending_problem_downstream_is_larger(self, edit):
+        prio = make_priority(edit, "lb-first")
+        # lb dim is i (ascending): downstream = larger i pops first.
+        assert prio((2, 0)) < prio((1, 0))
+
+
+class TestDispatch:
+    def test_all_schemes_constructible(self, bandit):
+        for scheme in PRIORITY_SCHEMES:
+            fn = make_priority(bandit, scheme)
+            assert isinstance(fn((0, 0, 0, 0)), tuple)
+
+    def test_unknown_scheme_rejected(self, bandit):
+        with pytest.raises(GenerationError):
+            make_priority(bandit, "fifo")
+
+    def test_keys_are_total_and_deterministic(self, bandit):
+        prio = make_priority(bandit, "lb-first")
+        tiles = [(a, b, c, d) for a in range(2) for b in range(2)
+                 for c in range(2) for d in range(2)]
+        keys = [prio(t) for t in tiles]
+        assert len(set(keys)) == len(tiles)
+        assert keys == [prio(t) for t in tiles]

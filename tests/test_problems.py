@@ -1,0 +1,195 @@
+"""The problem library: reference solvers and spec structure."""
+
+import math
+
+import pytest
+
+from repro.problems import (
+    REGISTRY,
+    delayed_two_arm_reference,
+    delayed_two_arm_spec,
+    edit_distance_reference,
+    edit_distance_spec,
+    karm_spec,
+    lcs_reference,
+    lcs_spec,
+    msa_reference,
+    msa_spec,
+    random_sequence,
+    three_arm_reference,
+    three_arm_spec,
+    two_arm_reference,
+    two_arm_spec,
+)
+
+
+class TestBanditReferences:
+    def test_n0_is_zero(self):
+        assert two_arm_reference(0) == 0.0
+        assert three_arm_reference(0) == 0.0
+        assert delayed_two_arm_reference(0) == 0.0
+
+    def test_n1_single_pull(self):
+        # One pull of a fresh arm succeeds with probability 1/2.
+        assert two_arm_reference(1) == pytest.approx(0.5)
+        assert three_arm_reference(1) == pytest.approx(0.5)
+
+    def test_n2_known_value(self):
+        # Hand-computable: first pull 1/2; optimal continuation:
+        # success -> p=2/3 on same arm; failure -> switch, fresh arm 1/2.
+        expected = 0.5 + 0.5 * (2 / 3) + 0.5 * 0.5
+        assert two_arm_reference(2) == pytest.approx(expected)
+
+    def test_monotone_in_n(self):
+        values = [two_arm_reference(n) for n in range(8)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_n(self):
+        for n in range(6):
+            assert 0 <= two_arm_reference(n) <= n
+
+    def test_three_arms_at_least_two(self):
+        # More arms can only help the optimal policy.
+        for n in range(6):
+            assert three_arm_reference(n) >= two_arm_reference(n) - 1e-12
+
+    def test_delay_costs_value(self):
+        for n in range(2, 8):
+            assert delayed_two_arm_reference(n) < two_arm_reference(n)
+
+    def test_delayed_monotone(self):
+        values = [delayed_two_arm_reference(n) for n in range(8)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestBanditSpecs:
+    def test_two_arm_is_4d(self):
+        spec = two_arm_spec()
+        assert spec.dims == 4
+        assert len(spec.templates) == 4
+
+    def test_three_arm_is_6d(self):
+        spec = three_arm_spec()
+        assert spec.dims == 6
+        assert len(spec.templates) == 6
+
+    def test_delayed_is_6d_with_coupling(self):
+        spec = delayed_two_arm_spec()
+        assert spec.dims == 6
+        # The coupled constraint s1 + f1 <= q1 must be present.
+        assert any(
+            c.coeff("q1") != 0 and c.coeff("s1") != 0 for c in spec.constraints
+        )
+
+    def test_karm_general(self):
+        spec = karm_spec(4, tile_width=2)
+        assert spec.dims == 8
+
+    def test_center_code_both_backends(self):
+        for spec in (two_arm_spec(), three_arm_spec(), delayed_two_arm_spec()):
+            assert spec.center_code_c.strip()
+            assert spec.center_code_py.strip()
+
+
+class TestEditDistance:
+    def test_identical_strings(self):
+        assert edit_distance_reference("ACGT", "ACGT") == 0
+
+    def test_empty_vs_string(self):
+        assert edit_distance_reference("", "ACG") == 3
+        assert edit_distance_reference("ACG", "") == 3
+
+    def test_known_case(self):
+        assert edit_distance_reference("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        a, b = random_sequence(9, 1), random_sequence(7, 2)
+        assert edit_distance_reference(a, b) == edit_distance_reference(b, a)
+
+    def test_triangle_inequality(self):
+        a = random_sequence(8, 3)
+        b = random_sequence(8, 4)
+        c = random_sequence(8, 5)
+        assert edit_distance_reference(a, c) <= edit_distance_reference(
+            a, b
+        ) + edit_distance_reference(b, c)
+
+    def test_spec_objective(self):
+        spec = edit_distance_spec("ACG", "TT", tile_width=2)
+        assert spec.objective_point == {"i": 3, "j": 2}
+
+
+class TestLcs:
+    def test_known_pair(self):
+        assert lcs_reference(["ABCBDAB", "BDCABA"]) == 4
+
+    def test_three_strings(self):
+        # "BC" is not a subsequence of "CB", so the best common
+        # subsequence of all three is a single character.
+        assert lcs_reference(["ABC", "BC", "CB"]) == 1
+        assert lcs_reference(["AB", "AB", "AB"]) == 2
+
+    def test_bounded_by_shortest(self):
+        strs = [random_sequence(6, 7), random_sequence(9, 8)]
+        assert lcs_reference(strs) <= 6
+
+    def test_identical(self):
+        assert lcs_reference(["ACGT", "ACGT", "ACGT"]) == 4
+
+    def test_spec_arity_checked(self):
+        with pytest.raises(ValueError):
+            lcs_spec(["A"])
+        with pytest.raises(ValueError):
+            lcs_spec(["A", "B", "C", "D"])
+
+
+class TestMsa:
+    def test_identical_sequences_cost_zero(self):
+        assert msa_reference(["ACGT", "ACGT"]) == 0.0
+        assert msa_reference(["ACG", "ACG", "ACG"]) == 0.0
+
+    def test_pairwise_equals_edit_like(self):
+        # With mismatch=1 and gap=1, 2-sequence sum-of-pairs MSA is the
+        # Levenshtein distance.
+        a, b = random_sequence(8, 9), random_sequence(6, 10)
+        assert msa_reference([a, b], mismatch=1.0, gap=1.0) == float(
+            edit_distance_reference(a, b)
+        )
+
+    def test_all_gaps_cost(self):
+        # Aligning against an empty sequence forces pure gap columns.
+        assert msa_reference(["AC", ""], gap=2.0) == 4.0
+
+    def test_joint_at_least_pairwise(self):
+        strs = [random_sequence(6, 11), random_sequence(5, 12), random_sequence(7, 13)]
+        joint = msa_reference(strs)
+        pair_sum = (
+            msa_reference([strs[0], strs[1]])
+            + msa_reference([strs[0], strs[2]])
+            + msa_reference([strs[1], strs[2]])
+        )
+        assert joint >= pair_sum - 1e-9
+
+    def test_spec_arity_checked(self):
+        with pytest.raises(ValueError):
+            msa_spec(["A"])
+
+
+class TestRegistry:
+    def test_expected_problems(self):
+        assert set(REGISTRY) == {
+            "bandit2",
+            "bandit3",
+            "bandit2-delayed",
+            "edit-distance",
+            "damerau",
+            "smith-waterman",
+            "lcs",
+            "msa",
+            "viterbi",
+        }
+
+    def test_random_sequence_deterministic(self):
+        assert random_sequence(20, 5) == random_sequence(20, 5)
+        assert random_sequence(20, 5) != random_sequence(20, 6)
+        assert set(random_sequence(50, 1)) <= set("ACGT")

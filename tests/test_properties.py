@@ -1,0 +1,147 @@
+"""Property-based tests over randomly generated problem specifications.
+
+Hypothesis builds small random template-recurrence problems (random
+box/halfspace iteration spaces, random positive templates, random tile
+widths), and the core invariants are checked end to end:
+
+* tiles partition the iteration space,
+* the tiled executor equals the untiled reference scan cell-for-cell,
+* tile-width choice never changes any value,
+* graph work equals the exact lattice count.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generator import generate
+from repro.runtime import TileGraph, execute, solve_reference
+from repro.spec import ProblemSpec
+
+# Random 2-D problems: iteration space {x,y >= 0, a*x + b*y <= N},
+# templates drawn from positive unit/diagonal vectors.
+template_pool = st.lists(
+    st.sampled_from([(1, 0), (0, 1), (1, 1), (2, 0), (0, 2), (2, 1)]),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+
+def build_spec(templates, widths, coeffs):
+    a, b = coeffs
+    tset = {f"r{i}": list(v) for i, v in enumerate(templates)}
+
+    def kernel(point, deps, params):
+        # A deterministic, order-insensitive recurrence: value depends
+        # only on the dependency values and the coordinates.
+        total = 1.0 + 0.5 * point["x"] + 0.25 * point["y"]
+        for name in sorted(deps):
+            v = deps[name]
+            if v is not None:
+                total += 0.125 * v
+        return total
+
+    return ProblemSpec.create(
+        name="random2d",
+        loop_vars=["x", "y"],
+        params=["N"],
+        constraints=["x >= 0", "y >= 0", f"{a}*x + {b}*y <= N"],
+        templates=tset,
+        tile_widths={"x": widths[0], "y": widths[1]},
+        lb_dims=("x",),
+        kernel=kernel,
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    templates=template_pool,
+    widths=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    coeffs=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+    n=st.integers(0, 14),
+)
+def test_tiled_equals_untiled_on_random_problems(templates, widths, coeffs, n):
+    spec = build_spec(templates, widths, coeffs)
+    program = generate(spec)
+    tiled = execute(program, {"N": n}, record_values=True)
+    untiled = solve_reference(program, {"N": n}, record_values=True)
+    assert tiled.values == untiled.values
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    templates=template_pool,
+    coeffs=st.tuples(st.integers(1, 2), st.integers(1, 2)),
+    n=st.integers(0, 12),
+    w1=st.integers(2, 6),
+    w2=st.integers(2, 6),
+)
+def test_tile_width_never_changes_values(templates, coeffs, n, w1, w2):
+    spec_a = build_spec(templates, (w1, w1), coeffs)
+    spec_b = build_spec(templates, (w2, w2), coeffs)
+    a = execute(generate(spec_a), {"N": n}, record_values=True)
+    b = execute(generate(spec_b), {"N": n}, record_values=True)
+    assert a.values == b.values
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    templates=template_pool,
+    widths=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    coeffs=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+    n=st.integers(0, 16),
+)
+def test_tiles_partition_points(templates, widths, coeffs, n):
+    spec = build_spec(templates, widths, coeffs)
+    program = generate(spec)
+    spaces = program.spaces
+    params = {"N": n}
+    valid = set(spaces.tiles(params))
+    a, b = coeffs
+    points = [
+        (x, y)
+        for x in range(n + 1)
+        for y in range(n + 1)
+        if a * x + b * y <= n
+    ]
+    per_tile = {}
+    for x, y in points:
+        tile = spaces.point_to_tile({"x": x, "y": y})
+        assert tile in valid
+        per_tile[tile] = per_tile.get(tile, 0) + 1
+    assert set(per_tile) == valid
+    for tile, count in per_tile.items():
+        assert spaces.tile_point_count(tile, params) == count
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    templates=template_pool,
+    widths=st.tuples(st.integers(2, 4), st.integers(2, 4)),
+    n=st.integers(0, 12),
+)
+def test_graph_work_equals_lattice_count(templates, widths, n):
+    spec = build_spec(templates, widths, (1, 1))
+    program = generate(spec)
+    graph = TileGraph.build(program, {"N": n})
+    assert graph.total_work() == (n + 1) * (n + 2) // 2
+    graph.validate_acyclic()

@@ -1,0 +1,106 @@
+"""Python backend: the emitted standalone script must stand alone."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import generate
+from repro.generator.pygen import emit_python_program
+from repro.problems import (
+    delayed_two_arm_reference,
+    lcs_reference,
+    msa_reference,
+    two_arm_reference,
+    two_arm_spec,
+)
+
+
+def run_script(src, args, tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(src)
+    out = subprocess.run(
+        [sys.executable, str(path)] + [str(a) for a in args],
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+def objective_of(stdout):
+    return float(
+        next(l for l in stdout.splitlines() if l.startswith("objective")).split()[1]
+    )
+
+
+class TestStructure:
+    def test_no_repro_import(self, bandit2_w4_program):
+        src = emit_python_program(bandit2_w4_program)
+        assert "import repro" not in src
+        assert "from repro" not in src
+
+    def test_sections_present(self, bandit2_w4_program):
+        src = emit_python_program(bandit2_w4_program)
+        for marker in [
+            "def tile_work(",
+            "def tile_box(",
+            "def execute_tile(",
+            "def priority(",
+            "def scan_tiles(",
+            "PACKERS",
+            "UNPACKERS",
+            "def main(",
+        ]:
+            assert marker in src, f"missing {marker}"
+
+    def test_requires_center_code_py(self):
+        import dataclasses
+
+        spec = dataclasses.replace(two_arm_spec(tile_width=3), center_code_py="")
+        with pytest.raises(GenerationError):
+            emit_python_program(generate(spec))
+
+    def test_compiles_as_python(self, bandit2_w4_program):
+        src = emit_python_program(bandit2_w4_program)
+        compile(src, "prog.py", "exec")
+
+
+class TestExecution:
+    def test_bandit2(self, bandit2_w4_program, tmp_path):
+        out = run_script(emit_python_program(bandit2_w4_program), [9], tmp_path)
+        assert objective_of(out) == pytest.approx(
+            two_arm_reference(9), abs=1e-9
+        )
+
+    def test_delayed(self, delayed_program, tmp_path):
+        out = run_script(emit_python_program(delayed_program), [5], tmp_path)
+        assert objective_of(out) == pytest.approx(
+            delayed_two_arm_reference(5), abs=1e-9
+        )
+
+    def test_lcs3(self, lcs3_program, lcs3_strings, tmp_path):
+        args = [len(s) for s in lcs3_strings]
+        out = run_script(emit_python_program(lcs3_program), args, tmp_path)
+        assert objective_of(out) == lcs_reference(lcs3_strings)
+
+    def test_msa3(self, msa3_program, lcs3_strings, tmp_path):
+        args = [len(s) for s in lcs3_strings]
+        out = run_script(emit_python_program(msa3_program), args, tmp_path)
+        assert objective_of(out) == pytest.approx(
+            msa_reference(lcs3_strings), abs=1e-9
+        )
+
+    def test_reports_cells(self, bandit2_w4_program, tmp_path):
+        out = run_script(emit_python_program(bandit2_w4_program), [9], tmp_path)
+        header = next(l for l in out.splitlines() if l.startswith("tiles"))
+        cells = int(header.split()[3])
+        assert cells == bandit2_w4_program.spaces.total_points({"N": 9})
+
+    def test_matches_in_process_runtime(self, bandit2_w4_program, tmp_path):
+        from repro.runtime import execute
+
+        out = run_script(emit_python_program(bandit2_w4_program), [11], tmp_path)
+        in_process = execute(bandit2_w4_program, {"N": 11}).objective_value
+        assert objective_of(out) == pytest.approx(in_process, abs=1e-12)

@@ -1,0 +1,92 @@
+"""Exact rational linear algebra tests."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import eval_polynomial, fit_polynomial, solve_rational
+
+
+class TestSolve:
+    def test_identity(self):
+        assert solve_rational([[1, 0], [0, 1]], [3, 4]) == [3, 4]
+
+    def test_exact_fractions(self):
+        x = solve_rational([[2, 1], [1, 3]], [5, 10])
+        assert x == [Fraction(1), Fraction(3)]
+
+    def test_requires_square(self):
+        with pytest.raises(PolyhedronError):
+            solve_rational([[1, 2]], [1])
+
+    def test_singular_rejected(self):
+        with pytest.raises(PolyhedronError):
+            solve_rational([[1, 1], [2, 2]], [1, 2])
+
+    def test_empty(self):
+        assert solve_rational([], []) == []
+
+    def test_pivoting(self):
+        # leading zero forces a row swap
+        x = solve_rational([[0, 1], [1, 0]], [7, 9])
+        assert x == [9, 7]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-9, 9), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        ),
+        st.lists(st.integers(-9, 9), min_size=3, max_size=3),
+    )
+    def test_solution_satisfies_system(self, matrix, rhs):
+        try:
+            x = solve_rational(matrix, rhs)
+        except PolyhedronError:
+            return  # singular; nothing to verify
+        for row, b in zip(matrix, rhs):
+            assert sum(Fraction(a) * v for a, v in zip(row, x)) == b
+
+
+class TestFitPolynomial:
+    def test_linear(self):
+        coeffs = fit_polynomial([0, 1], [3, 5])
+        assert coeffs == [3, 2]
+
+    def test_binomial(self):
+        # C(n+2, 2) = (n^2 + 3n + 2) / 2
+        from math import comb
+
+        xs = [0, 1, 2]
+        coeffs = fit_polynomial(xs, [comb(x + 2, 2) for x in xs])
+        assert coeffs == [1, Fraction(3, 2), Fraction(1, 2)]
+        for n in range(10):
+            assert eval_polynomial(coeffs, n) == comb(n + 2, 2)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(PolyhedronError):
+            fit_polynomial([1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PolyhedronError):
+            fit_polynomial([1, 2], [3])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=5))
+    def test_roundtrip_through_samples(self, coeffs):
+        xs = list(range(len(coeffs)))
+        ys = [eval_polynomial([Fraction(c) for c in coeffs], x) for x in xs]
+        fitted = fit_polynomial(xs, ys)
+        assert fitted == [Fraction(c) for c in coeffs]
+
+
+class TestEvalPolynomial:
+    def test_horner(self):
+        assert eval_polynomial([1, 2, 3], 2) == 1 + 4 + 12
+
+    def test_empty_is_zero(self):
+        assert eval_polynomial([], 5) == 0

@@ -1,0 +1,229 @@
+"""Discrete-event cluster simulator: conservation laws and sanity."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import TileGraph
+from repro.simulate import (
+    EventQueue,
+    MachineModel,
+    simulate,
+    simulate_program,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(bandit2_w4_program):
+    return TileGraph.build(bandit2_w4_program, {"N": 15})
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [p for _, p in q.drain()] == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert [p for _, p in q.drain()] == ["first", "second"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+
+class TestMachineModel:
+    def test_defaults_valid(self):
+        m = MachineModel()
+        assert m.total_cores == 24
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"cores_per_node": 0},
+            {"send_buffers": 0},
+            {"sec_per_cell": -1.0},
+            {"bandwidth_bps": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            MachineModel(**kwargs)
+
+    def test_with_(self):
+        m = MachineModel().with_(nodes=4)
+        assert m.nodes == 4
+        assert m.cores_per_node == 24
+
+    def test_costs(self):
+        m = MachineModel(sec_per_cell=1e-6, tile_overhead_s=1e-5,
+                         pack_sec_per_cell=0.0)
+        assert m.tile_duration(100) == pytest.approx(1.1e-4)
+        assert m.message_duration(0) == pytest.approx(m.latency_s)
+
+
+class TestSimulation:
+    def test_all_tiles_run(self, graph):
+        res = simulate(graph, MachineModel(nodes=1, cores_per_node=4))
+        assert sum(res.tiles_per_node) == len(graph.tiles)
+        assert sum(res.work_cells_per_node) == graph.total_work()
+
+    def test_busy_conservation(self, graph):
+        m = MachineModel(nodes=1, cores_per_node=4)
+        res = simulate(graph, m)
+        assert sum(res.busy_s_per_node) <= m.total_cores * res.makespan_s + 1e-12
+        assert res.serial_time_s == pytest.approx(sum(res.busy_s_per_node))
+
+    def test_single_core_equals_serial_time(self, graph):
+        res = simulate(graph, MachineModel(nodes=1, cores_per_node=1))
+        assert res.makespan_s == pytest.approx(res.serial_time_s)
+        assert res.speedup == pytest.approx(1.0)
+        assert res.idle_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_more_cores_never_slower(self, graph):
+        spans = [
+            simulate(
+                graph, MachineModel(nodes=1, cores_per_node=c)
+            ).makespan_s
+            for c in (1, 2, 4, 8)
+        ]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_speedup_bounded_by_cores(self, graph):
+        for c in (2, 4, 8):
+            res = simulate(graph, MachineModel(nodes=1, cores_per_node=c))
+            assert res.speedup <= c + 1e-9
+
+    def test_deterministic(self, graph):
+        m = MachineModel(nodes=2, cores_per_node=4)
+        lb = graph.program.load_balance({"N": 15}, 2)
+        assign = {
+            t: lb.node_of_tile(t, graph.program.spaces) for t in graph.tiles
+        }
+        a = simulate(graph, m, assignment=assign)
+        b = simulate(graph, m, assignment=assign)
+        assert a.makespan_s == b.makespan_s
+        assert a.messages == b.messages
+        assert a.bytes_sent == b.bytes_sent
+
+    def test_multinode_messages_counted(self, graph):
+        m = MachineModel(nodes=2, cores_per_node=4)
+        lb = graph.program.load_balance({"N": 15}, 2)
+        assign = {
+            t: lb.node_of_tile(t, graph.program.spaces) for t in graph.tiles
+        }
+        res = simulate(graph, m, assignment=assign)
+        cross = sum(
+            1
+            for (p, c) in graph.edge_cells
+            if assign[p] != assign[c]
+        )
+        assert res.messages == cross
+        expected_bytes = sum(
+            cells * m.bytes_per_cell
+            for (p, c), cells in graph.edge_cells.items()
+            if assign[p] != assign[c]
+        )
+        assert res.bytes_sent == expected_bytes
+
+    def test_single_node_has_no_messages(self, graph):
+        res = simulate(graph, MachineModel(nodes=1, cores_per_node=8))
+        assert res.messages == 0
+        assert res.bytes_sent == 0
+
+    def test_missing_assignment_rejected(self, graph):
+        m = MachineModel(nodes=2, cores_per_node=2)
+        with pytest.raises(SimulationError):
+            simulate(graph, m, assignment={})
+
+    def test_out_of_range_assignment_rejected(self, graph):
+        m = MachineModel(nodes=2, cores_per_node=2)
+        assign = {t: 5 for t in graph.tiles}
+        with pytest.raises(SimulationError):
+            simulate(graph, m, assignment=assign)
+
+    def test_makespan_at_least_critical_path(self, graph):
+        m = MachineModel(nodes=1, cores_per_node=64)
+        res = simulate(graph, m)
+        cp_seconds = graph.critical_path_work() * m.sec_per_cell
+        assert res.makespan_s >= cp_seconds
+
+    def test_slower_network_cannot_help(self, graph):
+        fast = MachineModel(nodes=2, cores_per_node=4)
+        slow = fast.with_(latency_s=1e-3, bandwidth_bps=1e6)
+        lb = graph.program.load_balance({"N": 15}, 2)
+        assign = {
+            t: lb.node_of_tile(t, graph.program.spaces) for t in graph.tiles
+        }
+        assert (
+            simulate(graph, slow, assignment=assign).makespan_s
+            >= simulate(graph, fast, assignment=assign).makespan_s
+        )
+
+    def test_fewer_send_buffers_cannot_help(self, graph):
+        base = MachineModel(nodes=2, cores_per_node=8, bandwidth_bps=5e7)
+        lb = graph.program.load_balance({"N": 15}, 2)
+        assign = {
+            t: lb.node_of_tile(t, graph.program.spaces) for t in graph.tiles
+        }
+        one = simulate(graph, base.with_(send_buffers=1), assignment=assign)
+        many = simulate(graph, base.with_(send_buffers=8), assignment=assign)
+        assert one.makespan_s >= many.makespan_s - 1e-12
+        assert one.max_send_queue_wait_s >= many.max_send_queue_wait_s
+
+
+class TestSimulateProgram:
+    def test_end_to_end(self, bandit2_w4_program):
+        res = simulate_program(
+            bandit2_w4_program, {"N": 15}, MachineModel(nodes=2, cores_per_node=4)
+        )
+        assert res.total_cells == bandit2_w4_program.spaces.total_points(
+            {"N": 15}
+        )
+        assert 0 < res.efficiency <= 1.0
+
+    def test_lb_method_selectable(self, bandit2_w4_program):
+        m = MachineModel(nodes=2, cores_per_node=4)
+        a = simulate_program(bandit2_w4_program, {"N": 15}, m, lb_method="dimension-cut")
+        b = simulate_program(bandit2_w4_program, {"N": 15}, m, lb_method="hyperplane")
+        assert a.total_cells == b.total_cells
+
+
+class TestQueueGroups:
+    def test_groups_validated(self):
+        with pytest.raises(SimulationError):
+            MachineModel(cores_per_node=4, queue_groups=0)
+        with pytest.raises(SimulationError):
+            MachineModel(cores_per_node=4, queue_groups=8)
+
+    def test_groups_preserve_conservation(self, graph):
+        m = MachineModel(nodes=1, cores_per_node=8, queue_groups=4)
+        res = simulate(graph, m)
+        assert sum(res.tiles_per_node) == len(graph.tiles)
+        assert sum(res.busy_s_per_node) <= m.total_cores * res.makespan_s + 1e-12
+
+    def test_groups_never_slower(self, graph):
+        base = MachineModel(nodes=1, cores_per_node=8, queue_lock_s=2e-5)
+        one = simulate(graph, base.with_(queue_groups=1))
+        four = simulate(graph, base.with_(queue_groups=4))
+        assert four.makespan_s <= one.makespan_s * 1.01
+
+    def test_groups_equal_cores_removes_lock_serialization(self, graph):
+        heavy_lock = MachineModel(
+            nodes=1, cores_per_node=8, queue_lock_s=1e-4
+        )
+        serialized = simulate(graph, heavy_lock.with_(queue_groups=1))
+        free = simulate(graph, heavy_lock.with_(queue_groups=8))
+        assert free.makespan_s < serialized.makespan_s

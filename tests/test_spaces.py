@@ -1,0 +1,103 @@
+"""Iteration spaces (Section IV-E): tiling must partition the points."""
+
+import pytest
+
+from repro.generator import build_iteration_spaces
+from repro.problems import two_arm_spec
+from repro.spec import ProblemSpec
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    return build_iteration_spaces(two_arm_spec(tile_width=3))
+
+
+PARAMS = {"N": 7}
+
+
+class TestTilePartition:
+    def test_every_point_in_exactly_one_valid_tile(self, spaces):
+        valid = set(spaces.tiles(PARAMS))
+        seen = {}
+        for p in spaces.original_nest.iterate(PARAMS):
+            tile = spaces.point_to_tile(p)
+            assert tile in valid, f"point {p} falls in invalid tile {tile}"
+            seen[tile] = seen.get(tile, 0) + 1
+        # every valid tile is non-empty and counts match
+        assert set(seen) == valid
+        for tile, count in seen.items():
+            assert spaces.tile_point_count(tile, PARAMS) == count
+
+    def test_total_points(self, spaces):
+        total = sum(
+            spaces.tile_point_count(t, PARAMS) for t in spaces.tiles(PARAMS)
+        )
+        assert total == spaces.total_points(PARAMS)
+
+    def test_local_points_map_back(self, spaces):
+        for tile in spaces.tiles(PARAMS):
+            for env in spaces.local_points(tile, PARAMS):
+                local = tuple(env[v] for v in spaces.local_vars)
+                point = spaces.global_point(tile, local)
+                assert spaces.point_to_tile(point) == tile
+                assert spaces.spec.constraints.satisfied({**point, **PARAMS})
+
+    def test_tile_validity_checks(self, spaces):
+        valid = set(spaces.tiles(PARAMS))
+        for tile in valid:
+            assert spaces.tile_is_valid(tile, PARAMS)
+        assert not spaces.tile_is_valid((99, 0, 0, 0), PARAMS)
+        assert not spaces.tile_is_valid((-1, 0, 0, 0), PARAMS)
+
+
+class TestCoordinateConversions:
+    def test_point_to_tile_floor(self, spaces):
+        assert spaces.point_to_tile({"s1": 5, "f1": 0, "s2": 2, "f2": 7}) == (
+            1, 0, 0, 2,
+        )
+
+    def test_local_coords(self, spaces):
+        point = {"s1": 5, "f1": 1, "s2": 2, "f2": 7}
+        tile = spaces.point_to_tile(point)
+        local = spaces.local_coords(point, tile)
+        assert local == (2, 1, 2, 1)
+        assert spaces.global_point(tile, local) == point
+
+    def test_var_naming(self, spaces):
+        assert spaces.tile_var("s1") == "t_s1"
+        assert spaces.local_var("f2") == "i_f2"
+        assert spaces.lb_tile_vars == ("t_s1", "t_f1")
+
+
+class TestNameCollisions:
+    def test_prefix_avoids_user_names(self):
+        spec = ProblemSpec.create(
+            name="collide",
+            loop_vars=["x", "t_x"],
+            params=["N"],
+            constraints=["x >= 0", "t_x >= 0", "x + t_x <= N"],
+            templates={"a": [1, 0], "b": [0, 1]},
+            tile_widths=3,
+        )
+        spaces = build_iteration_spaces(spec)
+        names = set(spaces.tile_vars) | set(spaces.local_vars)
+        assert not (names & {"x", "t_x", "N"})
+        assert len(names) == 4
+
+
+class TestFullTileFastPath:
+    def test_interior_tile_full(self, spaces):
+        # With N=7 and w=3, the origin tile (0,0,0,0) spans sums <= 8 > 7,
+        # so it is clipped; find a genuinely interior configuration.
+        big = {"N": 30}
+        count = spaces.tile_point_count((0, 0, 0, 0), big)
+        assert count == 3 ** 4  # fully interior
+
+    def test_boundary_tile_partial(self, spaces):
+        count = spaces.tile_point_count((0, 0, 0, 0), {"N": 2})
+        # sum <= 2 within a 3^4 box: C(2+4,4) = 15
+        assert count == 15
+
+    def test_empty_tile(self, spaces):
+        assert spaces.tile_is_empty((2, 2, 2, 2), {"N": 7})
+        assert spaces.tile_point_count((2, 2, 2, 2), {"N": 7}) == 0

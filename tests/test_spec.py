@@ -1,0 +1,179 @@
+"""ProblemSpec and TemplateSet validation and dependence analysis."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import ASCENDING, DESCENDING, ProblemSpec, TemplateSet
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="demo",
+        loop_vars=["x", "y"],
+        params=["N"],
+        constraints=["x >= 0", "y >= 0", "x + y <= N"],
+        templates={"r1": [1, 0], "r2": [0, 1]},
+        tile_widths=4,
+        lb_dims=("x",),
+    )
+    base.update(overrides)
+    return ProblemSpec.create(**base)
+
+
+class TestTemplateSet:
+    def test_from_dict(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, 0], "b": [-1, 1]})
+        assert t.names() == ("a", "b")
+        assert t.vector("b") == (-1, 1)
+        assert t.as_offset_map("a") == {"x": 1, "y": 0}
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SpecError):
+            TemplateSet.from_dict(["x", "y"], {"a": [1]})
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(SpecError):
+            TemplateSet.from_dict(["x"], {"a": [0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            TemplateSet.from_dict(["x"], {})
+
+    def test_unknown_template_lookup(self):
+        t = TemplateSet.from_dict(["x"], {"a": [1]})
+        with pytest.raises(SpecError):
+            t.vector("zz")
+
+    def test_ghost_widths(self):
+        t = TemplateSet.from_dict(
+            ["x", "y"], {"a": [2, 0], "b": [-1, 1], "c": [0, -3]}
+        )
+        lo, hi = t.ghost_widths()
+        assert lo == {"x": 1, "y": 3}
+        assert hi == {"x": 2, "y": 1}
+        assert t.max_reach() == {"x": 2, "y": 3}
+
+
+class TestScanDirections:
+    def test_positive_templates_descend(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, 0], "b": [0, 1]})
+        assert t.scan_directions() == {"x": DESCENDING, "y": DESCENDING}
+
+    def test_negative_templates_ascend(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [-1, 0], "b": [0, -1]})
+        assert t.scan_directions() == {"x": ASCENDING, "y": ASCENDING}
+
+    def test_only_first_nonzero_matters(self):
+        # <1, -1>: first nonzero is x (positive) -> x descends; the y
+        # component places no constraint on y's direction.
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, -1], "b": [0, -1]})
+        d = t.scan_directions()
+        assert d["x"] == DESCENDING
+        assert d["y"] == ASCENDING
+
+    def test_conflicting_directions_rejected(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, 0], "b": [-1, 0]})
+        with pytest.raises(SpecError):
+            t.scan_directions()
+
+    def test_unconstrained_defaults_descending(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, 1]})
+        assert t.scan_directions()["y"] == DESCENDING
+
+    def test_linear_schedule_exists(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, 0], "b": [0, 1]})
+        assert t.has_linear_schedule()
+
+    def test_cycle_has_no_linear_schedule(self):
+        t = TemplateSet.from_dict(["x", "y"], {"a": [1, -1], "b": [-1, 1]})
+        assert not t.has_linear_schedule()
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = make_spec()
+        assert spec.dims == 2
+        assert spec.tile_width_vector() == (4, 4)
+
+    def test_empty_name(self):
+        with pytest.raises(SpecError):
+            make_spec(name="")
+
+    def test_bad_identifier(self):
+        with pytest.raises(SpecError):
+            make_spec(loop_vars=["x", "2bad"], templates={"r": [1, 0]})
+
+    def test_keyword_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(params=["for"])
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(params=["loc"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(params=["x"])
+
+    def test_state_collision_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(state_name="N")
+
+    def test_undeclared_constraint_names_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(constraints=["x >= 0", "q <= N"])
+
+    def test_missing_tile_width_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(tile_widths={"x": 4})
+
+    def test_nonpositive_tile_width_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(tile_widths={"x": 4, "y": 0})
+
+    def test_extra_tile_width_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(tile_widths={"x": 4, "y": 4, "z": 4})
+
+    def test_tile_narrower_than_reach_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(templates={"r1": [5, 0], "r2": [0, 1]}, tile_widths=4)
+
+    def test_unknown_lb_dim_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(lb_dims=("z",))
+
+    def test_duplicate_lb_dims_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(lb_dims=("x", "x"))
+
+    def test_cyclic_templates_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(
+                templates={"a": [1, -1], "b": [-1, 1]},
+                lb_dims=("x",),
+            )
+
+    def test_objective_point_must_be_complete(self):
+        with pytest.raises(SpecError):
+            make_spec(objective_point={"x": 0})
+
+    def test_default_lb_is_first_dim(self):
+        spec = ProblemSpec.create(
+            name="d",
+            loop_vars=["x", "y"],
+            params=["N"],
+            constraints=["x >= 0", "y >= 0", "x + y <= N"],
+            templates={"r": [1, 0], "r2": [0, 1]},
+            tile_widths=3,
+        )
+        assert spec.lb_dims == ("x",)
+
+    def test_objective_default_is_origin(self):
+        assert make_spec().objective({"N": 9}) == {"x": 0, "y": 0}
+
+    def test_describe_mentions_everything(self):
+        text = make_spec().describe()
+        assert "demo" in text
+        assert "r1" in text
+        assert "tile widths" in text

@@ -1,0 +1,122 @@
+"""Tile-dependency derivation (Section IV-F) against brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import (
+    consumers_of,
+    delta_between,
+    dependency_deltas,
+    producers_of,
+    template_delta_box,
+    tile_dependency_map,
+)
+from repro.problems import two_arm_spec
+from repro.spec import ProblemSpec
+
+
+def brute_delta_box(vector, widths):
+    """All offsets floor((i + r)/w) - 0 over every in-tile local i."""
+    out = set()
+    for local in itertools.product(*(range(w) for w in widths)):
+        delta = tuple(
+            (i + r) // w - 0 for i, r, w in zip(local, vector, widths)
+        )
+        out.add(delta)
+    return out
+
+
+class TestDeltaBox:
+    @pytest.mark.parametrize(
+        "vector, widths",
+        [
+            ((1, 0), (4, 4)),
+            ((1, 1), (4, 4)),
+            ((-1, 0), (4, 4)),
+            ((-1, 2), (3, 2)),
+            ((2, -3), (5, 3)),
+            ((4, 4), (4, 4)),
+        ],
+    )
+    def test_matches_brute_force(self, vector, widths):
+        assert set(template_delta_box(vector, widths)) == brute_delta_box(
+            vector, widths
+        )
+
+    def test_paper_example(self):
+        # Template <1,1> -> dependencies on t+<1,0>, t+<1,1>, t+<0,1>
+        # (plus the in-tile <0,0>).
+        box = set(template_delta_box((1, 1), (4, 4)))
+        assert box == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.tuples(st.integers(-4, 4), st.integers(-4, 4)),
+        st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    )
+    def test_property(self, vector, widths):
+        assert set(template_delta_box(vector, widths)) == brute_delta_box(
+            vector, widths
+        )
+
+
+class TestDependencyMap:
+    def test_bandit_unit_deltas(self):
+        spec = two_arm_spec(tile_width=4)
+        dep_map = tile_dependency_map(spec)
+        expected = {
+            (1, 0, 0, 0): ("succ1",),
+            (0, 1, 0, 0): ("fail1",),
+            (0, 0, 1, 0): ("succ2",),
+            (0, 0, 0, 1): ("fail2",),
+        }
+        assert dep_map == expected
+
+    def test_zero_delta_excluded(self):
+        spec = two_arm_spec(tile_width=4)
+        assert (0, 0, 0, 0) not in tile_dependency_map(spec)
+
+    def test_diagonal_template_multiple_deltas(self):
+        spec = ProblemSpec.create(
+            name="diag",
+            loop_vars=["x", "y"],
+            params=["N"],
+            constraints=["x >= 0", "y >= 0", "x + y <= N"],
+            templates={"d": [1, 1]},
+            tile_widths=4,
+        )
+        dep_map = tile_dependency_map(spec)
+        assert set(dep_map) == {(1, 0), (0, 1), (1, 1)}
+        assert all(names == ("d",) for names in dep_map.values())
+
+    def test_shared_delta_lists_all_templates(self):
+        spec = ProblemSpec.create(
+            name="share",
+            loop_vars=["x", "y"],
+            params=["N"],
+            constraints=["x >= 0", "y >= 0", "x + y <= N"],
+            templates={"a": [1, 0], "b": [2, 0]},
+            tile_widths=4,
+        )
+        dep_map = tile_dependency_map(spec)
+        assert dep_map[(1, 0)] == ("a", "b")
+
+    def test_deterministic_order(self):
+        spec = two_arm_spec(tile_width=4)
+        assert dependency_deltas(spec) == dependency_deltas(spec)
+        assert list(dependency_deltas(spec)) == sorted(dependency_deltas(spec))
+
+
+class TestNeighborHelpers:
+    def test_producers_consumers_inverse(self):
+        deltas = [(1, 0), (0, 1), (1, 1)]
+        tile = (3, 5)
+        for p in producers_of(tile, deltas):
+            assert tile in consumers_of(p, deltas)
+
+    def test_delta_between(self):
+        assert delta_between((2, 3), (3, 3)) == (1, 0)
+        assert delta_between((2, 3), (2, 2)) == (0, -1)

@@ -1,0 +1,129 @@
+"""Simulator traces and utilization timelines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import TileGraph
+from repro.simulate import (
+    MachineModel,
+    TileSpan,
+    render_timeline,
+    simulate,
+    utilization_timeline,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def traced(bandit2_w4_program):
+    graph = TileGraph.build(bandit2_w4_program, {"N": 15})
+    machine = MachineModel(nodes=2, cores_per_node=4)
+    lb = bandit2_w4_program.load_balance({"N": 15}, 2)
+    assign = {
+        t: lb.node_of_tile(t, bandit2_w4_program.spaces) for t in graph.tiles
+    }
+    res = simulate(graph, machine, assignment=assign, trace=True)
+    return graph, machine, res
+
+
+class TestTraceRecording:
+    def test_one_span_per_tile(self, traced):
+        graph, machine, res = traced
+        assert res.spans is not None
+        assert len(res.spans) == len(graph.tiles)
+        assert {s.tile for s in res.spans} == graph.tiles
+
+    def test_spans_within_makespan(self, traced):
+        _, _, res = traced
+        for s in res.spans:
+            assert 0 <= s.start_s <= s.finish_s <= res.makespan_s + 1e-12
+
+    def test_busy_time_matches_spans(self, traced):
+        _, machine, res = traced
+        by_node = [0.0] * machine.nodes
+        for s in res.spans:
+            by_node[s.node] += s.duration_s
+        for measured, expected in zip(by_node, res.busy_s_per_node):
+            assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_trace_respects_core_capacity(self, traced):
+        graph, machine, res = traced
+        validate_trace(res.spans, machine.nodes, machine.cores_per_node)
+
+    def test_no_trace_by_default(self, traced, bandit2_w4_program):
+        graph, machine, _ = traced
+        res = simulate(graph, machine.with_(nodes=1))
+        assert res.spans is None
+
+
+class TestValidator:
+    def test_rejects_overlap_beyond_capacity(self):
+        spans = [
+            TileSpan((i,), 0, 0.0, 1.0) for i in range(3)
+        ]
+        with pytest.raises(SimulationError):
+            validate_trace(spans, nodes=1, cores_per_node=2)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            validate_trace([TileSpan((0,), 0, 2.0, 1.0)], 1, 1)
+
+    def test_rejects_unknown_node(self):
+        with pytest.raises(SimulationError):
+            validate_trace([TileSpan((0,), 3, 0.0, 1.0)], 2, 1)
+
+
+class TestTimeline:
+    def test_binned_utilization_bounded(self, traced):
+        _, machine, res = traced
+        timeline = utilization_timeline(
+            res.spans, machine.nodes, machine.cores_per_node, bins=20,
+            makespan_s=res.makespan_s,
+        )
+        assert len(timeline) == machine.nodes
+        for row in timeline:
+            assert len(row) == 20
+            for u in row:
+                assert 0.0 <= u <= 1.0 + 1e-9
+
+    def test_total_utilization_matches_busy(self, traced):
+        _, machine, res = traced
+        bins = 25
+        timeline = utilization_timeline(
+            res.spans, machine.nodes, machine.cores_per_node, bins=bins,
+            makespan_s=res.makespan_s,
+        )
+        width = res.makespan_s / bins
+        for node, row in enumerate(timeline):
+            integrated = sum(row) * width * machine.cores_per_node
+            assert integrated == pytest.approx(
+                res.busy_s_per_node[node], rel=1e-6
+            )
+
+    def test_single_span_occupies_its_bins(self):
+        spans = [TileSpan((0,), 0, 0.0, 0.5)]
+        timeline = utilization_timeline(
+            spans, nodes=1, cores_per_node=1, bins=10, makespan_s=1.0
+        )
+        assert timeline[0][:5] == [pytest.approx(1.0)] * 5
+        assert timeline[0][5:] == [0.0] * 5
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(SimulationError):
+            utilization_timeline([], 1, 1, bins=0)
+
+    def test_render(self, traced):
+        _, machine, res = traced
+        text = render_timeline(
+            res.spans, machine.nodes, machine.cores_per_node,
+            makespan_s=res.makespan_s,
+        )
+        lines = text.splitlines()
+        assert len(lines) == machine.nodes
+        assert all(line.startswith("node") for line in lines)
+        assert "%" in lines[0]
+
+    def test_empty_trace_renders(self):
+        text = render_timeline([], 1, 1)
+        assert text.startswith("node  0 |")
+        assert "0.0%" in text

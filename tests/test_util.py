@@ -1,0 +1,112 @@
+"""Unit tests for repro._util (integer division helpers, gcd/lcm)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    as_fraction,
+    ceil_div,
+    floor_div,
+    gcd_all,
+    lcm_all,
+)
+
+
+class TestFloorCeilDiv:
+    def test_floor_positive(self):
+        assert floor_div(7, 2) == 3
+
+    def test_floor_negative(self):
+        assert floor_div(-7, 2) == -4
+
+    def test_floor_exact(self):
+        assert floor_div(-8, 2) == -4
+
+    def test_ceil_positive(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_ceil_negative(self):
+        assert ceil_div(-7, 2) == -3
+
+    def test_ceil_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_zero_numerator(self):
+        assert floor_div(0, 5) == 0
+        assert ceil_div(0, 5) == 0
+
+    @pytest.mark.parametrize("den", [0, -1, -7])
+    def test_nonpositive_denominator_rejected(self, den):
+        with pytest.raises(ValueError):
+            floor_div(3, den)
+        with pytest.raises(ValueError):
+            ceil_div(3, den)
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_matches_fraction_semantics(self, num, den):
+        import math
+
+        f = Fraction(num, den)
+        assert floor_div(num, den) == math.floor(f)
+        assert ceil_div(num, den) == math.ceil(f)
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_floor_le_ceil(self, num, den):
+        assert floor_div(num, den) <= ceil_div(num, den)
+        assert ceil_div(num, den) - floor_div(num, den) in (0, 1)
+
+
+class TestGcdLcm:
+    def test_gcd_empty(self):
+        assert gcd_all([]) == 0
+
+    def test_gcd_basic(self):
+        assert gcd_all([12, 18, 30]) == 6
+
+    def test_gcd_with_negatives(self):
+        assert gcd_all([-12, 18]) == 6
+
+    def test_gcd_with_zero(self):
+        assert gcd_all([0, 7]) == 7
+
+    def test_lcm_empty(self):
+        assert lcm_all([]) == 1
+
+    def test_lcm_basic(self):
+        assert lcm_all([4, 6]) == 12
+
+    def test_lcm_ignores_zero(self):
+        assert lcm_all([0, 5]) == 5
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=6))
+    def test_lcm_divisible_by_all(self, values):
+        lcm = lcm_all(values)
+        assert all(lcm % v == 0 for v in values)
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=6))
+    def test_gcd_divides_all(self, values):
+        g = gcd_all(values)
+        assert all(v % g == 0 for v in values)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 3)
+        assert as_fraction(f) is f
+
+    def test_integral_float(self):
+        assert as_fraction(4.0) == Fraction(4)
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(0.5)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction("3")

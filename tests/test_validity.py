@@ -1,0 +1,108 @@
+"""Template validity functions (Section IV-G) against direct checks."""
+
+import pytest
+
+from repro.generator import build_validity
+from repro.problems import delayed_two_arm_spec, lcs_spec, two_arm_spec
+from repro.spec import ProblemSpec
+
+
+def brute_is_valid(spec, template, point, params):
+    """Oracle: is the accessed location inside the iteration space?"""
+    offsets = spec.templates.as_offset_map(template)
+    shifted = {v: point[v] + offsets[v] for v in spec.loop_vars}
+    return spec.constraints.satisfied({**shifted, **params})
+
+
+def all_points(spec, params):
+    from repro.polyhedra import synthesize_loop_nest
+
+    nest = synthesize_loop_nest(spec.constraints, list(spec.loop_vars))
+    for env in nest.iterate(params):
+        yield {v: env[v] for v in spec.loop_vars}
+
+
+@pytest.mark.parametrize(
+    "spec, params",
+    [
+        (two_arm_spec(tile_width=3), {"N": 5}),
+        (delayed_two_arm_spec(tile_width=3), {"N": 4}),
+        (lcs_spec(["ACGT", "GAT"], tile_width=3), {"L1": 4, "L2": 3}),
+    ],
+    ids=["bandit2", "delayed", "lcs2"],
+)
+def test_validity_matches_oracle_everywhere(spec, params):
+    validity = build_validity(spec)
+    for point in all_points(spec, params):
+        env = {**point, **params}
+        for name, _vec in spec.templates.items():
+            assert validity.is_valid(name, env) == brute_is_valid(
+                spec, name, point, params
+            ), f"{name} at {point}"
+
+
+class TestSharing:
+    def test_bandit_checks_fully_shared(self):
+        # All four unit templates can only violate the single budget
+        # constraint, shifted by +1 — the paper's Section IV-G example.
+        validity = build_validity(two_arm_spec(tile_width=3))
+        assert len(validity.checks) == 1
+        assert validity.shared_check_count() == 1
+        for name in ("succ1", "fail1", "succ2", "fail2"):
+            assert validity.per_template[name] == (0,)
+
+    def test_paper_shift_example(self):
+        # x1 + x2 <= N with templates <1,0> and <0,1>: both shift to the
+        # same check x1 + x2 + 1 <= N.
+        spec = ProblemSpec.create(
+            name="ex",
+            loop_vars=["x1", "x2"],
+            params=["N"],
+            constraints=["x1 >= 0", "x2 >= 0", "x1 + x2 <= N"],
+            templates={"r1": [1, 0], "r2": [0, 1]},
+            tile_widths=3,
+        )
+        validity = build_validity(spec)
+        assert len(validity.checks) == 1
+        check = validity.checks[0]
+        assert check.satisfied({"x1": 2, "x2": 2, "N": 5})
+        assert not check.satisfied({"x1": 3, "x2": 2, "N": 5})
+
+    def test_negative_template_checks_lower_bounds(self):
+        spec = ProblemSpec.create(
+            name="neg",
+            loop_vars=["x"],
+            params=["L"],
+            constraints=["x >= 0", "x <= L"],
+            templates={"back": [-1]},
+            tile_widths=3,
+        )
+        validity = build_validity(spec)
+        # only x >= 0 can be violated by moving to x-1
+        assert len(validity.checks) == 1
+        assert validity.is_valid("back", {"x": 1, "L": 5})
+        assert not validity.is_valid("back", {"x": 0, "L": 5})
+
+    def test_always_valid_template(self):
+        # A template moving inward never violates the one-sided system.
+        spec = ProblemSpec.create(
+            name="inward",
+            loop_vars=["x"],
+            params=["L"],
+            constraints=["x >= 0", "x <= L"],
+            templates={"fwd": [1]},
+            tile_widths=3,
+        )
+        validity = build_validity(spec)
+        assert not validity.always_valid("fwd")  # x <= L can be violated
+        spec2 = ProblemSpec.create(
+            name="free",
+            loop_vars=["x", "y"],
+            params=["L"],
+            constraints=["x >= 0", "x <= L", "y >= 0", "y <= 3"],
+            templates={"up": [1, 0], "side": [0, 1]},
+            tile_widths=4,
+        )
+        v2 = build_validity(spec2)
+        # "side" can violate y <= 3 only; "up" can violate x <= L only.
+        assert v2.per_template["up"] != v2.per_template["side"]

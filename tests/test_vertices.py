@@ -1,0 +1,112 @@
+"""Vertex enumeration and boundedness certification."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PolyhedronError
+from repro.polyhedra import (
+    ConstraintSystem,
+    is_bounded,
+    vertex_bounding_box,
+    vertices,
+)
+
+
+class TestVertices:
+    def test_triangle(self):
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "x + y <= 5"])
+        vs = vertices(s, ["x", "y"])
+        assert set(vs) == {(0, 0), (0, 5), (5, 0)}
+
+    def test_unit_square(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= 1", "y >= 0", "y <= 1"])
+        vs = vertices(s, ["x", "y"])
+        assert len(vs) == 4
+        assert (Fraction(1), Fraction(1)) in vs
+
+    def test_fractional_vertex(self):
+        # 2x + 3y <= 6 with x,y >= 0: vertices (0,0), (3,0), (0,2).
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "2*x + 3*y <= 6"])
+        vs = set(vertices(s, ["x", "y"]))
+        assert vs == {(0, 0), (3, 0), (0, 2)}
+
+    def test_non_integral_vertex_exact(self):
+        # x >= 0, y >= 0, 2x + 2y <= 3: corner at (3/2, 0) etc.
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "2*x + 2*y <= 3"])
+        vs = set(vertices(s, ["x", "y"]))
+        # Integer tightening rewrites 2x+2y<=3 as x+y<=1 (valid over Z).
+        assert vs == {(0, 0), (1, 0), (0, 1)}
+
+    def test_3d_simplex(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "y >= 0", "z >= 0", "x + y + z <= 2"]
+        )
+        vs = vertices(s, ["x", "y", "z"])
+        assert len(vs) == 4
+
+    def test_equality_restricts_to_segment(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "y >= 0", "x + y = 4", "x <= 3"]
+        )
+        vs = set(vertices(s, ["x", "y"]))
+        assert vs == {(0, 4), (3, 1)}
+
+    def test_empty_polyhedron(self):
+        s = ConstraintSystem.parse(["x >= 3", "x <= 1", "y >= 0", "y <= 1"])
+        assert vertices(s, ["x", "y"]) == []
+
+    def test_free_parameters_rejected(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= N"])
+        with pytest.raises(PolyhedronError):
+            vertices(s, ["x"])
+
+    def test_redundant_constraints_no_duplicates(self):
+        s = ConstraintSystem.parse(
+            ["x >= 0", "y >= 0", "x + y <= 5", "x <= 5", "y <= 5"]
+        )
+        vs = vertices(s, ["x", "y"])
+        assert len(vs) == len(set(vs)) == 3
+
+
+class TestBoundedness:
+    def test_bounded_polytope(self):
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0", "x + y <= 5"])
+        assert is_bounded(s, ["x", "y"])
+
+    def test_unbounded_halfspace(self):
+        s = ConstraintSystem.parse(["x >= 0", "y >= 0"])
+        assert not is_bounded(s, ["x", "y"])
+
+    def test_unbounded_in_one_direction(self):
+        s = ConstraintSystem.parse(["x >= 0", "x <= 4", "y >= 0"])
+        assert not is_bounded(s, ["x", "y"])
+
+    def test_line_constrained(self):
+        s = ConstraintSystem.parse(["x + y = 2", "x >= 0", "x <= 2", "y >= 0"])
+        assert is_bounded(s, ["x", "y"])
+
+
+class TestBoundingBox:
+    def test_matches_fm_box(self):
+        from repro.polyhedra import bounding_box
+
+        s = ConstraintSystem.parse(["x >= 1", "y >= 2", "x + y <= 7"])
+        vbox = vertex_bounding_box(s, ["x", "y"])
+        fmbox = bounding_box(s, ["x", "y"], {})
+        assert (int(vbox[0][0]), int(vbox[0][1])) == fmbox["x"]
+        assert (int(vbox[1][0]), int(vbox[1][1])) == fmbox["y"]
+
+    def test_empty_rejected(self):
+        s = ConstraintSystem.parse(["x >= 3", "x <= 1"])
+        with pytest.raises(PolyhedronError):
+            vertex_bounding_box(s, ["x"])
+
+    def test_tile_space_vertices_cover_tiles(self, bandit2_program):
+        """Cross-check: every valid tile lies inside the vertex hull box."""
+        spaces = bandit2_program.spaces
+        fixed = spaces.tile_space.fix({"N": 7})
+        box = vertex_bounding_box(fixed, list(spaces.tile_vars))
+        for tile in spaces.tiles({"N": 7}):
+            for coord, (lo, hi) in zip(tile, box):
+                assert lo <= coord <= hi

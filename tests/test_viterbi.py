@@ -1,0 +1,113 @@
+"""Viterbi decoding: mixed-sign templates through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.generator import build_layout, generate, tile_dependency_map
+from repro.problems import (
+    random_hmm,
+    viterbi_lattice_reference,
+    viterbi_reference,
+    viterbi_spec,
+)
+from repro.runtime import execute, solve_reference
+from repro.spec import ASCENDING
+
+
+@pytest.fixture(scope="module")
+def hmm():
+    return random_hmm(n_states=4, n_symbols=5, length=20, seed=7)
+
+
+@pytest.fixture(scope="module")
+def program(hmm):
+    return generate(viterbi_spec(*hmm, tile_width_t=4))
+
+
+class TestSpecStructure:
+    def test_template_count(self, program):
+        # 2K - 1 offsets for K = 4 states.
+        assert len(program.spec.templates) == 7
+
+    def test_time_dimension_ascends(self, program):
+        directions = program.spec.scan_directions()
+        assert directions["t_step"] == ASCENDING
+
+    def test_ghost_margins_both_sides_of_state(self, program):
+        layout = program.layout
+        s_idx = program.spec.loop_vars.index("s_state")
+        assert layout.ghost_lo[s_idx] == 3
+        assert layout.ghost_hi[s_idx] == 3
+
+    def test_state_dim_single_tile(self, program, hmm):
+        # width K covers all states: only time-direction deltas lead to
+        # valid tiles.
+        tiles = set(program.spaces.tiles({"T": 20}))
+        assert all(t[1] == 0 for t in tiles)
+
+    def test_mixed_sign_deltas_derived(self, program):
+        deltas = set(program.deltas)
+        assert (-1, 0) in deltas
+        assert (-1, -1) in deltas
+        assert (-1, 1) in deltas
+
+
+class TestNumerics:
+    def test_full_lattice_matches_oracle(self, hmm, program):
+        prior, trans, emit, obs = hmm
+        res = execute(program, {"T": len(obs) - 1}, record_values=True)
+        lattice = viterbi_lattice_reference(prior, trans, emit, obs)
+        assert len(res.values) == lattice.size
+        for (t, s), v in res.values.items():
+            assert v == pytest.approx(lattice[t, s], abs=1e-9)
+
+    def test_best_logprob(self, hmm, program):
+        prior, trans, emit, obs = hmm
+        best, path = viterbi_reference(prior, trans, emit, obs)
+        res = execute(program, {"T": len(obs) - 1}, record_values=True)
+        col = max(res.values[(len(obs) - 1, s)] for s in range(4))
+        assert col == pytest.approx(best, abs=1e-9)
+        assert len(path) == len(obs)
+
+    def test_tiled_equals_untiled(self, hmm, program):
+        tiled = execute(program, {"T": 12}, record_values=True)
+        untiled = solve_reference(program, {"T": 12}, record_values=True)
+        assert tiled.values == untiled.values
+
+    def test_prefix_decoding(self, hmm, program):
+        # Running with a smaller T decodes the observation prefix.
+        prior, trans, emit, obs = hmm
+        res = execute(program, {"T": 9}, record_values=True)
+        lattice = viterbi_lattice_reference(prior, trans, emit, obs[:10])
+        for s in range(4):
+            assert res.values[(9, s)] == pytest.approx(
+                lattice[9, s], abs=1e-9
+            )
+
+    def test_path_is_consistent(self, hmm):
+        prior, trans, emit, obs = hmm
+        best, path = viterbi_reference(prior, trans, emit, obs)
+        # Recompute the path's log-prob directly; must equal `best`.
+        logp = prior[path[0]] + emit[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            logp += trans[path[t - 1], path[t]] + emit[path[t], obs[t]]
+        assert logp == pytest.approx(best, abs=1e-9)
+
+
+class TestScaling:
+    def test_larger_state_space(self):
+        hmm = random_hmm(n_states=6, n_symbols=4, length=12, seed=11)
+        program = generate(viterbi_spec(*hmm, tile_width_t=3))
+        assert len(program.spec.templates) == 11
+        res = execute(program, {"T": 12}, record_values=True)
+        lattice = viterbi_lattice_reference(*hmm)
+        for (t, s), v in res.values.items():
+            assert v == pytest.approx(lattice[t, s], abs=1e-9)
+
+    def test_two_states(self):
+        hmm = random_hmm(n_states=2, n_symbols=3, length=15, seed=13)
+        program = generate(viterbi_spec(*hmm, tile_width_t=5))
+        best, _ = viterbi_reference(*hmm)
+        res = execute(program, {"T": 15}, record_values=True)
+        col = max(res.values[(15, s)] for s in range(2))
+        assert col == pytest.approx(best, abs=1e-9)
