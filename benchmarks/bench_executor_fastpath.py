@@ -1,0 +1,102 @@
+"""EXEC — interpreter vs vectorized fast-path throughput.
+
+Measures cells/second of ``execute(mode="interpret")`` against
+``execute(mode="vector")`` on the two shapes the fast path targets:
+
+* 2-D LCS at N = 512 (large dense wavefronts, the best case), and
+* the 4-D 2-arm bandit (simplex space: ragged tiles, masked lanes).
+
+Results go to ``BENCH_executor.json`` at the repository root so later
+PRs can track the trajectory, plus the usual textual report in
+``benchmarks/out/``.  The vector results are asserted equal to the
+interpreter's here, on the benchmark instances themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.generator import generate
+from repro.problems import lcs_spec, random_sequence, two_arm_spec
+from repro.runtime import TileGraph, execute
+
+from _common import write_report
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+LCS_N = 512
+LCS_TILE = 128
+BANDIT_N = 40
+BANDIT_TILE = 10
+
+
+def _measure(program, params, mode, repeats=1):
+    graph = TileGraph.build(program, params)
+    # Warm-up triggers the one-time per-program compilation (scanner,
+    # checks, vector engine) so the steady-state loop is what's timed.
+    execute(program, params, graph=graph, mode=mode)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute(program, params, graph=graph, mode=mode)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def _bench_case(name, program, params, repeats):
+    interp, t_i = _measure(program, params, "interpret", repeats)
+    vector, t_v = _measure(program, params, "vector", repeats)
+    assert vector.objective_value == interp.objective_value
+    assert vector.cells_computed == interp.cells_computed
+    cells = interp.cells_computed
+    return {
+        "case": name,
+        "params": dict(params),
+        "tile_widths": dict(program.spec.tile_widths),
+        "cells": cells,
+        "interpret_s": t_i,
+        "vector_s": t_v,
+        "interpret_cells_per_s": cells / t_i,
+        "vector_cells_per_s": cells / t_v,
+        "speedup": t_i / t_v,
+    }
+
+
+def run_bench(repeats=2):
+    a = random_sequence(LCS_N, seed=71)
+    b = random_sequence(LCS_N, seed=72)
+    lcs_program = generate(lcs_spec([a, b], tile_width=LCS_TILE))
+    bandit_program = generate(two_arm_spec(tile_width=BANDIT_TILE))
+    rows = [
+        _bench_case(
+            "lcs2", lcs_program, {"L1": LCS_N, "L2": LCS_N}, repeats
+        ),
+        _bench_case("bandit2", bandit_program, {"N": BANDIT_N}, repeats),
+    ]
+    BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    lines = []
+    for r in rows:
+        lines.append(
+            f"EXEC {r['case']}: {r['cells']} cells | "
+            f"interpret {r['interpret_cells_per_s'] / 1e3:.0f}k cells/s | "
+            f"vector {r['vector_cells_per_s'] / 1e3:.0f}k cells/s | "
+            f"speedup {r['speedup']:.1f}x"
+        )
+    write_report("exec_fastpath", "\n".join(lines))
+    return rows
+
+
+def test_exec_fastpath():
+    rows = run_bench()
+    lcs_row = next(r for r in rows if r["case"] == "lcs2")
+    # The acceptance bar: the fast path must be worth its complexity.
+    assert lcs_row["speedup"] >= 5.0
+    for r in rows:
+        assert r["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -539,7 +539,10 @@ def _emit_initial_tiles(w: CWriter, program: GeneratedProgram) -> None:
             if key in emitted_systems:
                 continue
             emitted_systems.add(key)
-            system = tile_space.and_also(key)
+            # Conjoin the tuple, not the frozenset: set iteration order
+            # is hash-randomized and would make the emitted program
+            # differ between runs.
+            system = tile_space.and_also(combo)
             if system.is_trivially_empty():
                 continue
             try:

@@ -106,7 +106,10 @@ def initial_tiles_face_scan(
         if key in seen_systems:
             continue
         seen_systems.add(key)
-        system = tile_space.and_also(key)
+        # Conjoin the tuple, not the frozenset: set iteration order is
+        # hash-randomized and would make the synthesized bound order
+        # (and the emitted C) differ between runs.
+        system = tile_space.and_also(combo)
         if system.is_trivially_empty():
             continue
         try:

@@ -42,6 +42,15 @@ def _strings_global_c(strings: Sequence[str]) -> str:
     )
 
 
+def _seq_array(s: str) -> np.ndarray:
+    """Sequence as a numpy char array for the vector kernels.
+
+    Empty sequences get a single NUL placeholder so that index-clamping
+    (``max(i-1, 0)``) in masked-out lanes stays in bounds.
+    """
+    return np.array(list(s) or ["\0"], dtype="<U1")
+
+
 # ---------------------------------------------------------------------------
 # Edit distance (2-D)
 # ---------------------------------------------------------------------------
@@ -73,6 +82,23 @@ def edit_distance_spec(
             best = cand if best is None or cand < best else best
         return 0.0 if best is None else best
 
+    A, B = _seq_array(a), _seq_array(b)
+
+    def vector_kernel(point, deps, valid, params):
+        # Array twin of `kernel`: min-cascade with an inf sentinel for
+        # "no valid dependency", same candidate order, masked lanes
+        # (NaN deps) never win a `<` comparison.
+        i, j = point["i"], point["j"]
+        best = np.where(valid["up"], deps["up"] + 1.0, np.inf)
+        cand = deps["left"] + 1.0
+        best = np.where(valid["left"] & (cand < best), cand, best)
+        cost = np.where(
+            A[np.maximum(i - 1, 0)] == B[np.maximum(j - 1, 0)], 0.0, 1.0
+        )
+        cand = deps["diag"] + cost
+        best = np.where(valid["diag"] & (cand < best), cand, best)
+        return np.where(np.isinf(best), 0.0, best)
+
     return ProblemSpec.create(
         name="edit-distance",
         loop_vars=["i", "j"],
@@ -82,6 +108,7 @@ def edit_distance_spec(
         tile_widths=tile_width,
         lb_dims=lb_dims or ("i",),
         kernel=kernel,
+        vector_kernel=vector_kernel,
         objective_point={"i": len(a), "j": len(b)},
         global_code_c=(
             f'static const char SEQ_A[] = "{a}";\n'
@@ -165,6 +192,25 @@ def lcs_spec(strings: Sequence[str], tile_width: int = 8, lb_dims=None) -> Probl
                 best = v
         return best
 
+    arrs = [_seq_array(s) for s in strings]
+    drop_names = ["drop_" + loop_vars[k][1:] for k in range(d)]
+
+    def vector_kernel(point, deps, valid, params_env):
+        coords = [point[v] for v in loop_vars]
+        chars = [arrs[k][np.maximum(coords[k] - 1, 0)] for k in range(d)]
+        match = coords[0] >= 1
+        for c in coords[1:]:
+            match = match & (c >= 1)
+        for ch in chars[1:]:
+            match = match & (chars[0] == ch)
+        best = np.zeros(coords[0].shape, dtype=np.float64)
+        for name in drop_names:
+            v = deps[name]
+            best = np.where(valid[name] & (v > best), v, best)
+        # `match` implies the diagonal dependency is valid (all coords
+        # >= 1 and within the box), so its lanes hold real values.
+        return np.where(match, deps[diag_name] + 1.0, best)
+
     # Python center-loop fragment for the pygen backend.
     eq_chain = " == ".join(
         f"STRINGS[{k}][{loop_vars[k]}-1]" for k in range(d)
@@ -212,6 +258,7 @@ def lcs_spec(strings: Sequence[str], tile_width: int = 8, lb_dims=None) -> Probl
         tile_widths=tile_width,
         lb_dims=lb_dims or (loop_vars[0],),
         kernel=kernel,
+        vector_kernel=vector_kernel,
         objective_point={v: len(s) for v, s in zip(loop_vars, strings)},
         global_code_py=f"STRINGS = {tuple(strings)!r}",
         center_code_py="\n".join(py_lines),
@@ -319,6 +366,31 @@ def msa_spec(
                 best = cand
         return 0.0 if best is None else best
 
+    arrs = [_seq_array(s) for s in strings]
+
+    def vector_kernel(point, deps, valid, params_env):
+        chars = [
+            arrs[k][np.maximum(point[loop_vars[k]] - 1, 0)] for k in range(d)
+        ]
+        shape = point[loop_vars[0]].shape
+        best = np.full(shape, np.inf)
+        for move in moves:
+            name = move_name(move)
+            # Accumulate the column cost pair by pair in the scalar
+            # kernel's order so the float sums are bit-identical.
+            cost = 0.0
+            for a_i in range(d):
+                for b_i in range(a_i + 1, d):
+                    if move[a_i] != 0 and move[b_i] != 0:
+                        cost = cost + np.where(
+                            chars[a_i] == chars[b_i], 0.0, mismatch
+                        )
+                    elif move[a_i] != 0 or move[b_i] != 0:
+                        cost = cost + gap
+            cand = deps[name] + cost
+            best = np.where(valid[name] & (cand < best), cand, best)
+        return np.where(np.isinf(best), 0.0, best)
+
     # Python center-loop fragment for the pygen backend: one guarded
     # candidate per move; gap costs fold to constants at generation time.
     py_lines = ["_best = None"]
@@ -377,6 +449,7 @@ def msa_spec(
         tile_widths=tile_width,
         lb_dims=lb_dims or (loop_vars[0],),
         kernel=kernel,
+        vector_kernel=vector_kernel,
         objective_point={v: len(s) for v, s in zip(loop_vars, strings)},
         global_code_py=f"STRINGS = {tuple(strings)!r}",
         center_code_py="\n".join(py_lines),
@@ -457,6 +530,29 @@ def damerau_spec(a: str, b: str, tile_width: int = 8, lb_dims=None) -> ProblemSp
             best = cand if best is None or cand < best else best
         return 0.0 if best is None else best
 
+    A, B = _seq_array(a), _seq_array(b)
+
+    def vector_kernel(point, deps, valid, params):
+        i, j = point["i"], point["j"]
+        best = np.where(valid["up"], deps["up"] + 1.0, np.inf)
+        cand = deps["left"] + 1.0
+        best = np.where(valid["left"] & (cand < best), cand, best)
+        cost = np.where(
+            A[np.maximum(i - 1, 0)] == B[np.maximum(j - 1, 0)], 0.0, 1.0
+        )
+        cand = deps["diag"] + cost
+        best = np.where(valid["diag"] & (cand < best), cand, best)
+        swap_ok = (
+            valid["swap"]
+            & (i >= 2)
+            & (j >= 2)
+            & (A[np.maximum(i - 1, 0)] == B[np.maximum(j - 2, 0)])
+            & (A[np.maximum(i - 2, 0)] == B[np.maximum(j - 1, 0)])
+        )
+        cand = deps["swap"] + 1.0
+        best = np.where(swap_ok & (cand < best), cand, best)
+        return np.where(np.isinf(best), 0.0, best)
+
     return ProblemSpec.create(
         name="damerau",
         loop_vars=["i", "j"],
@@ -471,6 +567,7 @@ def damerau_spec(a: str, b: str, tile_width: int = 8, lb_dims=None) -> ProblemSp
         tile_widths=tile_width,
         lb_dims=lb_dims or ("i",),
         kernel=kernel,
+        vector_kernel=vector_kernel,
         objective_point={"i": len(a), "j": len(b)},
         global_code_py=f'SEQ_A = "{a}"\nSEQ_B = "{b}"',
         center_code_py=(
@@ -557,6 +654,23 @@ def smith_waterman_spec(
             best = max(best, deps["left"] - gap)
         return best
 
+    A, B = _seq_array(a), _seq_array(b)
+
+    def vector_kernel(point, deps, valid, params):
+        i, j = point["i"], point["j"]
+        best = np.zeros(i.shape, dtype=np.float64)
+        s = np.where(
+            A[np.maximum(i - 1, 0)] == B[np.maximum(j - 1, 0)],
+            match, mismatch,
+        )
+        cand = deps["diag"] + s
+        best = np.where(valid["diag"] & (cand > best), cand, best)
+        cand = deps["up"] - gap
+        best = np.where(valid["up"] & (cand > best), cand, best)
+        cand = deps["left"] - gap
+        best = np.where(valid["left"] & (cand > best), cand, best)
+        return best
+
     return ProblemSpec.create(
         name="smith-waterman",
         loop_vars=["i", "j"],
@@ -566,6 +680,7 @@ def smith_waterman_spec(
         tile_widths=tile_width,
         lb_dims=lb_dims or ("i",),
         kernel=kernel,
+        vector_kernel=vector_kernel,
         objective_point={"i": len(a), "j": len(b)},
     )
 

@@ -74,6 +74,27 @@ def _karm_kernel(k: int):
     return kernel
 
 
+def _karm_vector_kernel(k: int):
+    """Array-level twin of :func:`_karm_kernel` for the fast path.
+
+    All 2k templates share the budget check, so ``valid["succ1"]`` gates
+    the whole arm-max; invalid lanes produce NaN arm values (NaN never
+    wins a ``>`` comparison) and are overwritten with 0.0 at the end.
+    """
+
+    def vector_kernel(point, deps, valid, params):
+        best = np.full(point["s1"].shape, -1.0)
+        for arm in range(1, k + 1):
+            s = point[f"s{arm}"]
+            f = point[f"f{arm}"]
+            p = (s + 1.0) / (s + f + 2.0)
+            v = p * (1.0 + deps[f"succ{arm}"]) + (1.0 - p) * deps[f"fail{arm}"]
+            best = np.where(v > best, v, best)
+        return np.where(valid["succ1"], best, 0.0)
+
+    return vector_kernel
+
+
 def _karm_center_code_c(k: int) -> str:
     lines = ["double best = -1.0, p, v;"]
     for arm in range(1, k + 1):
@@ -129,6 +150,7 @@ def karm_spec(k: int, tile_width: int = 8, lb_dims=None) -> ProblemSpec:
         tile_widths=tile_width,
         lb_dims=lb_dims,
         kernel=_karm_kernel(k),
+        vector_kernel=_karm_vector_kernel(k),
         center_code_c=_karm_center_code_c(k),
         center_code_py=_karm_center_code_py(k),
     )
@@ -240,6 +262,28 @@ def _delayed_kernel(point, deps, params):
     return max(candidates)
 
 
+def _delayed_vector_kernel(point, deps, valid, params):
+    """Array-level twin of :func:`_delayed_kernel` for the fast path."""
+    q1, s1, f1 = point["q1"], point["s1"], point["f1"]
+    q2, s2, f2 = point["q2"], point["s2"], point["f2"]
+    pend1 = q1 - s1 - f1
+    pend2 = q2 - s2 - f2
+    can_pull = valid["pull1"] | valid["pull2"]
+    gate1 = ((pend1 >= 2) | (~can_pull & (pend1 >= 1))) & valid["obs_s1"]
+    gate2 = ((pend2 >= 2) | (~can_pull & (pend2 >= 1))) & valid["obs_s2"]
+    p1 = (s1 + 1.0) / (s1 + f1 + 2.0)
+    obs1 = p1 * (1.0 + deps["obs_s1"]) + (1.0 - p1) * deps["obs_f1"]
+    p2 = (s2 + 1.0) / (s2 + f2 + 2.0)
+    obs2 = p2 * (1.0 + deps["obs_s2"]) + (1.0 - p2) * deps["obs_f2"]
+    # max over the valid pulls; -inf sentinel, first candidate wins ties
+    # (matching the scalar max over the candidate list), no pulls -> 0.0.
+    v1 = np.where(valid["pull1"], deps["pull1"], -np.inf)
+    v2 = np.where(valid["pull2"], deps["pull2"], -np.inf)
+    pulls = np.where(v2 > v1, v2, v1)
+    pulls = np.where(np.isinf(pulls), 0.0, pulls)
+    return np.where(gate1, obs1, np.where(gate2, obs2, pulls))
+
+
 _DELAYED_CENTER_C = """\
 int pend1 = q1 - s1 - f1, pend2 = q2 - s2 - f2;
 int can_pull = is_valid_pull1 || is_valid_pull2;
@@ -312,6 +356,7 @@ def delayed_two_arm_spec(tile_width: int = 4, lb_dims=None) -> ProblemSpec:
         tile_widths=tile_width,
         lb_dims=lb_dims,
         kernel=_delayed_kernel,
+        vector_kernel=_delayed_vector_kernel,
         center_code_c=_DELAYED_CENTER_C,
         center_code_py=_DELAYED_CENTER_PY,
     )

@@ -2,7 +2,14 @@
 
 from .graph import Edge, TileGraph, TileIndex
 from .memory import EdgeMemoryTracker
-from .executor import ExecutionResult, execute, solve_reference
+from .executor import (
+    CompiledExecutor,
+    ExecutionResult,
+    compiled_executor,
+    execute,
+    solve_reference,
+)
+from .fastpath import VectorTileEngine, vector_unsupported_reason
 from .recover import Policy, SolutionRecovery
 
 __all__ = [
@@ -10,9 +17,13 @@ __all__ = [
     "TileIndex",
     "Edge",
     "EdgeMemoryTracker",
+    "CompiledExecutor",
+    "compiled_executor",
     "ExecutionResult",
     "execute",
     "solve_reference",
+    "VectorTileEngine",
+    "vector_unsupported_reason",
     "SolutionRecovery",
     "Policy",
 ]

@@ -1,0 +1,335 @@
+"""Vectorized tile execution: the executor's fast path.
+
+The interpreter in :mod:`repro.runtime.executor` evaluates a tile
+cell-by-cell — per-point dict construction plus a Python-level kernel
+call — which is the single hottest path of the whole system.  For specs
+that carry a :data:`~repro.spec.VectorKernel` (an array-level twin of the
+scalar kernel) this module executes the *entire tile* with whole-array
+numpy operations instead:
+
+1. **Validity masks** — every ``is_valid_r*`` check is a linear
+   inequality over the global coordinates.  Its value over the tile's
+   local box splits into a tile-invariant array part (precomputed once
+   per program) plus a per-tile scalar base, so each check becomes one
+   broadcast comparison — and interval analysis (min/max of the array
+   part) collapses most checks to a scalar ``True``/``False`` per tile.
+
+2. **Wavefront evaluation** — cells are grouped by the level function
+   ``level(i) = sum_k dir_k * i_k`` (the anti-diagonal level sets of the
+   local box under the spec's scan directions).  Every template vector
+   strictly decreases the level (checked at construction; programs where
+   some template does not are unsupported and fall back to the
+   interpreter), so within one level no cell depends on another and the
+   whole level is evaluated with one vector-kernel call.  Dependency
+   values are whole-array *views* of the padded ghost array shifted by
+   the template vector — no gather logic beyond numpy fancy indexing.
+
+3. **Pack/unpack plans are reused unchanged** — the engine only replaces
+   the center loop; the edge protocol, memory accounting and tile
+   ordering are byte-for-byte those of the interpreter.
+
+The engine is bit-identical to the interpreter: vector kernels apply the
+same IEEE operations in the same order, and the cross-check suite
+(tests/test_fastpath.py) pins every bundled problem to the interpreter
+and to ``solve_reference`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import RuntimeExecutionError
+from ..generator.pipeline import GeneratedProgram
+from ..polyhedra import Constraint
+
+__all__ = ["VectorTileEngine", "vector_unsupported_reason"]
+
+
+def vector_unsupported_reason(program: GeneratedProgram) -> Optional[str]:
+    """Why the vectorized fast path cannot run *program* (None = it can).
+
+    Dispatch rules (documented in docs/architecture.md): the spec must
+    provide a vector kernel, and every template vector must strictly
+    decrease the wavefront level function ``sum_k dir_k * i_k`` so that
+    level sets are data-parallel.
+    """
+    spec = program.spec
+    if spec.vector_kernel is None:
+        return f"problem {spec.name!r} has no vector kernel"
+    directions = spec.scan_directions()
+    for name, vec in spec.templates.items():
+        step = sum(directions[x] * r for x, r in zip(spec.loop_vars, vec))
+        if step >= 0:
+            return (
+                f"template {name!r} does not decrease the wavefront level "
+                f"(direction-weighted step {step:+d}); level sets are not "
+                "data-parallel"
+            )
+    return None
+
+
+def _affine_parts(
+    constraint: Constraint,
+    loop_vars: Sequence[str],
+    widths: Sequence[int],
+    grids: np.ndarray,
+):
+    """Split ``a.x + c`` into (const, param terms, tile coeffs, box array).
+
+    With ``x_k = w_k * t_k + i_k`` the constraint value over a tile's
+    local box is ``const + sum_p b_p p + sum_k a_k w_k t_k`` (a per-tile
+    scalar) plus ``sum_k a_k i_k`` (a tile-invariant array over the box).
+    """
+    expr = constraint.expr
+    const = expr.constant
+    if const.denominator != 1:
+        raise RuntimeExecutionError(f"non-integral check constraint {constraint}")
+    loop_set = set(loop_vars)
+    param_items: List[Tuple[str, int]] = []
+    tile_coefs = [0] * len(loop_vars)
+    lin: Optional[np.ndarray] = None
+    for name, coef in expr.terms():
+        if coef.denominator != 1:
+            raise RuntimeExecutionError(
+                f"non-integral check constraint {constraint}"
+            )
+        c = coef.numerator
+        if name in loop_set:
+            k = loop_vars.index(name)
+            tile_coefs[k] = c * widths[k]
+            contrib = c * grids[k]
+            lin = contrib if lin is None else lin + contrib
+        else:
+            param_items.append((name, c))
+    if lin is None:
+        lo = hi = 0
+    else:
+        lo = int(lin.min())
+        hi = int(lin.max())
+    return {
+        "const": const.numerator,
+        "param_items": tuple(param_items),
+        "tile_coefs": tuple(tile_coefs),
+        "lin": lin,
+        "lin_min": lo,
+        "lin_max": hi,
+        "is_eq": constraint.is_equality(),
+    }
+
+
+class VectorTileEngine:
+    """Executes one tile's local iteration space with numpy wavefronts.
+
+    All loop-invariant artifacts — coordinate grids, the level function,
+    the full-box wavefront partition, per-check array parts and the
+    per-template shifted views — are derived once at construction and
+    shared by every tile of every run of the program.
+    """
+
+    def __init__(self, program: GeneratedProgram):
+        reason = vector_unsupported_reason(program)
+        if reason is not None:
+            raise RuntimeExecutionError(
+                f"vectorized execution unsupported: {reason}"
+            )
+        spec = program.spec
+        self.program = program
+        self.spec = spec
+        self.layout = program.layout
+        self.loop_vars = spec.loop_vars
+        self.widths = spec.tile_width_vector()
+        self.vector_kernel = spec.vector_kernel
+
+        layout = self.layout
+        self.interior_slices = tuple(
+            slice(lo, lo + w) for lo, w in zip(layout.ghost_lo, self.widths)
+        )
+        # Per template: the shifted box view of the padded array whose
+        # element [i] is the dependency value of interior cell i.
+        self.template_slices: Dict[str, Tuple[slice, ...]] = {}
+        for name, vec in spec.templates.items():
+            self.template_slices[name] = tuple(
+                slice(lo + r, lo + r + w)
+                for lo, r, w in zip(layout.ghost_lo, vec, self.widths)
+            )
+
+        # Local-coordinate grids and the wavefront level function.
+        grids = np.indices(self.widths)
+        self._grids = grids
+        directions = spec.scan_directions()
+        self._dirs = tuple(directions[x] for x in self.loop_vars)
+        levels = np.zeros(self.widths, dtype=np.int64)
+        for k, d in enumerate(self._dirs):
+            levels += d * grids[k]
+        flat = levels.reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        cuts = np.flatnonzero(np.diff(flat[order])) + 1
+        self._full_groups: List[np.ndarray] = np.split(order, cuts)
+        self._full_wavefronts = [
+            np.unravel_index(g, self.widths) for g in self._full_groups
+        ]
+        self._full_cells = int(np.prod(self.widths))
+
+        # Affine data for the in-space constraints and the validity checks.
+        self._space_parts = [
+            _affine_parts(c, self.loop_vars, self.widths, grids)
+            for c in spec.constraints
+        ]
+        self._check_parts = [
+            _affine_parts(c, self.loop_vars, self.widths, grids)
+            for c in program.validity.checks
+        ]
+        self.per_template = {
+            name: tuple(ids)
+            for name, ids in program.validity.per_template.items()
+        }
+
+    # -- per-tile affine evaluation ------------------------------------------
+
+    def _eval_parts(self, parts, tile, params):
+        """Constraint truth over the box: scalar bool or boolean array."""
+        base = parts["const"]
+        for name, c in parts["param_items"]:
+            base += c * params[name]
+        for k, c in enumerate(parts["tile_coefs"]):
+            if c:
+                base += c * tile[k]
+        lin = parts["lin"]
+        if parts["is_eq"]:
+            if lin is None:
+                return base == 0
+            if base + parts["lin_min"] > 0 or base + parts["lin_max"] < 0:
+                return False
+            return (base + lin) == 0
+        if lin is None:
+            return base >= 0
+        if base + parts["lin_min"] >= 0:
+            return True
+        if base + parts["lin_max"] < 0:
+            return False
+        return (base + lin) >= 0
+
+    def _in_space_mask(self, tile, params) -> Optional[np.ndarray]:
+        """Boolean box mask of iteration-space cells; None = whole box."""
+        mask: Optional[np.ndarray] = None
+        for parts in self._space_parts:
+            m = self._eval_parts(parts, tile, params)
+            if m is True:
+                continue
+            if m is False:
+                return np.zeros(self.widths, dtype=bool)
+            mask = m if mask is None else (mask & m)
+        return mask
+
+    def _template_validity(self, tile, params) -> Dict[str, object]:
+        """Per-template validity over the box (scalar bool or array)."""
+        cache: Dict[int, object] = {}
+        out: Dict[str, object] = {}
+        for name, ids in self.per_template.items():
+            combined: object = True
+            for idx in ids:
+                m = cache.get(idx)
+                if m is None:
+                    m = self._eval_parts(self._check_parts[idx], tile, params)
+                    cache[idx] = m
+                if m is False:
+                    combined = False
+                    break
+                if m is True:
+                    continue
+                combined = m if combined is True else (combined & m)
+            out[name] = combined
+        return out
+
+    def _wavefronts(self, mask: Optional[np.ndarray]):
+        if mask is None:
+            return self._full_wavefronts
+        flat = mask.reshape(-1)
+        fronts = []
+        for g in self._full_groups:
+            sel = g[flat[g]]
+            if sel.size:
+                fronts.append(np.unravel_index(sel, self.widths))
+        return fronts
+
+    # -- tile execution -------------------------------------------------------
+
+    def execute_tile(
+        self,
+        tile: Tuple[int, ...],
+        array: np.ndarray,
+        params: Mapping[str, int],
+        values: Optional[Dict[Tuple[int, ...], float]] = None,
+    ) -> int:
+        """Evaluate the recurrence on every in-space cell of *tile*.
+
+        *array* is the padded tile array with ghost margins already
+        unpacked.  Returns the number of cells computed; records every
+        cell into *values* when given (keys are global-coordinate
+        tuples, exactly as the interpreter produces them).
+        """
+        mask = self._in_space_mask(tile, params)
+        if mask is None:
+            ncells = self._full_cells
+        else:
+            ncells = int(np.count_nonzero(mask))
+            if ncells == self._full_cells:
+                mask = None
+        fronts = self._wavefronts(mask)
+        if not fronts:
+            return 0
+
+        validity = self._template_validity(tile, params)
+        interior = array[self.interior_slices]
+        dep_views = {
+            name: array[slc] for name, slc in self.template_slices.items()
+        }
+        base = [w * t for w, t in zip(self.widths, tile)]
+        vector_kernel = self.vector_kernel
+        nan = np.float64(np.nan)
+
+        for idx in fronts:
+            point = {
+                x: base[k] + idx[k] for k, x in enumerate(self.loop_vars)
+            }
+            deps: Dict[str, object] = {}
+            valid: Dict[str, object] = {}
+            for name, view in dep_views.items():
+                v = validity[name]
+                if v is False:
+                    deps[name] = nan
+                    valid[name] = np.False_
+                    continue
+                vals = view[idx]
+                if isinstance(v, np.ndarray):
+                    vmask = v[idx]
+                    bad = np.isnan(vals) & vmask
+                else:
+                    vmask = np.True_
+                    bad = np.isnan(vals)
+                if bad.any():
+                    k = int(np.flatnonzero(bad)[0])
+                    where = {
+                        x: int(point[x][k]) for x in self.loop_vars
+                    }
+                    raise RuntimeExecutionError(
+                        f"tile {tile}: dependency {name} of point {where} "
+                        "is valid but its value was never computed or "
+                        "delivered"
+                    )
+                deps[name] = vals
+                valid[name] = vmask
+            out = np.asarray(
+                vector_kernel(point, deps, valid, params), dtype=np.float64
+            )
+            if out.ndim == 0:
+                out = np.broadcast_to(out, idx[0].shape)
+            interior[idx] = out
+            if values is not None:
+                cols = np.stack(
+                    [point[x] for x in self.loop_vars], axis=1
+                ).tolist()
+                values.update(zip(map(tuple, cols), out.tolist()))
+        return ncells

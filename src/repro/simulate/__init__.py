@@ -15,7 +15,14 @@ from .trace import (
     utilization_timeline,
     validate_trace,
 )
-from .calibrate import CalibrationRun, calibrate_machine, run_generated_c
+from .calibrate import (
+    CalibrationRun,
+    calibrate_machine,
+    calibrate_machine_in_process,
+    fit_machine,
+    run_generated_c,
+    run_in_process,
+)
 
 __all__ = [
     "MachineModel",
@@ -34,5 +41,8 @@ __all__ = [
     "render_timeline",
     "CalibrationRun",
     "calibrate_machine",
+    "calibrate_machine_in_process",
+    "fit_machine",
+    "run_in_process",
     "run_generated_c",
 ]

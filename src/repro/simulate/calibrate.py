@@ -12,6 +12,12 @@ couple of sizes, and fit
 The result is a :class:`~repro.simulate.machine.MachineModel` whose
 single-core behaviour matches this host's compiled code, making the
 simulated scaling curves host-grounded rather than purely synthetic.
+
+Hosts without gcc can calibrate against the in-process runtime instead
+(:func:`calibrate_machine_in_process`): the same two-run fit, but timing
+``repro.runtime.execute``.  Repeated timing runs reuse the program's
+cached :class:`~repro.runtime.executor.CompiledExecutor` and a prebuilt
+tile graph, so only the steady-state execution loop is measured.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import shutil
 import subprocess
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Tuple
@@ -98,25 +105,48 @@ def run_generated_c(
     )
 
 
-def calibrate_machine(
+def run_in_process(
     program: GeneratedProgram,
-    small_params: Mapping[str, int],
-    large_params: Mapping[str, int],
-    base: Optional[MachineModel] = None,
-) -> Tuple[MachineModel, CalibrationRun, CalibrationRun]:
-    """Fit per-cell and per-tile costs from two single-thread runs.
+    params: Mapping[str, int],
+    mode: str = "auto",
+    repeats: int = 1,
+) -> CalibrationRun:
+    """Time the in-process runtime on one instance (no gcc required).
 
-    Solves the 2x2 system ``seconds = cells * spc + tiles * overhead``
-    for the two runs; degenerate fits (negative overhead from noise)
+    The tile graph is prebuilt and the program's cached compiled
+    executor does all one-time derivation before the clock starts; the
+    fastest of *repeats* timed runs is reported.
+    """
+    from ..runtime import TileGraph, execute
+
+    graph = TileGraph.build(program, params)
+    result = execute(program, params, graph=graph, mode=mode)  # warm-up
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = execute(program, params, graph=graph, mode=mode)
+        best = min(best, time.perf_counter() - t0)
+    return CalibrationRun(
+        params=dict(params),
+        tiles=result.tiles_executed,
+        cells=result.cells_computed,
+        seconds=best,
+    )
+
+
+def fit_machine(
+    small: CalibrationRun,
+    large: CalibrationRun,
+    base: Optional[MachineModel] = None,
+) -> MachineModel:
+    """Fit per-cell and per-tile costs from two measured runs.
+
+    Solves the 2x2 system ``seconds = cells * spc + tiles * overhead``;
+    degenerate fits (negative overhead from noise, singular systems)
     clamp the overhead at zero and refit the per-cell cost alone.
-    Returns the fitted model plus both measurements.
     """
     base = base or MachineModel()
-    small = run_generated_c(program, small_params)
-    large = run_generated_c(program, large_params)
-    det = (
-        small.cells * large.tiles - large.cells * small.tiles
-    )
+    det = small.cells * large.tiles - large.cells * small.tiles
     spc: float
     overhead: float
     if det != 0:
@@ -132,8 +162,38 @@ def calibrate_machine(
     if spc <= 0 or overhead < 0:
         spc = large.sec_per_cell
         overhead = 0.0
-    return (
-        base.with_(sec_per_cell=spc, tile_overhead_s=overhead),
-        small,
-        large,
-    )
+    return base.with_(sec_per_cell=spc, tile_overhead_s=overhead)
+
+
+def calibrate_machine(
+    program: GeneratedProgram,
+    small_params: Mapping[str, int],
+    large_params: Mapping[str, int],
+    base: Optional[MachineModel] = None,
+) -> Tuple[MachineModel, CalibrationRun, CalibrationRun]:
+    """Fit the cost model from two single-thread runs of the compiled C.
+
+    Returns the fitted model plus both measurements.
+    """
+    small = run_generated_c(program, small_params)
+    large = run_generated_c(program, large_params)
+    return fit_machine(small, large, base), small, large
+
+
+def calibrate_machine_in_process(
+    program: GeneratedProgram,
+    small_params: Mapping[str, int],
+    large_params: Mapping[str, int],
+    base: Optional[MachineModel] = None,
+    mode: str = "auto",
+    repeats: int = 1,
+) -> Tuple[MachineModel, CalibrationRun, CalibrationRun]:
+    """Like :func:`calibrate_machine`, but timing the Python runtime.
+
+    Grounds the simulator on hosts without a C toolchain.  With
+    ``mode="auto"`` the vectorized fast path is measured when the spec
+    supports it, which is the runtime users actually get.
+    """
+    small = run_in_process(program, small_params, mode=mode, repeats=repeats)
+    large = run_in_process(program, large_params, mode=mode, repeats=repeats)
+    return fit_machine(small, large, base), small, large

@@ -1,7 +1,7 @@
 """Problem specifications: the generator's user input (paper Section IV-A)."""
 
 from .templates import ASCENDING, DESCENDING, TemplateSet
-from .problem import Kernel, ProblemSpec, RESERVED_NAMES
+from .problem import Kernel, ProblemSpec, RESERVED_NAMES, VectorKernel
 from .parser import format_spec, parse_spec_file, parse_spec_text
 from .kernel_adapter import ensure_kernel, kernel_from_center_code
 
@@ -11,6 +11,7 @@ __all__ = [
     "DESCENDING",
     "ProblemSpec",
     "Kernel",
+    "VectorKernel",
     "RESERVED_NAMES",
     "parse_spec_text",
     "parse_spec_file",

@@ -21,6 +21,24 @@ The Python kernel has the signature ``kernel(point, deps, params)``:
 * ``params`` — mapping of parameter name to value;
 
 and returns the value to store at the current location.
+
+A spec may additionally carry a *vector kernel* — the array-level twin of
+the Python kernel used by the runtime's vectorized fast path
+(:mod:`repro.runtime.fastpath`).  Its signature is
+``vector_kernel(point, deps, valid, params)``:
+
+* ``point`` — mapping of loop-variable name to an int array of global
+  coordinates (one entry per cell of the current wavefront),
+* ``deps`` — mapping of template name to a float array of dependency
+  values; entries are garbage (NaN) wherever the dependency is invalid,
+* ``valid`` — mapping of template name to the boolean validity mask
+  (``is_valid_r*`` evaluated per cell; may be a scalar ``numpy.bool_``
+  when the whole wavefront agrees),
+* ``params`` — mapping of parameter name to value;
+
+and returns the float array of computed values.  A vector kernel must be
+*bit-identical* to the scalar kernel: apply the same floating-point
+operations in the same order, masking invalid lanes with ``numpy.where``.
 """
 
 from __future__ import annotations
@@ -28,13 +46,16 @@ from __future__ import annotations
 import keyword
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SpecError
 from ..polyhedra import ConstraintSystem
 from .templates import TemplateSet
 
 Kernel = Callable[[Mapping[str, int], Mapping[str, Optional[float]], Mapping[str, int]], float]
+#: Array-level kernel: (point arrays, dep arrays, validity masks, params)
+#: -> computed values.  See the module docstring for the contract.
+VectorKernel = Callable[[Mapping[str, Any], Mapping[str, Any], Mapping[str, Any], Mapping[str, int]], Any]
 
 _NAME_RE = re.compile(r"^[A-Za-z_]\w*$")
 
@@ -72,6 +93,7 @@ class ProblemSpec:
     lb_dims: Tuple[str, ...]
     state_name: str = "V"
     kernel: Optional[Kernel] = None
+    vector_kernel: Optional[VectorKernel] = None
     center_code_c: str = ""
     init_code_c: str = ""
     global_code_c: str = ""

@@ -77,3 +77,41 @@ class TestCalibrateMachine:
         monkeypatch.setattr(cal.shutil, "which", lambda _: None)
         with pytest.raises(SimulationError):
             run_generated_c(bandit2_w4_program, {"N": 10})
+
+
+class TestInProcessCalibration:
+    # No gcc needed: these fit the cost model from the Python runtime,
+    # exercising the cached CompiledExecutor across repeated runs.
+
+    def test_fitted_model_reasonable(self, bandit2_w4_program):
+        from repro.simulate import calibrate_machine_in_process
+
+        machine, small, large = calibrate_machine_in_process(
+            bandit2_w4_program, {"N": 12}, {"N": 24}
+        )
+        assert machine.sec_per_cell > 0.0
+        assert machine.tile_overhead_s >= 0.0
+        assert large.cells > small.cells
+        assert large.cells == bandit2_w4_program.spaces.total_points(
+            {"N": 24}
+        )
+
+    def test_vector_mode_calibrates_faster_per_cell(self, bandit2_w4_program):
+        from repro.simulate import run_in_process
+
+        interp = run_in_process(
+            bandit2_w4_program, {"N": 24}, mode="interpret"
+        )
+        vector = run_in_process(bandit2_w4_program, {"N": 24}, mode="vector")
+        assert vector.cells == interp.cells
+        assert vector.seconds < interp.seconds
+
+    def test_fit_machine_degenerate_clamps(self):
+        from repro.simulate import CalibrationRun, fit_machine
+
+        # Identical runs make the 2x2 system singular: fall back to the
+        # per-cell rate of the large run with zero overhead.
+        run = CalibrationRun(params={"N": 5}, tiles=4, cells=100, seconds=1.0)
+        machine = fit_machine(run, run)
+        assert machine.sec_per_cell == pytest.approx(0.01)
+        assert machine.tile_overhead_s == 0.0

@@ -1,17 +1,23 @@
 """Smoke tests: every example script must run to completion.
 
 Examples are user-facing documentation; a broken one is a bug.  Each is
-executed in a subprocess with the repository's examples directory as
-cwd (they write their generated artifacts next to themselves).
+executed in a subprocess with a scratch directory as cwd (they write
+their generated artifacts next to themselves), so the subprocess
+environment must carry an *absolute* path to the source tree — the
+inherited ``PYTHONPATH=src`` of a typical pytest invocation would no
+longer resolve from there.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+SRC = REPO / "src"
 
 SCRIPTS = [
     "quickstart.py",
@@ -22,6 +28,16 @@ SCRIPTS = [
 ]
 
 
+def _example_env() -> dict:
+    """Subprocess env with the absolute src directory on PYTHONPATH."""
+    env = dict(os.environ)
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not prior else str(SRC) + os.pathsep + prior
+    )
+    return env
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("script", SCRIPTS)
 def test_example_runs(script, tmp_path):
@@ -30,6 +46,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         cwd=tmp_path,  # keep generated artifacts out of the repo tree
+        env=_example_env(),
         timeout=600,
     )
     assert out.returncode == 0, f"{script} failed:\n{out.stderr[-2000:]}"
@@ -42,6 +59,7 @@ def test_scaling_study_example():
         [sys.executable, str(EXAMPLES / "scaling_study.py")],
         capture_output=True,
         text=True,
+        env=_example_env(),
         timeout=900,
     )
     assert out.returncode == 0, out.stderr[-2000:]

@@ -133,10 +133,25 @@ class TestKernelHandling:
     def test_missing_kernel_rejected(self, bandit2_spec):
         import dataclasses
 
-        spec = dataclasses.replace(bandit2_spec, kernel=None)
+        spec = dataclasses.replace(
+            bandit2_spec, kernel=None, vector_kernel=None
+        )
         program = generate(spec)
         with pytest.raises(RuntimeExecutionError):
             execute(program, {"N": 4})
+
+    def test_vector_kernel_alone_suffices(self, bandit2_spec):
+        # A spec with only a vector kernel is runnable: auto mode picks
+        # the fast path, which needs no Python kernel.
+        import dataclasses
+
+        spec = dataclasses.replace(bandit2_spec, kernel=None)
+        program = generate(spec)
+        res = execute(program, {"N": 4})
+        assert res.mode == "vector"
+        assert res.objective_value == pytest.approx(
+            two_arm_reference(4), abs=1e-12
+        )
 
     def test_kernel_override(self, bandit2_program):
         # Count reachable cells instead of solving the bandit.
@@ -203,3 +218,66 @@ class TestObjectiveHandling:
 
     def test_edges_not_kept_by_default(self, bandit2_program):
         assert execute(bandit2_program, {"N": 5}).edges is None
+
+
+class TestCompiledArtifactCaching:
+    def test_scanner_compiled_once_per_program(self, monkeypatch):
+        # The local-space scanner is loop-invariant: one compilation per
+        # program, shared by every tile of every run — not one per tile
+        # (the old behaviour) and not one per execute() call either.
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod.compile_scanner
+        calls = []
+
+        def counting(nest, directions=None):
+            calls.append(1)
+            return real(nest, directions)
+
+        monkeypatch.setattr(executor_mod, "compile_scanner", counting)
+        program = generate(two_arm_spec(tile_width=3))
+        execute(program, {"N": 7}, mode="interpret")
+        assert len(calls) == 1
+        execute(program, {"N": 7}, mode="interpret")
+        assert len(calls) == 1  # cached CompiledExecutor reused
+
+    def test_compiled_executor_cached_on_program(self, bandit2_program):
+        from repro.runtime import compiled_executor
+
+        assert compiled_executor(bandit2_program) is compiled_executor(
+            bandit2_program
+        )
+
+
+class TestInterpreterEnvReuse:
+    def test_kernel_observes_correct_params_and_points(self, bandit2_program):
+        # The interpreter reuses its env dicts across points; a kernel
+        # must still see pristine params and per-point coordinates.
+        seen_points = []
+
+        def probe(point, deps, params):
+            assert set(params) == {"N"}
+            assert params["N"] == 6
+            seen_points.append(tuple(point[v] for v in "s1 f1 s2 f2".split()))
+            return float(sum(point.values()))
+
+        res = execute(
+            bandit2_program, {"N": 6}, kernel=probe, record_values=True
+        )
+        assert len(seen_points) == len(set(seen_points)) == res.cells_computed
+        for key, value in res.values.items():
+            assert value == float(sum(key))
+
+    def test_point_mutation_by_kernel_is_harmless(self, bandit2_program):
+        # A kernel that mutates its point dict must not corrupt later
+        # points (each point's coordinates are rewritten in full).
+        def vandal(point, deps, params):
+            out = float(sum(point.values()))
+            for k in point:
+                point[k] = -999
+            return out
+
+        res = execute(bandit2_program, {"N": 5}, kernel=vandal,
+                      record_values=True)
+        for key, value in res.values.items():
+            assert value == float(sum(key))
