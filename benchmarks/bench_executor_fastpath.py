@@ -31,6 +31,9 @@ LCS_TILE = 128
 BANDIT_N = 40
 BANDIT_TILE = 10
 
+QUICK_LCS_N = 128
+QUICK_BANDIT_N = 16
+
 
 def _measure(program, params, mode, repeats=1):
     graph = TileGraph.build(program, params)
@@ -65,18 +68,21 @@ def _bench_case(name, program, params, repeats):
     }
 
 
-def run_bench(repeats=2):
-    a = random_sequence(LCS_N, seed=71)
-    b = random_sequence(LCS_N, seed=72)
-    lcs_program = generate(lcs_spec([a, b], tile_width=LCS_TILE))
+def run_bench(repeats=2, quick=False):
+    lcs_n = QUICK_LCS_N if quick else LCS_N
+    bandit_n = QUICK_BANDIT_N if quick else BANDIT_N
+    a = random_sequence(lcs_n, seed=71)
+    b = random_sequence(lcs_n, seed=72)
+    lcs_program = generate(lcs_spec([a, b], tile_width=min(LCS_TILE, lcs_n)))
     bandit_program = generate(two_arm_spec(tile_width=BANDIT_TILE))
     rows = [
         _bench_case(
-            "lcs2", lcs_program, {"L1": LCS_N, "L2": LCS_N}, repeats
+            "lcs2", lcs_program, {"L1": lcs_n, "L2": lcs_n}, repeats
         ),
-        _bench_case("bandit2", bandit_program, {"N": BANDIT_N}, repeats),
+        _bench_case("bandit2", bandit_program, {"N": bandit_n}, repeats),
     ]
-    BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    if not quick:
+        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
     lines = []
     for r in rows:
         lines.append(
@@ -99,4 +105,13 @@ def test_exec_fastpath():
 
 
 if __name__ == "__main__":
-    run_bench()
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instances, no JSON update (CI smoke mode)",
+    )
+    args = parser.parse_args()
+    run_bench(repeats=1 if args.quick else 2, quick=args.quick)

@@ -236,10 +236,10 @@ def main_simulate(argv=None) -> int:
             )
             print(format_scaling_table(pts, f"{spec.name} {params}"))
         else:
-            from .runtime import TileGraph
+            from .runtime import tile_graph
             from .simulate import render_timeline, simulate
 
-            graph = TileGraph.build(program, params)
+            graph = tile_graph(program, params)
             if machine.nodes == 1:
                 assignment = {t: 0 for t in graph.tiles}
             else:

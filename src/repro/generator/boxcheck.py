@@ -13,7 +13,9 @@ closure over the tile/parameter environment.
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import GenerationError
 from ..polyhedra import ConstraintSystem
@@ -73,6 +75,78 @@ def make_box_min_checker(
         return all(fn(env) >= 0 for fn in compiled)
 
     return checker
+
+
+def make_box_min_batch(
+    system: ConstraintSystem,
+    box: Mapping[str, Tuple[object, object]],
+    col_vars: Sequence[str],
+) -> Optional[Callable[[Mapping[str, int], np.ndarray], np.ndarray]]:
+    """Vectorized twin of :func:`make_box_min_checker` over many boxes.
+
+    *col_vars* are the environment variables supplied as the columns of
+    an ``(n, len(col_vars))`` int array (typically the tile indices);
+    every other variable is a scalar read from the env.  Returns
+    ``fn(env, cols) -> bool[n]`` (True = system satisfied on the whole
+    box), or ``None`` when an equality makes the box never full —
+    mirroring the always-False checker of the scalar version.
+
+    The per-box min of each affine constraint is itself affine in the
+    columns, so the whole batch reduces to one matrix product.
+    """
+    if any(c.is_equality() for c in system):
+        return None
+    col_pos = {v: k for k, v in enumerate(col_vars)}
+    consts: List[int] = []
+    env_items: List[Tuple[Tuple[str, int], ...]] = []
+    coef_rows: List[List[int]] = []
+    for c in system:
+        const = c.expr.constant
+        if const.denominator != 1:
+            raise GenerationError(f"non-integral constraint {c}")
+        const_i = const.numerator
+        items: List[Tuple[str, int]] = []
+        coefs = [0] * len(col_vars)
+
+        def absorb(name: str, ci: int) -> None:
+            k = col_pos.get(name)
+            if k is None:
+                items.append((name, ci))
+            else:
+                coefs[k] += ci
+
+        for name, coef in c.expr.terms():
+            if coef.denominator != 1:
+                raise GenerationError(f"non-integral constraint {c}")
+            ci = coef.numerator
+            if name in box:
+                lo, hi = box[name]
+                bound = lo if ci >= 0 else hi  # minimize ci * v over the box
+                if isinstance(bound, int):
+                    const_i += ci * bound
+                else:
+                    bcoeffs, bconst = bound
+                    const_i += ci * bconst
+                    for v, bc in bcoeffs.items():
+                        absorb(v, ci * bc)
+            else:
+                absorb(name, ci)
+        consts.append(const_i)
+        env_items.append(tuple(items))
+        coef_rows.append(coefs)
+
+    const_vec = np.asarray(consts, dtype=np.int64)
+    coef_mat = np.asarray(coef_rows, dtype=np.int64)  # (m, ncols)
+
+    def batch(env: Mapping[str, int], cols: np.ndarray) -> np.ndarray:
+        base = const_vec.copy()
+        for k, items in enumerate(env_items):
+            for name, ci in items:
+                base[k] += ci * env[name]
+        vals = cols @ coef_mat.T + base  # (n, m)
+        return (vals >= 0).all(axis=1)
+
+    return batch
 
 
 def _eval_bound(bound, env: Mapping[str, int]) -> int:

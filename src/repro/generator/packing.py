@@ -46,6 +46,10 @@ class PackPlan:
     consumer_shift: Tuple[int, ...]  # w_k * delta_k per dimension
     full_checker: object = None      # env -> bool: region box fully inside?
     full_cells: int = 0              # region size when full
+    #: The region's global-coordinate box, ``x_k in w_k*t_k + [lo, hi]``,
+    #: in :func:`repro.generator.boxcheck.make_box_min_checker` form —
+    #: kept so the tile graph can run the full-region test in batch.
+    full_box: Mapping[str, Tuple[object, object]] = None
 
     def region_size(self, producer_env: Mapping[str, int]) -> int:
         """Number of cells this edge carries for a given producer tile.
@@ -58,6 +62,25 @@ class PackPlan:
         if self.full_checker is not None and self.full_checker(producer_env):
             return self.full_cells
         return compile_counter(self.region_nest)(producer_env)
+
+    def full_region_batch(self, spec: ProblemSpec, tile_vars: Tuple[str, ...]):
+        """Batched full-region test over producer-tile columns.
+
+        Returns ``fn(env, tiles) -> bool[n]`` (True = the region is
+        fully inside the space, size :attr:`full_cells`), or ``None``
+        when no region can ever be full — the vectorized twin of
+        :attr:`full_checker`, built once and cached.
+        """
+        cached = getattr(self, "_full_batch", None)
+        if cached is not None:
+            return cached[0]
+        from .boxcheck import make_box_min_batch
+
+        batch = None
+        if self.full_box is not None:
+            batch = make_box_min_batch(spec.constraints, self.full_box, tile_vars)
+        object.__setattr__(self, "_full_batch", (batch,))
+        return batch
 
     def pack(
         self,
@@ -166,5 +189,6 @@ def build_pack_plans(
             consumer_shift=shift,
             full_checker=checker,
             full_cells=full_cells,
+            full_box=box,
         )
     return plans

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Tuple
 
+import numpy as np
+
 from ..errors import GenerationError
 from ..spec import DESCENDING, ProblemSpec
 
@@ -87,6 +89,35 @@ def make_priority(spec: ProblemSpec, scheme: str = "lb-first") -> PriorityFn:
 
         return lb_priority
 
+    raise GenerationError(
+        f"unknown priority scheme {scheme!r}; choose one of {SCHEMES}"
+    )
+
+
+def make_priority_array(
+    spec: ProblemSpec, scheme: str, tile_array: np.ndarray
+) -> np.ndarray:
+    """Vectorized twin of :func:`make_priority` over a ``(T, d)`` array.
+
+    Row ``i`` of the result is exactly ``make_priority(spec, scheme)``
+    applied to tile ``i`` — the array-native tile graph precomputes
+    these keys once instead of calling the scalar closure per tile.
+    """
+    signs = np.asarray(_progress_signs(spec), dtype=np.int64)
+    adj = tile_array * signs
+    if scheme == "column-major":
+        return adj
+    if scheme == "level-set":
+        return np.concatenate([adj.sum(axis=1, keepdims=True), adj], axis=1)
+    if scheme in ("lb-first", "lb-last"):
+        lb_positions = [spec.loop_vars.index(x) for x in spec.lb_dims]
+        other_positions = [
+            k for k in range(len(spec.loop_vars)) if k not in set(lb_positions)
+        ]
+        lb_sign = -1 if scheme == "lb-first" else 1
+        return np.concatenate(
+            [lb_sign * adj[:, lb_positions], adj[:, other_positions]], axis=1
+        )
     raise GenerationError(
         f"unknown priority scheme {scheme!r}; choose one of {SCHEMES}"
     )

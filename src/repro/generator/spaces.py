@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import GenerationError
 from ..polyhedra import (
     Constraint,
@@ -100,17 +102,56 @@ class IterationSpaces:
 
         The FM-projected tile space may include rational-shadow tiles with
         an empty local space, so each candidate is confirmed non-empty —
-        this is what "valid tile" means everywhere downstream.
+        this is what "valid tile" means everywhere downstream.  Yields in
+        the tile nest's lexicographic scan order (array-native under the
+        hood; see :meth:`valid_tile_array`).
         """
-        from ..polyhedra.compile import compile_counter, compile_scanner
+        tiles, _ = self.valid_tile_array(params)
+        for row in tiles.tolist():
+            yield tuple(row)
 
-        counter = compile_counter(self.local_nest)
-        scan = compile_scanner(self.tile_nest)
-        env = dict(params)
-        for tile in scan(env):
-            env.update(zip(self.tile_vars, tile))
-            if counter(env) > 0:
-                yield tile
+    def valid_tile_array(
+        self, params: Mapping[str, int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All valid tiles and their point counts, array-native.
+
+        Returns ``(tiles, work)``: an ``(T, d)`` int64 array in the tile
+        nest's lexicographic order and the matching per-tile point
+        counts.  Candidates come from one vectorized scan of the tile
+        nest; *interior* tiles (the vast majority on large instances)
+        are detected with one batched box-min evaluation and counted in
+        closed form (product of the tile widths); only the boundary
+        minority runs the compiled local-space counter, and
+        rational-shadow candidates (zero points) are dropped.
+        """
+        from ..polyhedra.batch import nest_count_batch, nest_scan_array
+
+        candidates = nest_scan_array(self.tile_nest, dict(params))
+        d = len(self.tile_vars)
+        if candidates.shape[0] == 0:
+            return candidates, np.empty(0, dtype=np.int64)
+
+        batch = self._full_tile_batch()
+        if batch is None:
+            interior = np.zeros(candidates.shape[0], dtype=bool)
+        else:
+            interior = batch(params, candidates)
+        full = 1
+        for x in self.spec.loop_vars:
+            full *= self.spec.tile_widths[x]
+        work = np.full(candidates.shape[0], full, dtype=np.int64)
+
+        boundary = np.flatnonzero(~interior)
+        if boundary.size:
+            cols = {
+                tv: candidates[boundary, k]
+                for k, tv in enumerate(self.tile_vars)
+            }
+            work[boundary] = nest_count_batch(self.local_nest, params, cols)
+            keep = work > 0
+            if not keep.all():
+                return candidates[keep], work[keep]
+        return candidates, work
 
     def tile_is_valid(self, tile: TileIndex, params: Mapping[str, int]) -> bool:
         env = dict(params)
@@ -156,6 +197,23 @@ class IterationSpaces:
         checker = make_box_min_checker(spec.constraints, box)
         object.__setattr__(self, "_full_checker", checker)
         return checker
+
+    def _full_tile_batch(self):
+        """Batched twin of :meth:`_full_tile_checker` over tile columns."""
+        cached = getattr(self, "_full_batch", None)
+        if cached is not None:
+            return cached[0]
+        from .boxcheck import make_box_min_batch
+
+        spec = self.spec
+        box = {}
+        for k, x in enumerate(spec.loop_vars):
+            w = spec.tile_widths[x]
+            tv = self.tile_vars[k]
+            box[x] = (({tv: w}, 0), ({tv: w}, w - 1))
+        batch = make_box_min_batch(spec.constraints, box, self.tile_vars)
+        object.__setattr__(self, "_full_batch", (batch,))
+        return batch
 
     def local_points(
         self, tile: TileIndex, params: Mapping[str, int]

@@ -35,6 +35,7 @@ from .lattice import (
 from .ehrhart import QuasiPolynomial, ehrhart_univariate, simplex_count
 from .ehrhart2 import QuasiPolynomial2, ehrhart_bivariate
 from .ratlinalg import eval_polynomial, fit_polynomial, solve_rational
+from .batch import nest_scan_array
 from .compile import compile_counter, compile_scanner
 from .vertices import is_bounded, vertex_bounding_box, vertices
 
@@ -67,6 +68,7 @@ __all__ = [
     "fit_polynomial",
     "eval_polynomial",
     "compile_counter",
+    "nest_scan_array",
     "compile_scanner",
     "QuasiPolynomial2",
     "ehrhart_bivariate",

@@ -1,0 +1,224 @@
+"""Array-native scanning of loop nests (the tile-graph fast path).
+
+``compile_scanner`` makes a nest fast to iterate one point at a time;
+this module goes one step further and materializes *all* integer points
+of a nest as one ``(N, d)`` int64 ndarray using numpy arithmetic only —
+no per-point Python.  The enumeration proceeds level by level: at each
+depth the affine lower/upper bounds are evaluated over the columns of
+the partial assignments (``ceil``/``floor`` division rendered with
+``//`` exactly as the compiled scanners do), and the row set is expanded
+with ``repeat``/``arange``.  Rows come out in ascending lexicographic
+nest order — identical to ``compile_scanner(nest)(env)``.
+
+This is what lets :class:`repro.runtime.graph.TileGraph` enumerate an
+8k-tile space in a handful of vector operations instead of 8k generator
+steps ("Hybrid Static/Dynamic Schedules for Tiled Polyhedral Programs"
+resolves tile dependence structure with the same array arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import PolyhedronError
+from .bounds import LOWER, LoopNest
+from .constraints import EQ
+
+__all__ = ["nest_count_batch", "nest_scan_array"]
+
+
+def _parsed_bounds(nest: LoopNest):
+    """Per-depth ``(lowers, uppers)`` with integer (const, items, div).
+
+    Each bound becomes ``(const, ((name, coef), ...), div)``; cached on
+    the nest (pure function of its structure).
+    """
+    cached = getattr(nest, "_batch_bounds", None)
+    if cached is not None:
+        return cached
+    parsed = []
+    for b in nest.per_var:
+        def parse(bd):
+            expr = bd.expr
+            const = expr.constant
+            if const.denominator != 1:
+                raise PolyhedronError(f"non-integral bound constant in {bd}")
+            items: List[Tuple[str, int]] = []
+            for name, coef in expr.terms():
+                if coef.denominator != 1:
+                    raise PolyhedronError(
+                        f"non-integral bound coefficient in {bd}"
+                    )
+                items.append((name, coef.numerator))
+            return (const.numerator, tuple(items), bd.div)
+
+        parsed.append(
+            (tuple(parse(bd) for bd in b.lowers),
+             tuple(parse(bd) for bd in b.uppers))
+        )
+    nest._batch_bounds = parsed  # type: ignore[attr-defined]
+    return parsed
+
+
+def _eval_bound(parsed, env, cols, rows, kind):
+    const, items, div = parsed
+    total = np.full(rows, const, dtype=np.int64)
+    for name, coef in items:
+        col = cols.get(name)
+        if col is None:
+            total += coef * env[name]
+        else:
+            total += coef * col
+    if div == 1:
+        return total
+    if kind == LOWER:
+        return -((-total) // div)  # ceil(a/div)
+    return total // div            # floor(a/div)
+
+
+def nest_scan_array(nest: LoopNest, env: Mapping[str, int]) -> np.ndarray:
+    """All integer points of *nest* under *env* as an ``(N, d)`` array.
+
+    Rows are in ascending lexicographic nest order — the exact sequence
+    ``compile_scanner(nest)(env)`` yields.  Returns an empty ``(0, d)``
+    array when the context fails or any level is empty.
+    """
+    d = len(nest.order)
+    if not nest.context.satisfied(env):
+        return np.empty((0, d), dtype=np.int64)
+    parsed = _parsed_bounds(nest)
+    cols: Dict[str, np.ndarray] = {}
+    rows = 1
+    for depth, b in enumerate(nest.per_var):
+        lowers, uppers = parsed[depth]
+        lo = _eval_bound(lowers[0], env, cols, rows, LOWER)
+        for p in lowers[1:]:
+            np.maximum(lo, _eval_bound(p, env, cols, rows, LOWER), out=lo)
+        hi = _eval_bound(uppers[0], env, cols, rows, "upper")
+        for p in uppers[1:]:
+            np.minimum(hi, _eval_bound(p, env, cols, rows, "upper"), out=hi)
+        counts = np.maximum(hi - lo + 1, 0)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty((0, d), dtype=np.int64)
+        rep = np.repeat(np.arange(rows), counts)
+        for name in cols:
+            cols[name] = cols[name][rep]
+        # offset of each new row within its parent's [lo, hi] range
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        cols[b.var] = lo[rep] + offsets
+        rows = total
+    return np.stack([cols[v] for v in nest.order], axis=1)
+
+
+def _parsed_context(nest: LoopNest):
+    """Context constraints as ``(kind, const, items)``; cached on the nest.
+
+    ``None`` when any coefficient is non-integral (scalar fallback).
+    """
+    cached = getattr(nest, "_batch_context", None)
+    if cached is not None:
+        return cached[0]
+    parsed: List[Tuple[str, int, Tuple[Tuple[str, int], ...]]] = []
+    ok = True
+    for c in nest.context:
+        expr = c.expr
+        if expr.constant.denominator != 1 or any(
+            coef.denominator != 1 for _, coef in expr.terms()
+        ):
+            ok = False
+            break
+        parsed.append(
+            (
+                c.kind,
+                expr.constant.numerator,
+                tuple(
+                    (name, coef.numerator) for name, coef in expr.terms()
+                ),
+            )
+        )
+    result = tuple(parsed) if ok else None
+    nest._batch_context = (result,)  # type: ignore[attr-defined]
+    return result
+
+
+def nest_count_batch(
+    nest: LoopNest,
+    env: Mapping[str, int],
+    col_env: Mapping[str, np.ndarray],
+) -> np.ndarray:
+    """Point counts of *nest* for a whole batch of environments at once.
+
+    *col_env* maps symbolic names (e.g. the tile variables) to int64
+    columns of equal length ``n``; *env* holds the shared scalar
+    bindings (problem parameters).  Returns an ``(n,)`` int64 array
+    where entry ``i`` equals ``compile_counter(nest)(env | col_env[i])``
+    — but the whole batch is counted with one level-by-level expansion,
+    closing the innermost level in constant form, instead of ``n``
+    compiled calls.  This is what keeps boundary tiles and clipped pack
+    regions off the per-call path in the tile graph.
+    """
+    names = list(col_env)
+    first = np.asarray(col_env[names[0]], dtype=np.int64) if names else None
+    n = first.shape[0] if names else 1
+    out = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return out
+
+    # Context: residual constraints over parameters and the batch
+    # columns; rows failing it scan an empty space.
+    ctx = _parsed_context(nest)
+    base_cols = {
+        name: np.asarray(col, dtype=np.int64) for name, col in col_env.items()
+    }
+    if ctx is None:
+        scratch = dict(env)
+        mask = np.empty(n, dtype=bool)
+        for i in range(n):
+            for name in names:
+                scratch[name] = int(base_cols[name][i])
+            mask[i] = nest.context.satisfied(scratch)
+    else:
+        mask = np.ones(n, dtype=bool)
+        for kind, const, items in ctx:
+            total = np.full(n, const, dtype=np.int64)
+            for name, coef in items:
+                col = base_cols.get(name)
+                total += coef * (col if col is not None else env[name])
+            mask &= (total == 0) if kind == EQ else (total >= 0)
+    origin = np.flatnonzero(mask)
+    if origin.size == 0:
+        return out
+
+    parsed = _parsed_bounds(nest)
+    cols: Dict[str, np.ndarray] = {
+        name: col[origin] for name, col in base_cols.items()
+    }
+    rows = origin.size
+    last = len(nest.per_var) - 1
+    cnt = np.ones(rows, dtype=np.int64)
+    for depth, b in enumerate(nest.per_var):
+        lowers, uppers = parsed[depth]
+        lo = _eval_bound(lowers[0], env, cols, rows, LOWER)
+        for p in lowers[1:]:
+            np.maximum(lo, _eval_bound(p, env, cols, rows, LOWER), out=lo)
+        hi = _eval_bound(uppers[0], env, cols, rows, "upper")
+        for p in uppers[1:]:
+            np.minimum(hi, _eval_bound(p, env, cols, rows, "upper"), out=hi)
+        cnt = np.maximum(hi - lo + 1, 0)
+        if depth == last:
+            break
+        total = int(cnt.sum())
+        if total == 0:
+            return out
+        rep = np.repeat(np.arange(rows), cnt)
+        for name in cols:
+            cols[name] = cols[name][rep]
+        offsets = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+        cols[b.var] = lo[rep] + offsets
+        origin = origin[rep]
+        rows = total
+    np.add.at(out, origin, cnt)
+    return out

@@ -9,8 +9,12 @@ nest as straight-line Python source with ``//`` arithmetic, ``exec`` it
 once, and reuse the closure.  This mirrors what the C backend emits and
 is ~50x faster than the interpreted path.
 
-Compiled artifacts are pure functions of the nest, cached on the nest
-object by the helpers below.
+Compiled artifacts are pure functions of the nest.  Two cache levels
+keep them from ever being rebuilt: an attribute on the nest object (the
+fast path), and a module-level memo keyed by the nest's *structural
+signature* — so structurally equal nests from different program
+generations (rebuilt specs, test fixtures, hypothesis sweeps) share one
+compiled closure instead of paying ``exec`` again.
 """
 
 from __future__ import annotations
@@ -87,15 +91,78 @@ def _context_condition(nest: LoopNest) -> str:
     return " and ".join(conds) if conds else "True"
 
 
+# -- the shared compile memo --------------------------------------------------
+
+#: Structural-signature memo: compiled closures shared across nest objects.
+_COUNTER_MEMO: Dict[tuple, Callable] = {}
+_SCANNER_MEMO: Dict[tuple, Callable] = {}
+
+#: Observability for tests and benchmarks: how many closures were
+#: actually compiled (exec'd) vs served from the structural memo.
+COMPILE_STATS = {
+    "counter_compiles": 0,
+    "counter_memo_hits": 0,
+    "scanner_compiles": 0,
+    "scanner_memo_hits": 0,
+}
+
+
+def reset_compile_stats() -> None:
+    for k in COMPILE_STATS:
+        COMPILE_STATS[k] = 0
+
+
+def clear_compile_memo() -> None:
+    """Drop the module-level memo (tests; the per-nest caches survive)."""
+    _COUNTER_MEMO.clear()
+    _SCANNER_MEMO.clear()
+
+
+def _expr_key(expr) -> tuple:
+    return (expr.constant, tuple(sorted(expr.terms())))
+
+
+def nest_signature(nest: LoopNest) -> tuple:
+    """A hashable structural key: equal nests compile to equal closures.
+
+    Covers everything the code generators below read — the loop order,
+    every bound's expression/divisor/kind, and the context constraints.
+    Cached on the nest object.
+    """
+    key = getattr(nest, "_structural_key", None)
+    if key is not None:
+        return key
+    per_var = tuple(
+        (
+            b.var,
+            tuple((bd.div, _expr_key(bd.expr)) for bd in b.lowers),
+            tuple((bd.div, _expr_key(bd.expr)) for bd in b.uppers),
+        )
+        for b in nest.per_var
+    )
+    context = tuple(
+        sorted((c.is_equality(), _expr_key(c.expr)) for c in nest.context)
+    )
+    key = (nest.order, per_var, context)
+    nest._structural_key = key  # type: ignore[attr-defined]
+    return key
+
+
 def compile_counter(nest: LoopNest) -> Callable[[Mapping[str, int]], int]:
     """Return ``count(env) -> int`` equivalent to ``nest.count(env)``.
 
     The innermost dimension is counted in closed form.  The result is
-    cached on the nest.
+    cached on the nest and memoized by structural signature.
     """
     cached = getattr(nest, "_compiled_counter", None)
     if cached is not None:
         return cached
+    sig = nest_signature(nest)
+    memoized = _COUNTER_MEMO.get(sig)
+    if memoized is not None:
+        COMPILE_STATS["counter_memo_hits"] += 1
+        nest._compiled_counter = memoized  # type: ignore[attr-defined]
+        return memoized
 
     free = _free_variables(nest)
     lines: List[str] = []
@@ -125,6 +192,8 @@ def compile_counter(nest: LoopNest) -> Callable[[Mapping[str, int]], int]:
 
     count.free_variables = tuple(free)  # type: ignore[attr-defined]
     count.source = "\n".join(lines)  # type: ignore[attr-defined]
+    COMPILE_STATS["counter_compiles"] += 1
+    _COUNTER_MEMO[sig] = count
     nest._compiled_counter = count  # type: ignore[attr-defined]
     return count
 
@@ -145,6 +214,13 @@ def compile_scanner(
     cache: Dict = getattr(nest, "_compiled_scanners", None) or {}
     if sig in cache:
         return cache[sig]
+    memo_key = (nest_signature(nest), sig)
+    memoized = _SCANNER_MEMO.get(memo_key)
+    if memoized is not None:
+        COMPILE_STATS["scanner_memo_hits"] += 1
+        cache[sig] = memoized
+        nest._compiled_scanners = cache  # type: ignore[attr-defined]
+        return memoized
 
     free = _free_variables(nest)
     lines: List[str] = []
@@ -173,6 +249,8 @@ def compile_scanner(
 
     scan.free_variables = tuple(free)  # type: ignore[attr-defined]
     scan.source = "\n".join(lines)  # type: ignore[attr-defined]
+    COMPILE_STATS["scanner_compiles"] += 1
+    _SCANNER_MEMO[memo_key] = scan
     cache[sig] = scan
     nest._compiled_scanners = cache  # type: ignore[attr-defined]
     return scan

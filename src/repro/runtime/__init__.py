@@ -1,6 +1,6 @@
 """In-process tiled runtime: the Python twin of the generated C program."""
 
-from .graph import Edge, TileGraph, TileIndex
+from .graph import Edge, TileGraph, TileIndex, build_tile_graph_dicts, tile_graph
 from .memory import EdgeMemoryTracker
 from .executor import (
     CompiledExecutor,
@@ -16,6 +16,8 @@ __all__ = [
     "TileGraph",
     "TileIndex",
     "Edge",
+    "tile_graph",
+    "build_tile_graph_dicts",
     "EdgeMemoryTracker",
     "CompiledExecutor",
     "compiled_executor",

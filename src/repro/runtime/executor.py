@@ -42,11 +42,10 @@ import numpy as np
 
 from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
-from ..generator.tile_deps import delta_between
 from ..polyhedra.compile import compile_scanner
 from ..spec import Kernel
 from .fastpath import VectorTileEngine, vector_unsupported_reason
-from .graph import TileGraph, TileIndex
+from .graph import TileGraph, TileIndex, tile_graph
 from .memory import EdgeMemoryTracker
 
 EXECUTION_MODES = ("auto", "interpret", "vector")
@@ -207,7 +206,7 @@ class CompiledExecutor:
                 )
         params = dict(params)
         if graph is None:
-            graph = TileGraph.build(program, params)
+            graph = tile_graph(program, params)
         spaces = program.spaces
         layout = program.layout
 
@@ -220,13 +219,26 @@ class CompiledExecutor:
             {} if record_values else None
         )
 
-        priority = program.priority(priority_scheme)
-        remaining = graph.dependency_counts()
-        heap: List[Tuple[tuple, TileIndex]] = []
-        for t in sorted(graph.initial_tiles()):
-            heapq.heappush(heap, (priority(t), t))
+        # The ready queue runs on the graph's arrays: rows instead of
+        # tuples, precomputed priority keys, int32 pending counters.
+        # Heap order is identical to the scalar (priority(t), t) entries
+        # because row number == the tile's lexicographic rank.
+        tile_tuples = graph.tile_tuples
+        prio = graph.priority_tuples(priority_scheme)
+        remaining = graph.dependency_count_array()
+        prod_ptr = graph.prod_ptr.tolist()
+        prod_rows = graph.prod_rows.tolist()
+        prod_delta = graph.prod_delta.tolist()
+        cons_ptr = graph.cons_ptr.tolist()
+        cons_rows = graph.cons_rows.tolist()
+        cons_delta = graph.cons_delta.tolist()
+        deltas = program.deltas
+        heap: List[Tuple[tuple, int]] = [
+            (prio[r], r) for r in graph.initial_rows().tolist()
+        ]
+        heapq.heapify(heap)
 
-        edge_store: Dict[Tuple[TileIndex, TileIndex], np.ndarray] = {}
+        edge_store: Dict[Tuple[int, int], np.ndarray] = {}
         kept_edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = (
             {} if keep_edges else None
         )
@@ -247,18 +259,19 @@ class CompiledExecutor:
         deps: Dict[str, Optional[float]] = {}
 
         while heap:
-            _, tile = heapq.heappop(heap)
+            _, row = heapq.heappop(heap)
+            tile = tile_tuples[row]
             tile_order.append(tile)
             array = np.full(layout.padded_shape, np.nan, dtype=np.float64)
 
             # Unpack incoming edges into the ghost margins.
-            for producer in graph.producers[tile]:
-                delta = delta_between(tile, producer)
-                plan = program.pack_plans[delta]
-                buffer = edge_store.pop((producer, tile))
-                tracker.remove_edge((producer, tile))
+            for e in range(prod_ptr[row], prod_ptr[row + 1]):
+                producer = prod_rows[e]
+                plan = program.pack_plans[deltas[prod_delta[e]]]
+                buffer = edge_store.pop((producer, row))
+                tracker.remove_edge((tile_tuples[producer], tile))
                 env = dict(params)
-                env.update(spaces.tile_env(producer))
+                env.update(spaces.tile_env(tile_tuples[producer]))
                 plan.unpack(env, buffer, array, layout, local_vars)
 
             # Execute the tile's local iteration space in the legal order.
@@ -313,26 +326,26 @@ class CompiledExecutor:
                         objective_value = float(result)
 
             # Pack outgoing edges, deliver to consumers, release the tile.
-            for consumer in graph.consumers[tile]:
-                delta = delta_between(consumer, tile)
-                plan = program.pack_plans[delta]
+            for e in range(cons_ptr[row], cons_ptr[row + 1]):
+                consumer = cons_rows[e]
+                plan = program.pack_plans[deltas[cons_delta[e]]]
                 buffer = plan.pack(tile_env, array, layout, local_vars)
-                edge_store[(tile, consumer)] = buffer
+                edge_store[(row, consumer)] = buffer
                 if kept_edges is not None:
-                    kept_edges[(tile, consumer)] = buffer.copy()
-                tracker.add_edge((tile, consumer), len(buffer))
+                    kept_edges[(tile, tile_tuples[consumer])] = buffer.copy()
+                tracker.add_edge((tile, tile_tuples[consumer]), len(buffer))
                 remaining[consumer] -= 1
                 if remaining[consumer] == 0:
-                    heapq.heappush(heap, (priority(consumer), consumer))
+                    heapq.heappush(heap, (prio[consumer], consumer))
                 elif remaining[consumer] < 0:
                     raise RuntimeExecutionError(
-                        f"tile {consumer} received more edges than it has "
-                        "producers"
+                        f"tile {tile_tuples[consumer]} received more edges "
+                        "than it has producers"
                     )
 
-        if len(tile_order) != len(graph.tiles):
+        if len(tile_order) != len(tile_tuples):
             raise RuntimeExecutionError(
-                f"executed {len(tile_order)} of {len(graph.tiles)} tiles; "
+                f"executed {len(tile_order)} of {len(tile_tuples)} tiles; "
                 "the dependency graph deadlocked"
             )
         if cells_computed != graph.total_work():

@@ -29,7 +29,7 @@ from ..generator.tile_deps import delta_between
 from ..polyhedra.compile import compile_scanner
 from ..spec import Kernel
 from .executor import _compile_checks, execute
-from .graph import TileGraph, TileIndex
+from .graph import TileGraph, TileIndex, tile_graph
 
 Point = Tuple[int, ...]
 
@@ -56,7 +56,7 @@ class SolutionRecovery:
             raise RuntimeExecutionError(
                 "solution recovery needs a Python kernel"
             )
-        self.graph = TileGraph.build(program, self.params)
+        self.graph = tile_graph(program, self.params)
         self.result = execute(
             program,
             self.params,

@@ -117,9 +117,9 @@ def run_in_process(
     executor does all one-time derivation before the clock starts; the
     fastest of *repeats* timed runs is reported.
     """
-    from ..runtime import TileGraph, execute
+    from ..runtime import execute, tile_graph
 
-    graph = TileGraph.build(program, params)
+    graph = tile_graph(program, params)
     result = execute(program, params, graph=graph, mode=mode)  # warm-up
     best = float("inf")
     for _ in range(max(1, repeats)):

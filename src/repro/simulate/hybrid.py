@@ -20,9 +20,11 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..generator.pipeline import GeneratedProgram
-from ..runtime.graph import TileGraph, TileIndex
+from ..runtime.graph import TileGraph, TileIndex, tile_graph
 from .events import EventQueue
 from .machine import MachineModel
 
@@ -80,37 +82,44 @@ def simulate(
     on node 0 — pure shared-memory execution).  *trace* additionally
     records one :class:`~repro.simulate.trace.TileSpan` per tile.
     """
-    program = graph.program
-    tiles = graph.tiles
+    tile_tuples = graph.tile_tuples
+    T = len(tile_tuples)
     if assignment is None:
-        assignment = {t: 0 for t in tiles}
+        assign = [0] * T
     else:
-        missing = [t for t in tiles if t not in assignment]
+        missing = [t for t in tile_tuples if t not in assignment]
         if missing:
             raise SimulationError(
                 f"{len(missing)} tiles lack a node assignment (e.g. {missing[0]})"
             )
-        bad = [t for t in tiles if not 0 <= assignment[t] < machine.nodes]
+        assign = [assignment[t] for t in tile_tuples]
+        bad = [r for r, n in enumerate(assign) if not 0 <= n < machine.nodes]
         if bad:
             raise SimulationError(
-                f"tile {bad[0]} assigned to node {assignment[bad[0]]} outside "
-                f"0..{machine.nodes - 1}"
+                f"tile {tile_tuples[bad[0]]} assigned to node "
+                f"{assign[bad[0]]} outside 0..{machine.nodes - 1}"
             )
 
-    priority = program.priority(priority_scheme)
+    # Ready queues and pending counters run on the graph's arrays: rows
+    # instead of tuples, precomputed priority keys (identical ordering —
+    # row number is the tile's lexicographic rank).
+    prio = graph.priority_tuples(priority_scheme)
+    cons_ptr = graph.cons_ptr.tolist()
+    cons_rows = graph.cons_rows.tolist()
+    cons_cells = graph.cons_cells.tolist()
 
     # Per-tile cost: compute cells plus pack/unpack traffic through the tile.
-    packed_through: Dict[TileIndex, int] = {t: 0 for t in tiles}
-    for (producer, consumer), cells in graph.edge_cells.items():
-        packed_through[producer] += cells
-        packed_through[consumer] += cells
+    edge_prod = np.repeat(np.arange(T), np.diff(graph.cons_ptr))
+    packed_arr = np.zeros(T, dtype=np.int64)
+    np.add.at(packed_arr, edge_prod, graph.cons_cells)
+    np.add.at(packed_arr, graph.cons_rows, graph.cons_cells)
+    work_list = graph.work_array.tolist()
+    packed_list = packed_arr.tolist()
+    durations = [
+        machine.tile_duration(w, p) for w, p in zip(work_list, packed_list)
+    ]
 
-    def duration(tile: TileIndex) -> float:
-        return machine.tile_duration(graph.work[tile], packed_through[tile])
-
-    serial_time = sum(
-        machine.queue_lock_s + duration(t) for t in tiles
-    )
+    serial_time = sum(machine.queue_lock_s + d for d in durations)
 
     # Node state.
     ready: List[List[Tuple[tuple, TileIndex]]] = [
@@ -140,12 +149,12 @@ def simulate(
     bytes_sent = 0
     max_queue_wait = 0.0
 
-    pending: Dict[TileIndex, int] = graph.dependency_counts()
+    pending = graph.dependency_count_array()
     events = EventQueue()
     spans: Optional[list] = [] if trace else None
 
-    for t in sorted(graph.initial_tiles()):
-        events.push(0.0, ("ready", t))
+    for r in graph.initial_rows().tolist():
+        events.push(0.0, ("ready", r))
 
     finished = 0
 
@@ -155,38 +164,39 @@ def simulate(
         cf = core_free[node]
         while rq and cf and cf[0] <= now:
             heapq.heappop(cf)  # core taken
-            _, tile = heapq.heappop(rq)
+            _, row = heapq.heappop(rq)
             locks = lock_free[node]
             group = min(range(len(locks)), key=locks.__getitem__)
             start = max(now, locks[group])
             locks[group] = start + machine.queue_lock_s
-            dur = duration(tile)
+            dur = durations[row]
             finish = start + machine.queue_lock_s + dur
             busy[node] += machine.queue_lock_s + dur
             if spans is not None:
                 from .trace import TileSpan
 
-                spans.append(TileSpan(tile, node, start, finish))
-            events.push(finish, ("finish", tile, node))
+                spans.append(TileSpan(tile_tuples[row], node, start, finish))
+            events.push(finish, ("finish", row, node))
 
     while events:
         now, payload = events.pop()
         kind = payload[0]
         if kind == "ready":
-            tile = payload[1]
-            node = assignment[tile]
-            heapq.heappush(ready[node], (priority(tile), tile))
+            row = payload[1]
+            node = assign[row]
+            heapq.heappush(ready[node], (prio[row], row))
             dispatch(node, now)
         elif kind == "finish":
-            tile, node = payload[1], payload[2]
+            row, node = payload[1], payload[2]
             finished += 1
             tiles_done[node] += 1
-            work_done[node] += graph.work[tile]
+            work_done[node] += work_list[row]
             node_finish[node] = max(node_finish[node], now)
             heapq.heappush(core_free[node], now)
-            for consumer in graph.consumers[tile]:
-                cnode = assignment[consumer]
-                cells = graph.edge_cells[(tile, consumer)]
+            for e in range(cons_ptr[row], cons_ptr[row + 1]):
+                consumer = cons_rows[e]
+                cnode = assign[consumer]
+                cells = cons_cells[e]
                 if cnode == node:
                     arrival = now
                 else:
@@ -204,15 +214,15 @@ def simulate(
             consumer = payload[1]
             pending[consumer] -= 1
             if pending[consumer] == 0:
-                node = assignment[consumer]
-                heapq.heappush(ready[node], (priority(consumer), consumer))
+                node = assign[consumer]
+                heapq.heappush(ready[node], (prio[consumer], consumer))
                 dispatch(node, now)
         else:  # pragma: no cover
             raise SimulationError(f"unknown event {payload!r}")
 
-    if finished != len(tiles):
+    if finished != T:
         raise SimulationError(
-            f"simulation deadlocked: {finished} of {len(tiles)} tiles ran"
+            f"simulation deadlocked: {finished} of {T} tiles ran"
         )
 
     makespan = max(node_finish) if node_finish else 0.0
@@ -240,16 +250,30 @@ def simulate_program(
     priority_scheme: str = "lb-first",
     graph: Optional[TileGraph] = None,
 ) -> SimResult:
-    """Convenience: build the graph, load-balance, and simulate."""
+    """Convenience: fetch the cached graph, load-balance, and simulate.
+
+    The graph comes from the per-program cache (one build per parameter
+    set), and with ``nodes > 1`` the load balancer is fed the slab work
+    the graph already holds — per-slab sums of per-tile work — instead of
+    recounting every slab with fresh compiled scans.
+    """
     if graph is None:
-        graph = TileGraph.build(program, params)
+        graph = tile_graph(program, params)
     if machine.nodes == 1:
-        assignment = {t: 0 for t in graph.tiles}
+        assignment = None
     else:
-        balance = program.load_balance(params, machine.nodes, method=lb_method)
-        assignment = {
-            t: balance.node_of_tile(t, program.spaces) for t in graph.tiles
-        }
+        balance = program.load_balance(
+            params, machine.nodes, method=lb_method, slab_work=graph.slab_work()
+        )
+        slab_node = balance.slab_node
+        assignment = {}
+        for t, key in zip(graph.tile_tuples, graph.lb_key_rows().tolist()):
+            try:
+                assignment[t] = slab_node[tuple(key)]
+            except KeyError:
+                raise SimulationError(
+                    f"tile {t} projects to unassigned lb slab {tuple(key)}"
+                ) from None
     return simulate(
         graph, machine, assignment=assignment, priority_scheme=priority_scheme
     )

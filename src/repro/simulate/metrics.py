@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..generator.pipeline import GeneratedProgram
-from ..runtime.graph import TileGraph
+from ..runtime.graph import TileGraph, tile_graph
 from .hybrid import SimResult, simulate_program
 from .machine import MachineModel
 
@@ -42,7 +42,7 @@ def shared_memory_scaling(
 ) -> List[ScalingPoint]:
     """Figure 6: speedup vs cores on a single shared-memory node."""
     base = machine or MachineModel()
-    graph = TileGraph.build(program, params)
+    graph = tile_graph(program, params)
     t1: Optional[float] = None
     out: List[ScalingPoint] = []
     for cores in core_counts:

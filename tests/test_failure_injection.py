@@ -3,14 +3,14 @@
 The executor carries internal consistency checks (NaN reads of "valid"
 dependencies, dangling edges, deadlocks, cell-count mismatches).  These
 tests corrupt the structures deliberately and assert the failures are
-loud, not silent.
+loud, not silent.  Corruption happens at the CSR-array level — the
+representation the executor and simulator actually consume.
 """
 
 import numpy as np
 import pytest
 
 from repro.errors import RuntimeExecutionError, SimulationError
-from repro.generator.tile_deps import delta_between
 from repro.runtime import TileGraph, execute
 from repro.simulate import MachineModel, simulate
 
@@ -20,54 +20,69 @@ def graph(bandit2_program):
     return TileGraph.build(bandit2_program, {"N": 6})
 
 
+def _edge_list(graph):
+    """(producer_row, consumer_row, delta_idx, cells) tuples, cons-CSR order."""
+    ptr = graph.cons_ptr.tolist()
+    rows = graph.cons_rows.tolist()
+    did = graph.cons_delta.tolist()
+    cells = graph.cons_cells.tolist()
+    out = []
+    for p in range(len(ptr) - 1):
+        for e in range(ptr[p], ptr[p + 1]):
+            out.append((p, rows[e], did[e], cells[e]))
+    return out
+
+
+def _graph_from_edges(graph, edges):
+    """Rebuild a TileGraph from an (arbitrarily corrupted) edge list."""
+    T = graph.tile_array.shape[0]
+    prod_a = np.asarray([e[0] for e in edges], dtype=np.int64)
+    cons_a = np.asarray([e[1] for e in edges], dtype=np.int64)
+    did_a = np.asarray([e[2] for e in edges], dtype=np.int64)
+    cell_a = np.asarray([e[3] for e in edges], dtype=np.int64)
+    order = np.lexsort((did_a, cons_a))
+    prod_ptr = np.zeros(T + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cons_a, minlength=T), out=prod_ptr[1:])
+    order2 = np.lexsort((cons_a, prod_a))
+    cons_ptr = np.zeros(T + 1, dtype=np.int64)
+    np.cumsum(np.bincount(prod_a, minlength=T), out=cons_ptr[1:])
+    return TileGraph(
+        program=graph.program,
+        params=graph.params,
+        tile_array=graph.tile_array,
+        work_array=graph.work_array,
+        prod_ptr=prod_ptr,
+        prod_rows=prod_a[order],
+        prod_delta=did_a[order],
+        cons_ptr=cons_ptr,
+        cons_rows=cons_a[order2],
+        cons_delta=did_a[order2],
+        cons_cells=cell_a[order2],
+    )
+
+
 class TestExecutorDetection:
     def test_missing_producer_edge_detected(self, bandit2_program, graph):
-        # Remove one inner tile from a consumer's producer list: the
-        # consumer starts too early and reads an uncomputed ghost cell.
-        victim = next(
-            t for t in graph.tiles if graph.producers[t] and graph.consumers[t]
+        # Remove one inner tile's producer edge: the consumer starts too
+        # early and reads an uncomputed ghost cell.
+        prod_counts = np.diff(graph.prod_ptr)
+        cons_counts = np.diff(graph.cons_ptr)
+        victim = int(
+            np.flatnonzero((prod_counts > 0) & (cons_counts > 0))[0]
         )
-        producers = dict(graph.producers)
-        removed = producers[victim][0]
-        producers[victim] = tuple(p for p in producers[victim] if p != removed)
-        consumers = {
-            t: tuple(c for c in cs if not (t == removed and c == victim))
-            for t, cs in graph.consumers.items()
-        }
-        consumers[removed] = tuple(
-            c for c in graph.consumers[removed] if c != victim
-        )
-        bad = TileGraph(
-            program=graph.program,
-            params=graph.params,
-            tiles=graph.tiles,
-            producers=producers,
-            consumers=consumers,
-            work=graph.work,
-            edge_cells=graph.edge_cells,
-        )
+        edges = _edge_list(graph)
+        drop = next(i for i, e in enumerate(edges) if e[1] == victim)
+        del edges[drop]
+        bad = _graph_from_edges(graph, edges)
         with pytest.raises(RuntimeExecutionError):
             execute(bandit2_program, {"N": 6}, graph=bad)
 
     def test_cycle_detected(self, graph):
-        # Insert a fake 2-cycle between two tiles.
-        tiles = sorted(graph.tiles)
-        a, b = tiles[0], tiles[1]
-        producers = dict(graph.producers)
-        consumers = dict(graph.consumers)
-        producers[a] = tuple(producers[a]) + (b,)
-        producers[b] = tuple(producers[b]) + (a,)
-        consumers[a] = tuple(consumers[a]) + (b,)
-        consumers[b] = tuple(consumers[b]) + (a,)
-        bad = TileGraph(
-            program=graph.program,
-            params=graph.params,
-            tiles=graph.tiles,
-            producers=producers,
-            consumers=consumers,
-            work=graph.work,
-            edge_cells=graph.edge_cells,
-        )
+        # Insert a fake 2-cycle between the first two tiles.
+        edges = _edge_list(graph)
+        edges.append((0, 1, 0, 1))
+        edges.append((1, 0, 0, 1))
+        bad = _graph_from_edges(graph, edges)
         with pytest.raises(RuntimeExecutionError):
             bad.validate_acyclic()
 
@@ -95,25 +110,9 @@ class TestExecutorDetection:
 
 class TestSimulatorDetection:
     def test_cyclic_graph_deadlocks_loudly(self, graph):
-        tiles = sorted(graph.tiles)
-        a, b = tiles[0], tiles[1]
-        producers = dict(graph.producers)
-        consumers = dict(graph.consumers)
-        producers[a] = tuple(producers[a]) + (b,)
-        producers[b] = tuple(producers[b]) + (a,)
-        consumers[a] = tuple(consumers[a]) + (b,)
-        consumers[b] = tuple(consumers[b]) + (a,)
-        edge_cells = dict(graph.edge_cells)
-        edge_cells[(b, a)] = 1
-        edge_cells[(a, b)] = 1
-        bad = TileGraph(
-            program=graph.program,
-            params=graph.params,
-            tiles=graph.tiles,
-            producers=producers,
-            consumers=consumers,
-            work=graph.work,
-            edge_cells=edge_cells,
-        )
+        edges = _edge_list(graph)
+        edges.append((0, 1, 0, 1))
+        edges.append((1, 0, 0, 1))
+        bad = _graph_from_edges(graph, edges)
         with pytest.raises(SimulationError):
             simulate(bad, MachineModel(nodes=1, cores_per_node=2))
