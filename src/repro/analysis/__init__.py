@@ -1,0 +1,62 @@
+"""Static analysis of specs, kernels, schedules, and emitted C.
+
+The correctness gate behind ``repro-lint``: multi-pass analysis with a
+ruff-style diagnostics framework (stable ``RPR0xx`` codes, severities,
+source spans, text + JSON renderers).  See :mod:`.diagnostics` for the
+rule registry and the individual pass modules for what each code means.
+"""
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    Rule,
+    count_by_severity,
+    has_errors,
+    make_diagnostic,
+    render,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from .dependence import check_dependence
+from .kernel_lint import lint_kernel
+from .schedule_audit import audit_schedule
+from .c_audit import audit_emitted_c
+from .probe import default_params, probe_params
+from .runner import (
+    analyze_program,
+    analyze_spec,
+    analyze_spec_file,
+    analyze_spec_text,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "make_diagnostic",
+    "count_by_severity",
+    "has_errors",
+    "sort_diagnostics",
+    "render",
+    "render_text",
+    "render_json",
+    "check_dependence",
+    "lint_kernel",
+    "audit_schedule",
+    "audit_emitted_c",
+    "default_params",
+    "probe_params",
+    "analyze_program",
+    "analyze_spec",
+    "analyze_spec_file",
+    "analyze_spec_text",
+]

@@ -1,0 +1,303 @@
+"""Pass 4 — audit of the emitted C program.
+
+Two checks over the :func:`repro.generator.cgen.emit_c_program` output
+(plain text — the audit never compiles anything):
+
+* ``RPR041`` — inside ``repro_execute_tile``, a dependency read
+  ``V[loc_r]`` whose template is not always valid and whose enclosing
+  guards (``if`` conditions, ``?:`` conditions, ``&&`` short-circuit
+  prefixes) do not establish ``is_valid_r`` — decided by the same
+  :class:`~repro.analysis.guards.GuardAnalyzer` the Python lint uses,
+  so an ``is_valid_q`` guard covers every template sharing *q*'s
+  checks, and linear comparisons (``x1 >= 1``) count via constraint
+  normalization / LP implication;
+* ``RPR040`` — a variable declared in a function *before* one of its
+  ``#pragma omp parallel`` regions is used inside the region without a
+  data-sharing classification (``shared``/``private``/``firstprivate``
+  /``reduction``/``default``) and without a shadowing declaration
+  inside the region.  Implicit sharing of a mutable local is how
+  hybrid-generation bugs become heisenbugs, so the emitted runtime
+  declares all of its parallel-region locals inside the region.
+
+The scanner is a pragmatic single-pass bracket tracker, not a C parser:
+it understands the shapes ``cgen`` emits plus the user-fragment idioms
+of the bundled problems (braced/unbraced ``if``, ``else``, ternaries,
+``&&`` chains).  Guard extraction only ever *adds* knowledge it can
+prove it saw, so unparseable conjuncts degrade to diagnostics, never to
+silence.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set, Tuple
+
+from ..generator.validity import ValiditySet
+from ..spec import ProblemSpec
+from .diagnostics import Diagnostic, make_diagnostic
+from .guards import GuardAnalyzer, parse_comparison
+
+_IDENT = r"[A-Za-z_]\w*"
+_READ_RE = re.compile(r"\bV\[(loc_(%s))\]" % _IDENT)
+_VALID_RE = re.compile(r"(!?)\bis_valid_(%s)\b" % _IDENT)
+_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|const\s+|unsigned\s+|signed\s+)*"
+    r"(?:long|int|double|float|char|short|size_t|int64_t|uint64_t)\b"
+    r"(?:\s+long)?([^;(){}]*);",
+    re.M,
+)
+_CLAUSE_RE = re.compile(
+    r"(shared|private|firstprivate|lastprivate|reduction|copyin)\s*\(([^)]*)\)"
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group(0)), text, flags=re.S)
+    text = re.sub(r"//[^\n]*", lambda m: " " * len(m.group(0)), text)
+    return re.sub(r'"(?:[^"\\]|\\.)*"', lambda m: " " * len(m.group(0)), text)
+
+
+def _match_paren(text: str, open_pos: int) -> int:
+    """Index just past the ``)`` matching ``text[open_pos] == '('``."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _match_brace(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _split_conjuncts(cond: str) -> List[str]:
+    """Top-level ``&&`` split, recursing through redundant parentheses."""
+    parts: List[str] = []
+    depth = 0
+    start = 0
+    i = 0
+    while i < len(cond):
+        ch = cond[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and cond.startswith("&&", i):
+            parts.append(cond[start:i])
+            i += 2
+            start = i
+            continue
+        i += 1
+    parts.append(cond[start:])
+    out: List[str] = []
+    for part in parts:
+        part = part.strip()
+        while part.startswith("(") and _match_paren(part, 0) == len(part):
+            part = part[1:-1].strip()
+        if "&&" in part and part not in (cond.strip(),):
+            out.extend(_split_conjuncts(part))
+        else:
+            out.append(part)
+    return out
+
+
+def _function_body(source: str, name: str) -> Optional[Tuple[str, int]]:
+    """The brace-enclosed body of *name* plus its start offset."""
+    m = re.search(r"\b%s\s*\([^;{)]*\)\s*\{" % re.escape(name), source)
+    if m is None:
+        return None
+    open_pos = m.end() - 1
+    end = _match_brace(source, open_pos)
+    return source[open_pos + 1 : end - 1], open_pos + 1
+
+
+class _CGuardScanner:
+    """Per-position guard conditions inside one function body."""
+
+    def __init__(self, body: str):
+        self.body = body
+        # Spans of (start, end, condition-text) for every guarded region.
+        self.regions: List[Tuple[int, int, str]] = []
+        self._scan()
+
+    def _scan(self) -> None:
+        body = self.body
+        for m in re.finditer(r"\b(if|while)\s*\(", body):
+            cond_open = m.end() - 1
+            cond_close = _match_paren(body, cond_open)
+            cond = body[cond_open + 1 : cond_close - 1]
+            i = cond_close
+            while i < len(body) and body[i] in " \t\r\n":
+                i += 1
+            if i < len(body) and body[i] == "{":
+                end = _match_brace(body, i)
+            else:
+                end = body.find(";", i)
+                end = len(body) if end < 0 else end + 1
+            self.regions.append((cond_close, end, cond))
+
+    def conditions_at(self, pos: int) -> List[str]:
+        return [c for (s, e, c) in self.regions if s <= pos < e]
+
+
+def _statement_prefix(body: str, pos: int) -> str:
+    """Text of the current statement strictly before *pos*."""
+    start = max(body.rfind(";", 0, pos), body.rfind("{", 0, pos),
+                body.rfind("}", 0, pos))
+    return body[start + 1 : pos]
+
+
+def _prefix_knowledge(prefix: str) -> Tuple[Set[str], List[str]]:
+    """Guard facts established by short-circuit/ternary before a read.
+
+    Inside ``cond ? a : b`` the condition only guards the true arm, so
+    when a ``:`` separates the last ``?`` from the read, the text before
+    the ``?`` is discarded.
+    """
+    q = prefix.rfind("?")
+    if q >= 0:
+        colon = prefix.find(":", q)
+        if colon >= 0:
+            prefix = prefix[colon + 1 :]
+    valid = {
+        m.group(2) for m in _VALID_RE.finditer(prefix) if not m.group(1)
+    }
+    return valid, []
+
+
+def audit_emitted_c(
+    spec: ProblemSpec, validity: ValiditySet, source: str
+) -> List[Diagnostic]:
+    """RPR040/RPR041 diagnostics for the emitted C *source*."""
+    diags: List[Diagnostic] = []
+    text = _strip_comments(source)
+    analyzer = GuardAnalyzer(spec, validity)
+    templates = set(spec.templates.names())
+
+    found = _function_body(text, "repro_execute_tile")
+    if found is not None:
+        body, body_off = found
+        scanner = _CGuardScanner(body)
+        for m in _READ_RE.finditer(body):
+            template = m.group(2)
+            if template not in templates or validity.always_valid(template):
+                continue
+            # A write V[loc_x] = ... is not a read; skip direct stores.
+            after = body[m.end():].lstrip()
+            if after.startswith("=") and not after.startswith("=="):
+                continue
+            valid_names: Set[str] = set()
+            facts = []
+            for cond in scanner.conditions_at(m.start()):
+                for conj in _split_conjuncts(cond):
+                    vm = _VALID_RE.fullmatch(conj.strip())
+                    if vm and not vm.group(1):
+                        valid_names.add(vm.group(2))
+                    else:
+                        facts.extend(
+                            parse_comparison(conj, analyzer.allowed_vars)
+                        )
+            pv, _ = _prefix_knowledge(_statement_prefix(body, m.start()))
+            valid_names |= pv
+            if not analyzer.covers(template, valid_names, facts):
+                line = text.count("\n", 0, body_off + m.start()) + 1
+                diags.append(
+                    make_diagnostic(
+                        "RPR041",
+                        f"emitted C reads V[loc_{template}] without a "
+                        f"guard establishing is_valid_{template}",
+                        problem=spec.name,
+                        source="emitted-c",
+                        line=line,
+                    )
+                )
+
+    diags.extend(_audit_openmp(spec, text))
+    return diags
+
+
+def _audit_openmp(spec: ProblemSpec, text: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    reported: Set[Tuple[int, str]] = set()
+    for m in re.finditer(r"#pragma\s+omp\s+parallel\b([^\n]*)", text):
+        directive = m.group(1)
+        if re.match(r"\s*(for|sections)\b", directive):
+            pass  # worksharing variants take the same clause audit
+        classified: Set[str] = set()
+        for cm in _CLAUSE_RE.finditer(directive):
+            classified |= {
+                v.strip().split(":")[-1].strip()
+                for v in cm.group(2).split(",")
+                if v.strip()
+            }
+        has_default = "default" in directive
+        # The structured block: first '{' after the pragma, skipping
+        # preprocessor lines (#ifdef/#endif wrap every pragma we emit).
+        i = m.end()
+        while i < len(text):
+            if text[i] == "{":
+                break
+            if text[i] == "\n":
+                nxt = text[i + 1 : i + 2]
+                if nxt and nxt not in " \t#{\n":
+                    i = -1  # a plain statement follows; no block to audit
+                    break
+            i += 1
+        if i < 0 or i >= len(text):
+            continue
+        region_end = _match_brace(text, i)
+        region = text[i:region_end]
+        # Locals declared earlier in the enclosing function: scan from
+        # the nearest function opener (a column-0 signature ending in
+        # ``) {``) up to the pragma.
+        opens = [
+            fm.end()
+            for fm in re.finditer(r"(?m)^\w[^\n;]*\)\s*\{", text[: m.start()])
+        ]
+        before = text[opens[-1] : m.start()] if opens else ""
+        declared_before: Set[str] = set()
+        for dm in _DECL_RE.finditer(before):
+            for piece in dm.group(1).split(","):
+                idm = re.search(_IDENT, piece.replace("*", " "))
+                if idm:
+                    declared_before.add(idm.group(0))
+        declared_inside: Set[str] = set()
+        for dm in _DECL_RE.finditer(region):
+            for piece in dm.group(1).split(","):
+                idm = re.search(_IDENT, piece.replace("*", " "))
+                if idm:
+                    declared_inside.add(idm.group(0))
+        used = set(re.findall(_IDENT, region))
+        line = text.count("\n", 0, m.start()) + 1
+        for name in sorted(
+            (declared_before & used) - declared_inside - classified
+        ):
+            if has_default:
+                continue
+            key = (line, name)
+            if key in reported:
+                continue
+            reported.add(key)
+            diags.append(
+                make_diagnostic(
+                    "RPR040",
+                    f"variable {name!r} is used inside the omp parallel "
+                    "region without a shared/private classification",
+                    problem=spec.name,
+                    source="emitted-c",
+                    line=line,
+                )
+            )
+    return diags

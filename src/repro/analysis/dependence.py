@@ -1,0 +1,142 @@
+"""Pass 1 — dependence legality of the declared spec fields.
+
+Checks the template vectors against the declared loop ordering and tile
+widths *before* a :class:`~repro.spec.ProblemSpec` is constructed, so an
+illegal ordering is a diagnostic rather than a raised :class:`SpecError`:
+
+* ``RPR010`` — two templates force opposite scan directions on the same
+  first-nonzero dimension (paper Section IV-L: the sequential scan order
+  must run against every template's leading component);
+* ``RPR011`` — no vector λ satisfies λ·r ≥ 1 for every template, i.e.
+  the recurrence is cyclic for some problem size;
+* ``RPR012`` — a tile width is smaller than the template reach in that
+  dimension, so a dependency would skip over an entire tile;
+* ``RPR002`` — structural inconsistencies (wrong vector arity, zero
+  vectors, unknown tile-width dimensions, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..spec.parser import SpecFields
+from ..spec.templates import DESCENDING
+from .diagnostics import Diagnostic, make_diagnostic
+
+
+def check_dependence(fields: SpecFields) -> List[Diagnostic]:
+    """Dependence-legality diagnostics for raw spec fields."""
+    diags: List[Diagnostic] = []
+    name = fields.name
+    lv = list(fields.loop_vars)
+    dims = len(lv)
+
+    def diag(code: str, message: str, source: str = "spec") -> None:
+        diags.append(make_diagnostic(code, message, problem=name, source=source))
+
+    if not lv:
+        diag("RPR002", "at least one loop variable is required")
+        return diags
+    if len(set(lv)) != len(lv):
+        diag("RPR002", f"duplicate loop variables: {lv}")
+        return diags
+
+    vectors: List[Tuple[str, Tuple[int, ...]]] = []
+    for tname, vec in fields.templates.items():
+        if len(vec) != dims:
+            diag(
+                "RPR002",
+                f"template {tname!r} has {len(vec)} components but there "
+                f"are {dims} loop variables",
+                source="templates",
+            )
+        elif all(c == 0 for c in vec):
+            diag(
+                "RPR002",
+                f"template {tname!r} is the zero vector",
+                source="templates",
+            )
+        else:
+            vectors.append((tname, tuple(vec)))
+    if not fields.templates:
+        diag("RPR002", "at least one template vector is required", source="templates")
+    if diags:
+        return diags
+
+    # Scan-direction legality: the first nonzero component of each
+    # template (in loop order) forces a direction on that dimension; two
+    # templates forcing opposite directions means no lexicographic order
+    # over the declared loop_vars evaluates producers before consumers.
+    forced: Dict[str, Tuple[int, str]] = {}
+    for tname, vec in vectors:
+        for var, comp in zip(lv, vec):
+            if comp == 0:
+                continue
+            want = DESCENDING if comp > 0 else -DESCENDING
+            prev = forced.get(var)
+            if prev is not None and prev[0] != want:
+                diag(
+                    "RPR010",
+                    f"templates {prev[1]!r} and {tname!r} force opposite "
+                    f"scan directions on dimension {var!r}; reorder "
+                    "loop_vars so an earlier dimension distinguishes them",
+                    source="templates",
+                )
+            elif prev is None:
+                forced[var] = (want, tname)
+            break
+
+    if _has_linear_schedule(vectors, dims) is False:
+        diag(
+            "RPR011",
+            "the template vectors admit no linear schedule; the "
+            "recurrence is cyclic and cannot be evaluated",
+            source="templates",
+        )
+
+    # Tile widths: every dimension needs a width of at least the
+    # farthest dependency reach, or a tile would depend on a non-adjacent
+    # tile that the ghost-region exchange never ships.
+    reach = {v: 0 for v in lv}
+    for _, vec in vectors:
+        for var, comp in zip(lv, vec):
+            reach[var] = max(reach[var], abs(comp))
+    widths = dict(fields.tile_widths)
+    for extra in sorted(set(widths) - set(lv)):
+        diag("RPR002", f"tile width given for unknown dimension {extra!r}")
+    for v in lv:
+        w = widths.get(v)
+        if w is None:
+            diag("RPR002", f"missing tile width for dimension {v!r}")
+        elif w < 1:
+            diag("RPR002", f"tile width for {v!r} must be positive, got {w}")
+        elif w < reach[v]:
+            diag(
+                "RPR012",
+                f"tile width {w} for {v!r} is smaller than the template "
+                f"reach {reach[v]}; tiles must be at least as wide as the "
+                "farthest dependency",
+            )
+    return diags
+
+
+def _has_linear_schedule(
+    vectors: List[Tuple[str, Tuple[int, ...]]], dims: int
+) -> Optional[bool]:
+    """LP feasibility of λ·r ≥ 1 for all templates; None without scipy."""
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is a normal dependency
+        return None
+    if not vectors:
+        return True
+    a_ub = [[-float(c) for c in vec] for _, vec in vectors]
+    b_ub = [-1.0] * len(vectors)
+    res = linprog(
+        [0.0] * dims,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * dims,
+        method="highs",
+    )
+    return res.status == 0

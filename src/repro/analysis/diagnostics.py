@@ -1,0 +1,185 @@
+"""The diagnostics framework behind ``repro-lint``.
+
+Every finding the static analyzer can produce is a :class:`Diagnostic`
+carrying a *stable* rule code (``RPR0xx``), a severity, a human-readable
+message, and a source span (which artifact the finding is about —
+``spec``, ``center_code_py``, ``emitted-c``, ``schedule`` — plus an
+optional line/column inside it).  Codes never change meaning between
+releases, so CI configurations and suppressions can key on them.
+
+The registry :data:`RULES` is the single source of truth: a pass creates
+diagnostics through :func:`make_diagnostic`, which looks up the rule's
+severity and title, so a code typo is an :class:`AnalysisError` at
+analysis time rather than a silently-new code in the output.
+
+Two renderers are provided: :func:`render_text` (one ``ruff``-style line
+per finding) and :func:`render_json` (a machine-readable document with
+per-severity counts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import AnalysisError
+
+#: Severity levels, most severe first.  ``error`` findings fail the lint
+#: (exit code 1); ``warning``/``info`` findings are reported but clean.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One stable lint rule: its code, default severity, and title."""
+
+    code: str
+    severity: str
+    title: str
+
+
+#: The stable rule set.  Codes are grouped by pass:
+#: ``RPR00x`` parsing/construction, ``RPR01x`` dependence legality,
+#: ``RPR02x`` kernel-fragment lint, ``RPR03x`` schedule race/coverage,
+#: ``RPR04x`` emitted-C audit.
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in (
+        Rule("RPR001", ERROR, "spec file could not be parsed"),
+        Rule("RPR002", ERROR, "problem specification is inconsistent"),
+        Rule("RPR010", ERROR, "templates conflict on a scan direction (illegal loop ordering)"),
+        Rule("RPR011", ERROR, "template vectors admit no linear schedule (cyclic recurrence)"),
+        Rule("RPR012", ERROR, "tile width is smaller than the template reach"),
+        Rule("RPR013", ERROR, "tile-level dependence graph is cyclic on the probe instance"),
+        Rule("RPR020", ERROR, "code fragment does not parse"),
+        Rule("RPR021", ERROR, "undefined name in center_code_py"),
+        Rule("RPR022", ERROR, "read of a location for an undeclared template"),
+        Rule("RPR023", WARNING, "declared template is never read"),
+        Rule("RPR024", ERROR, "V[loc] is read before it is written"),
+        Rule("RPR025", ERROR, "unguarded dependency read for a non-always-valid template"),
+        Rule("RPR026", ERROR, "assignment to a dependency location"),
+        Rule("RPR027", ERROR, "center_code_py never assigns V[loc]"),
+        Rule("RPR030", ERROR, "tile dependency has no pack region (uncovered cross-tile edge)"),
+        Rule("RPR031", ERROR, "cross-tile edge is missing from the tile graph"),
+        Rule("RPR032", ERROR, "priority schedule orders a consumer before a producer"),
+        Rule("RPR040", ERROR, "OpenMP parallel region uses a variable with no data-sharing classification"),
+        Rule("RPR041", ERROR, "emitted C reads a dependency without its is_valid guard"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, severity, message, and source span.
+
+    ``source`` names the artifact the finding is about (``spec``,
+    ``center_code_py``, ``center_code_c``, ``emitted-c``, ``schedule``,
+    ``templates``); ``line``/``col`` are 1-based positions inside that
+    artifact when known.  ``problem`` is the problem name (empty when
+    the spec could not be parsed far enough to know it).
+    """
+
+    code: str
+    severity: str
+    message: str
+    problem: str = ""
+    source: str = ""
+    line: Optional[int] = None
+    col: Optional[int] = None
+
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def location(self) -> str:
+        """The ``problem:source:line:col`` prefix, empty parts omitted."""
+        parts = [p for p in (self.problem, self.source) if p]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.col is not None:
+                parts.append(str(self.col))
+        return ":".join(parts)
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    problem: str = "",
+    source: str = "",
+    line: Optional[int] = None,
+    col: Optional[int] = None,
+) -> Diagnostic:
+    """A :class:`Diagnostic` for *code*, with the rule's severity."""
+    rule = RULES.get(code)
+    if rule is None:
+        raise AnalysisError(f"unknown diagnostic code {code!r}")
+    return Diagnostic(
+        code=code,
+        severity=rule.severity,
+        message=message,
+        problem=problem,
+        source=source,
+        line=line,
+        col=col,
+    )
+
+
+def count_by_severity(diags: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts = {s: 0 for s in SEVERITIES}
+    for d in diags:
+        counts[d.severity] = counts.get(d.severity, 0) + 1
+    return counts
+
+
+def has_errors(diags: Iterable[Diagnostic]) -> bool:
+    return any(d.is_error() for d in diags)
+
+
+def sort_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable presentation order: problem, source, line, then code."""
+    return sorted(
+        diags,
+        key=lambda d: (d.problem, d.source, d.line or 0, d.col or 0, d.code),
+    )
+
+
+def render_text(diags: Sequence[Diagnostic]) -> str:
+    """One line per finding plus a summary line (ruff-style)."""
+    lines = []
+    for d in sort_diagnostics(diags):
+        loc = d.location()
+        prefix = f"{loc}: " if loc else ""
+        lines.append(f"{prefix}{d.code} {d.severity}: {d.message}")
+    counts = count_by_severity(diags)
+    if any(counts.values()):
+        summary = ", ".join(
+            f"{counts[s]} {s}{'s' if counts[s] != 1 else ''}"
+            for s in SEVERITIES
+            if counts[s]
+        )
+        lines.append(f"found {summary}")
+    else:
+        lines.append("all checks passed")
+    return "\n".join(lines)
+
+
+def render_json(diags: Sequence[Diagnostic]) -> str:
+    """A machine-readable document: findings plus per-severity counts."""
+    doc = {
+        "diagnostics": [asdict(d) for d in sort_diagnostics(diags)],
+        "counts": count_by_severity(diags),
+        "clean": not has_errors(diags),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render(diags: Sequence[Diagnostic], fmt: str = "text") -> str:
+    """Render with the named format (``text`` or ``json``)."""
+    if fmt == "text":
+        return render_text(diags)
+    if fmt == "json":
+        return render_json(diags)
+    raise AnalysisError(f"unknown diagnostics format {fmt!r}")

@@ -1,0 +1,151 @@
+"""Guard-coverage reasoning shared by the kernel lint and the C audit.
+
+A dependency read ``V[loc_r]`` is safe when every validity check of
+template ``r`` (:class:`~repro.generator.validity.ValiditySet`) is known
+to hold at the access.  The guards in scope contribute knowledge in two
+forms:
+
+* ``is_valid_q`` flags — all of template *q*'s checks hold, so a guard
+  on *q* covers *r* whenever ``checks(q) ⊇ checks(r)`` (the paper's
+  shared-check deduplication makes this common: the bandit kernels
+  guard ``V[loc_fail1]`` with ``is_valid_succ1`` because both templates
+  share the single budget check);
+* linear comparisons over loop variables and parameters — the LCS
+  kernels guard the diagonal read with ``x1 >= 1 and x2 >= 1``, which
+  *is* the diagonal template's check set spelled out directly.
+
+Coverage is decided in two steps: a syntactic membership test (the
+normalized :class:`~repro.polyhedra.Constraint` of ``x1 >= 1`` is equal
+to the shifted constraint the validity pass derived), then an exact LP
+implication test (``x1 >= 2`` implies ``x1 >= 1`` under the iteration
+space) when scipy is available.  Without scipy the analyzer degrades to
+the membership test only — sound, but it may flag semantically-guarded
+reads whose guards are strictly stronger than the checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..generator.validity import ValiditySet
+from ..polyhedra import Constraint, parse_constraint
+from ..spec import ProblemSpec
+
+
+def parse_comparison(text: str, allowed_vars: Set[str]) -> List[Constraint]:
+    """Parse one guard conjunct into linear constraints, or ``[]``.
+
+    Non-affine conjuncts (subscripts, calls, ``is None`` tests, float
+    literals) and comparisons mentioning names outside *allowed_vars*
+    contribute no knowledge and are dropped — conjunction only ever
+    strengthens a guard, so ignoring a conjunct is sound.
+    """
+    text = text.strip()
+    if not text:
+        return []
+    # Cheap rejection of anything the affine grammar cannot mean:
+    # brackets, calls, floats, strings, attribute access.
+    if any(ch in text for ch in "[]{}\"'.?!|&%"):
+        return []
+    try:
+        constraints = parse_constraint(text)
+    except Exception:
+        return []
+    for c in constraints:
+        if not (set(c.variables()) <= allowed_vars):
+            return []
+    return constraints
+
+
+class GuardAnalyzer:
+    """Decides whether in-scope guards cover a template's checks."""
+
+    def __init__(self, spec: ProblemSpec, validity: ValiditySet):
+        self.spec = spec
+        self.validity = validity
+        self.base: List[Constraint] = list(spec.constraints)
+        self.allowed_vars: Set[str] = set(spec.loop_vars) | set(spec.params)
+
+    def covers(
+        self,
+        template: str,
+        valid_names: Iterable[str],
+        guard_constraints: Iterable[Constraint],
+    ) -> bool:
+        """True iff the guards guarantee ``is_valid_<template>``.
+
+        *valid_names* are templates whose ``is_valid`` flag is known
+        true; *guard_constraints* are linear facts from comparisons in
+        the enclosing conditions.
+        """
+        needed_ids = self.validity.per_template.get(template, ())
+        if not needed_ids:
+            return True
+        known: List[Constraint] = list(self.base)
+        known.extend(guard_constraints)
+        for q in valid_names:
+            for idx in self.validity.per_template.get(q, ()):
+                known.append(self.validity.checks[idx])
+        known_set = set(known)
+        for idx in needed_ids:
+            check = self.validity.checks[idx]
+            if check in known_set:
+                continue
+            if not implies(known, check):
+                return False
+        return True
+
+
+def implies(constraints: Sequence[Constraint], target: Constraint) -> bool:
+    """Exact implication test: does *constraints* entail ``target >= 0``?
+
+    Minimizes ``target.expr`` over the (rational relaxation of the)
+    system; a minimum ``>= 0`` — or an empty system — certifies the
+    implication.  Returns False conservatively when scipy is absent or
+    the LP does not resolve.
+    """
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is a normal dependency
+        return False
+
+    names = sorted(
+        set().union(*(c.variables() for c in constraints), target.variables())
+    )
+    if not names:
+        return target.satisfied({})
+    index = {n: i for i, n in enumerate(names)}
+
+    def row(c: Constraint):
+        coeffs = [0.0] * len(names)
+        for n, v in c.expr.coeffs.items():
+            coeffs[index[n]] = float(v)
+        return coeffs, float(c.expr.constant)
+
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for c in constraints:
+        coeffs, const = row(c)
+        if c.is_equality():
+            a_eq.append(coeffs)
+            b_eq.append(-const)
+        else:
+            # c.expr >= 0  <=>  -coeffs . x <= const
+            a_ub.append([-x for x in coeffs])
+            b_ub.append(const)
+    obj, obj_const = row(target)
+    res = linprog(
+        obj,
+        A_ub=a_ub or None,
+        b_ub=b_ub or None,
+        A_eq=a_eq or None,
+        b_eq=b_eq or None,
+        bounds=[(None, None)] * len(names),
+        method="highs",
+    )
+    if res.status == 2:  # infeasible guard set: implication holds vacuously
+        return True
+    if res.status == 0 and res.fun is not None:
+        # Integral constraints: true minima sit at least 1 away from
+        # -epsilon, so a small tolerance absorbs LP float noise.
+        return (res.fun + obj_const) >= -1e-9
+    return False

@@ -1,0 +1,390 @@
+"""Pass 2 — lint of the spec's Python center-loop fragment.
+
+``center_code_py`` is user-written code against the Section IV-B cell
+interface (``V[loc]``, ``V[loc_r]``, ``is_valid_r``).  This pass parses
+it with :mod:`ast` and checks, without executing anything:
+
+* ``RPR020`` — the fragment (or ``global_code_py``/``init_code_py``)
+  does not parse;
+* ``RPR021`` — a name is read that is neither a loop variable,
+  parameter, interface token, builtin, fragment-local assignment, nor a
+  name bound by the global/init code;
+* ``RPR022`` — ``V[loc_r]`` is read for a template ``r`` that the spec
+  never declared;
+* ``RPR023`` (warning) — a declared template whose location the
+  fragment never reads;
+* ``RPR024`` — ``V[loc]`` is read before the fragment assigns it;
+* ``RPR025`` — ``V[loc_r]`` is read where ``r`` is not always valid and
+  no enclosing guard establishes its validity checks (via an
+  ``is_valid`` flag whose checks cover ``r``'s, or linear comparisons
+  implying them — see :mod:`repro.analysis.guards`);
+* ``RPR026`` — the fragment assigns ``V[loc_r]``;
+* ``RPR027`` — the fragment never assigns ``V[loc]``.
+
+Guard tracking is flow-sensitive for ``if``/``elif``, conditional
+expressions, ``while`` tests, and ``and`` short-circuiting (the right
+operand of ``a and b`` is only evaluated when ``a`` held).  Negative
+knowledge (``else`` of an ``is_valid`` test) is not tracked — absence of
+a guarantee only ever yields a diagnostic, never suppresses one.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import List, Optional, Set, Tuple
+
+from ..generator.validity import ValiditySet
+from ..polyhedra import Constraint
+from ..spec import ProblemSpec
+from .diagnostics import Diagnostic, make_diagnostic
+from .guards import GuardAnalyzer, parse_comparison
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: (known-valid template names, known linear facts) at a program point.
+Guards = Tuple[Set[str], List[Constraint]]
+
+
+def _assigned_names(tree: ast.AST) -> Set[str]:
+    """Every name the tree binds, in any scope (over-approximation)."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            out.add(node.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            out.add(node.name)
+        elif isinstance(node, ast.arg):
+            out.add(node.arg)
+        elif isinstance(node, ast.alias):
+            out.add((node.asname or node.name).split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            out.add(node.name)
+    return out
+
+
+class _FragmentLinter(ast.NodeVisitor):
+    """Single walk over the fragment with guard-state threading.
+
+    The default ``visit`` dispatch is not used for expressions — guard
+    context must flow *down* into sub-expressions, so statements call
+    :meth:`expr` explicitly with the guards in scope.
+    """
+
+    def __init__(self, spec: ProblemSpec, validity: ValiditySet, source: str):
+        self.spec = spec
+        self.validity = validity
+        self.source = source
+        self.analyzer = GuardAnalyzer(spec, validity)
+        self.templates = set(spec.templates.names())
+        self.state = spec.state_name
+        self.diags: List[Diagnostic] = []
+        self.read_templates: Set[str] = set()
+        self.wrote_current = False
+        self.reported_names: Set[str] = set()
+        self.allowed: Set[str] = (
+            set(spec.loop_vars)
+            | set(spec.params)
+            | {self.state, "loc"}
+            | {f"loc_{t}" for t in self.templates}
+            | {f"is_valid_{t}" for t in self.templates}
+            | set(_BUILTIN_NAMES)
+        )
+
+    def diag(self, code: str, message: str, node: Optional[ast.AST] = None) -> None:
+        line = getattr(node, "lineno", None)
+        col = getattr(node, "col_offset", None)
+        self.diags.append(
+            make_diagnostic(
+                code,
+                message,
+                problem=self.spec.name,
+                source=self.source,
+                line=line,
+                col=None if col is None else col + 1,
+            )
+        )
+
+    # -- knowledge extraction ------------------------------------------------
+
+    def knowledge(self, test: ast.expr) -> Guards:
+        """What holds inside a branch taken when *test* is true."""
+        valid: Set[str] = set()
+        facts: List[Constraint] = []
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values:
+                v, f = self.knowledge(value)
+                valid |= v
+                facts += f
+        elif isinstance(test, ast.Name) and test.id.startswith("is_valid_"):
+            t = test.id[len("is_valid_"):]
+            if t in self.templates:
+                valid.add(t)
+        elif isinstance(test, ast.Compare):
+            try:
+                text = ast.unparse(test)
+            except Exception:  # pragma: no cover - unparse is total on parses
+                text = ""
+            facts += parse_comparison(text, self.analyzer.allowed_vars)
+        return valid, facts
+
+    @staticmethod
+    def merge(guards: Guards, extra: Guards) -> Guards:
+        return (guards[0] | extra[0], guards[1] + extra[1])
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: Optional[ast.expr], guards: Guards) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Subscript) and self._is_state(node.value):
+            self._state_access(node, guards, store=False)
+            return
+        if isinstance(node, ast.BoolOp):
+            acc = guards
+            for value in node.values:
+                self.expr(value, acc)
+                if isinstance(node.op, ast.And):
+                    acc = self.merge(acc, self.knowledge(value))
+            return
+        if isinstance(node, ast.IfExp):
+            self.expr(node.test, guards)
+            self.expr(node.body, self.merge(guards, self.knowledge(node.test)))
+            self.expr(node.orelse, guards)
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                self._check_name(node)
+            return
+        if isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            # Nested scopes: names were over-approximated in the prepass;
+            # walk children without guard refinement.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child, guards)
+                else:
+                    for sub in ast.walk(child):
+                        if isinstance(sub, ast.Name) and isinstance(
+                            sub.ctx, ast.Load
+                        ):
+                            self._check_name(sub)
+                        elif isinstance(sub, ast.Subscript) and self._is_state(
+                            sub.value
+                        ):
+                            self._state_access(sub, guards, store=False)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, guards)
+
+    def _is_state(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.state
+
+    def _state_access(self, node: ast.Subscript, guards: Guards, store: bool) -> None:
+        index = node.slice
+        token = index.id if isinstance(index, ast.Name) else None
+        state = self.state
+        if token == "loc":
+            if store:
+                self.wrote_current = True
+            elif not self.wrote_current:
+                self.diag(
+                    "RPR024",
+                    f"{state}[loc] is read before the fragment assigns it",
+                    node,
+                )
+            return
+        if token is not None and token.startswith("loc_"):
+            template = token[len("loc_"):]
+            if template not in self.templates:
+                self.diag(
+                    "RPR022",
+                    f"{state}[{token}] reads template {template!r}, which "
+                    "the spec does not declare",
+                    node,
+                )
+                return
+            if store:
+                self.diag(
+                    "RPR026",
+                    f"assignment to dependency location {state}[{token}]; "
+                    "the fragment may only assign "
+                    f"{state}[loc]",
+                    node,
+                )
+                return
+            self.read_templates.add(template)
+            if not self.validity.always_valid(template) and not (
+                self.analyzer.covers(template, guards[0], guards[1])
+            ):
+                self.diag(
+                    "RPR025",
+                    f"{state}[{token}] is read without a guard establishing "
+                    f"is_valid_{template} (template {template!r} is not "
+                    "always valid)",
+                    node,
+                )
+            return
+        # Computed index (V[something]): lint the index expression itself.
+        if isinstance(index, ast.expr):
+            self.expr(index, guards)
+        if not store and token is not None:
+            self.diag(
+                "RPR022",
+                f"{state}[{token}] does not use a loc/loc_<template> token",
+                node,
+            )
+
+    def _check_name(self, node: ast.Name) -> None:
+        if node.id in self.allowed or node.id in self.reported_names:
+            return
+        self.reported_names.add(node.id)
+        self.diag("RPR021", f"undefined name {node.id!r}", node)
+
+    # -- statements ----------------------------------------------------------
+
+    def stmts(self, body: List[ast.stmt], guards: Guards) -> None:
+        for stmt in body:
+            self.stmt(stmt, guards)
+
+    def stmt(self, node: ast.stmt, guards: Guards) -> None:
+        if isinstance(node, ast.If):
+            self.expr(node.test, guards)
+            self.stmts(node.body, self.merge(guards, self.knowledge(node.test)))
+            self.stmts(node.orelse, guards)
+        elif isinstance(node, ast.While):
+            self.expr(node.test, guards)
+            self.stmts(node.body, self.merge(guards, self.knowledge(node.test)))
+            self.stmts(node.orelse, guards)
+        elif isinstance(node, ast.For):
+            self.expr(node.iter, guards)
+            self.stmts(node.body, guards)
+            self.stmts(node.orelse, guards)
+        elif isinstance(node, ast.Assign):
+            self.expr(node.value, guards)
+            for target in node.targets:
+                self._target(target, guards)
+        elif isinstance(node, ast.AnnAssign):
+            self.expr(node.value, guards)
+            self._target(node.target, guards)
+        elif isinstance(node, ast.AugAssign):
+            self.expr(node.value, guards)
+            # An augmented target is read, then written.
+            if isinstance(node.target, ast.Subscript) and self._is_state(
+                node.target.value
+            ):
+                self._state_access(node.target, guards, store=False)
+                self._state_access(node.target, guards, store=True)
+        elif isinstance(node, ast.Assert):
+            self.expr(node.test, guards)
+        elif isinstance(node, ast.Expr):
+            self.expr(node.value, guards)
+        elif isinstance(node, (ast.Return, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child, guards)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef, ast.With, ast.Try)):
+            for child in ast.walk(node):
+                if isinstance(child, ast.Name) and isinstance(
+                    child.ctx, ast.Load
+                ):
+                    self._check_name(child)
+                elif isinstance(child, ast.Subscript) and self._is_state(
+                    child.value
+                ):
+                    self._state_access(
+                        child, guards, store=isinstance(child.ctx, ast.Store)
+                    )
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child, guards)
+
+    def _target(self, target: ast.expr, guards: Guards) -> None:
+        if isinstance(target, ast.Subscript) and self._is_state(target.value):
+            self._state_access(target, guards, store=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._target(elt, guards)
+        elif isinstance(target, ast.Subscript):
+            self.expr(target.value, guards)
+            if isinstance(target.slice, ast.expr):
+                self.expr(target.slice, guards)
+
+
+def lint_kernel(spec: ProblemSpec, validity: ValiditySet) -> List[Diagnostic]:
+    """Kernel-fragment diagnostics; empty when there is no fragment."""
+    code = spec.center_code_py
+    if not code.strip():
+        return []
+    diags: List[Diagnostic] = []
+
+    defined: Set[str] = set()
+    for source, text in (
+        ("global_code_py", spec.global_code_py),
+        ("init_code_py", spec.init_code_py),
+    ):
+        if not text.strip():
+            continue
+        try:
+            defined |= _assigned_names(ast.parse(text))
+        except SyntaxError as exc:
+            diags.append(
+                make_diagnostic(
+                    "RPR020",
+                    f"{source} does not parse: {exc.msg}",
+                    problem=spec.name,
+                    source=source,
+                    line=exc.lineno,
+                    col=exc.offset,
+                )
+            )
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as exc:
+        diags.append(
+            make_diagnostic(
+                "RPR020",
+                f"center_code_py does not parse: {exc.msg}",
+                problem=spec.name,
+                source="center_code_py",
+                line=exc.lineno,
+                col=exc.offset,
+            )
+        )
+        return diags
+
+    linter = _FragmentLinter(spec, validity, "center_code_py")
+    linter.allowed |= defined
+    linter.allowed |= _assigned_names(tree)
+    linter.stmts(tree.body, (set(), []))
+    diags.extend(linter.diags)
+
+    if not linter.wrote_current:
+        diags.append(
+            make_diagnostic(
+                "RPR027",
+                f"center_code_py never assigns {spec.state_name}[loc]; every "
+                "cell must produce its value",
+                problem=spec.name,
+                source="center_code_py",
+            )
+        )
+    for template in spec.templates.names():
+        if template not in linter.read_templates:
+            diags.append(
+                make_diagnostic(
+                    "RPR023",
+                    f"template {template!r} is declared but "
+                    f"{spec.state_name}[loc_{template}] is never read",
+                    problem=spec.name,
+                    source="center_code_py",
+                )
+            )
+    return diags

@@ -1,0 +1,44 @@
+"""Probe instantiation: concrete parameter values for graph-level passes.
+
+The dependence and schedule passes need one *concrete* tile graph to
+audit — the CSR arrays only exist for fixed parameter values.  The probe
+uses the same defaults the CLI runs with: every parameter starts at 12,
+and a parameter that is the sole upper bound of one loop variable
+(``x <= P``) takes that variable's objective coordinate (the embedded
+string lengths of the alignment problems).  Values are capped so a
+gigantic objective point cannot turn a lint into a full-size run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..spec import ProblemSpec
+
+#: Probe cap per parameter: large enough for several tiles per
+#: dimension, small enough that graph construction stays trivial.
+PROBE_CAP = 64
+
+
+def default_params(spec: ProblemSpec) -> Dict[str, int]:
+    """Demo-sized defaults (the CLI's convention, uncapped).
+
+    Bandit-style parameters get 12; a parameter appearing as the sole
+    upper bound of one loop variable defaults to that variable's
+    objective coordinate.
+    """
+    out = {p: 12 for p in spec.params}
+    if spec.objective_point:
+        for c in spec.constraints:
+            for p in spec.params:
+                if c.coeff(p) != 1 or c.expr.constant != 0:
+                    continue
+                loop_terms = [v for v in spec.loop_vars if c.coeff(v) != 0]
+                if len(loop_terms) == 1 and c.coeff(loop_terms[0]) == -1:
+                    out[p] = spec.objective_point[loop_terms[0]]
+    return out
+
+
+def probe_params(spec: ProblemSpec, cap: int = PROBE_CAP) -> Dict[str, int]:
+    """Capped defaults for the analyzer's probe instantiation."""
+    return {p: min(v, cap) for p, v in default_params(spec).items()}

@@ -1,0 +1,133 @@
+"""Orchestration: run every analysis pass over a spec or program.
+
+The entry points mirror how callers hold the problem:
+
+* :func:`analyze_spec_text` / :func:`analyze_spec_file` — the full
+  pipeline for textual specs: parse (``RPR001``), dependence legality on
+  the raw fields (``RPR002/010/011/012`` — *before* construction, which
+  would raise), then everything below;
+* :func:`analyze_spec` — passes over a constructed
+  :class:`~repro.spec.ProblemSpec`: kernel lint, program generation,
+  schedule audit on a probe instantiation, emitted-C audit;
+* :func:`analyze_program` — the program-level passes only, for callers
+  that already generated (or mutated) a
+  :class:`~repro.generator.pipeline.GeneratedProgram`.
+
+Every pass appends :class:`Diagnostic` values; nothing raises for
+findings.  :class:`~repro.errors.ReproError` surfaced by the generator
+itself becomes an ``RPR002`` diagnostic so one bad spec cannot abort a
+multi-spec lint run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ..errors import ParseError, ReproError
+from ..generator.pipeline import GeneratedProgram
+from ..generator.validity import build_validity
+from ..spec import ProblemSpec, build_spec, parse_spec_fields
+from .c_audit import audit_emitted_c
+from .dependence import check_dependence
+from .diagnostics import Diagnostic, has_errors, make_diagnostic
+from .kernel_lint import lint_kernel
+from .probe import probe_params
+from .schedule_audit import audit_schedule
+
+
+def analyze_spec_text(text: str, source_name: str = "") -> List[Diagnostic]:
+    """Full pipeline over a spec document."""
+    try:
+        fields = parse_spec_fields(text)
+    except ParseError as exc:
+        return [
+            make_diagnostic(
+                "RPR001", str(exc), problem=source_name, source="spec"
+            )
+        ]
+    diags = check_dependence(fields)
+    if has_errors(diags):
+        return diags
+    try:
+        spec = build_spec(fields)
+    except ReproError as exc:
+        diags.append(
+            make_diagnostic(
+                "RPR002", str(exc), problem=fields.name, source="spec"
+            )
+        )
+        return diags
+    diags.extend(analyze_spec(spec))
+    return diags
+
+
+def analyze_spec_file(path) -> List[Diagnostic]:
+    """Full pipeline over a spec file on disk."""
+    import os
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return [
+            make_diagnostic(
+                "RPR001",
+                f"cannot read spec file: {exc}",
+                problem=os.path.basename(str(path)),
+                source="spec",
+            )
+        ]
+    return analyze_spec_text(text, source_name=os.path.basename(str(path)))
+
+
+def analyze_spec(
+    spec: ProblemSpec, params: Optional[Mapping[str, int]] = None
+) -> List[Diagnostic]:
+    """Kernel lint plus program-level passes for a constructed spec."""
+    validity = build_validity(spec)
+    diags = lint_kernel(spec, validity)
+    try:
+        from ..generator import generate
+
+        program = generate(spec)
+    except ReproError as exc:
+        diags.append(
+            make_diagnostic(
+                "RPR002",
+                f"code generation failed: {exc}",
+                problem=spec.name,
+                source="spec",
+            )
+        )
+        return diags
+    diags.extend(analyze_program(program, params=params, _validity=validity))
+    return diags
+
+
+def analyze_program(
+    program: GeneratedProgram,
+    params: Optional[Mapping[str, int]] = None,
+    _validity=None,
+) -> List[Diagnostic]:
+    """Schedule audit + emitted-C audit for a generated program."""
+    spec = program.spec
+    validity = _validity if _validity is not None else build_validity(spec)
+    if params is None:
+        params = probe_params(spec)
+    diags = audit_schedule(program, params)
+    try:
+        from ..generator.cgen import emit_c_program
+
+        source = emit_c_program(program)
+    except ReproError as exc:
+        diags.append(
+            make_diagnostic(
+                "RPR002",
+                f"C emission failed: {exc}",
+                problem=spec.name,
+                source="emitted-c",
+            )
+        )
+        return diags
+    diags.extend(audit_emitted_c(spec, validity, source))
+    return diags

@@ -1,0 +1,168 @@
+"""Pass 3 — schedule race/coverage audit on a probe instantiation.
+
+An uncovered cross-tile edge is a data race in the generated MPI
+program: the consumer tile would read ghost cells no pack/unpack pair
+ever ships.  This pass recomputes the ground truth *independently* of
+the generator's own bookkeeping — the tile-dependency deltas come from
+:func:`repro.generator.tile_deps.tile_dependency_map` applied afresh to
+the spec, and the expected edges from shifting every probe tile by every
+delta — and compares:
+
+* ``RPR030`` — a recomputed delta has no pack region in
+  ``program.pack_plans`` (nothing would ever be packed across it);
+* ``RPR031`` — an expected concrete edge is absent from the CSR tile
+  graph (the runtime would never exchange, nor even order, the pair);
+* ``RPR013`` — the probe tile graph is cyclic (no topological order);
+* ``RPR032`` — executing the graph through a priority ready-queue (the
+  runtime's actual mechanism, :func:`make_priority_array` keys in a
+  heap) pops some consumer before one of its *true* producers finished.
+
+``RPR032`` deliberately validates the simulated pop order against the
+independently recomputed producers, not against the graph's own edges:
+a consumer can only overtake a producer the graph does not know about,
+which is exactly the race being hunted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import RuntimeExecutionError
+from ..generator.pipeline import GeneratedProgram
+from ..generator.priority import SCHEMES, make_priority_array
+from ..generator.tile_deps import tile_dependency_map
+from ..runtime.graph import TileGraph
+from .diagnostics import Diagnostic, make_diagnostic
+
+#: Cap on repeated findings of the same code so a single systematic
+#: defect doesn't bury the report in thousands of concrete edges.
+_MAX_PER_CODE = 5
+
+
+def audit_schedule(
+    program: GeneratedProgram,
+    params: Mapping[str, int],
+    schemes=("lb-first",),
+) -> List[Diagnostic]:
+    """Coverage/race diagnostics for *program* on the probe *params*."""
+    spec = program.spec
+    diags: List[Diagnostic] = []
+
+    def diag(code: str, message: str) -> None:
+        diags.append(
+            make_diagnostic(code, message, problem=spec.name, source="schedule")
+        )
+
+    # -- delta coverage (RPR030) --------------------------------------------
+    dep_map = tile_dependency_map(spec)
+    for delta, templates in dep_map.items():
+        if delta not in program.pack_plans:
+            diag(
+                "RPR030",
+                f"tile dependency delta {delta} (templates "
+                f"{', '.join(templates)}) has no pack region; the "
+                "generated MPI program would never ship these ghost cells",
+            )
+
+    # -- concrete graph (RPR031 / RPR013) -----------------------------------
+    graph = _try_build(program, params)
+    if graph is None:
+        # Without a graph the edge/priority audits cannot run; RPR030
+        # above already explains a missing-plan build failure.
+        if not diags:
+            diag(
+                "RPR013",
+                f"could not build the probe tile graph for params "
+                f"{dict(params)}",
+            )
+        return diags
+
+    tiles = graph.tiles
+    row_of = {t: r for r, t in enumerate(graph.tile_tuples)}
+    producers = graph.producers
+    expected: Dict[tuple, List[tuple]] = {}
+    missing_edges = 0
+    for tile in graph.tile_tuples:
+        expect = []
+        for delta in dep_map:
+            producer = tuple(t + d for t, d in zip(tile, delta))
+            if producer in tiles:
+                expect.append(producer)
+                if producer not in producers[tile] and missing_edges < _MAX_PER_CODE:
+                    missing_edges += 1
+                    diag(
+                        "RPR031",
+                        f"edge {producer} -> {tile} (delta {delta}) is "
+                        "missing from the tile graph; the consumer would "
+                        "run without waiting for the producer",
+                    )
+        expected[tile] = expect
+
+    try:
+        graph.validate_acyclic()
+    except RuntimeExecutionError as exc:
+        diag("RPR013", f"probe tile graph is cyclic: {exc}")
+        return diags
+
+    # -- priority order (RPR032) --------------------------------------------
+    for scheme in schemes:
+        violation = _priority_violation(graph, row_of, expected, scheme)
+        if violation is not None:
+            diag("RPR032", violation)
+    return diags
+
+
+def _try_build(
+    program: GeneratedProgram, params: Mapping[str, int]
+) -> Optional[TileGraph]:
+    try:
+        return TileGraph.build(program, dict(params))
+    except (RuntimeExecutionError, KeyError):
+        return None
+
+
+def _priority_violation(
+    graph: TileGraph,
+    row_of: Dict[tuple, int],
+    expected: Dict[tuple, List[tuple]],
+    scheme: str,
+) -> Optional[str]:
+    """First consumer-before-producer pop of the ready-queue, or None.
+
+    Replays the runtime's scheduling loop: a tile enters the heap when
+    the *graph* says its producers finished, and pops by its
+    :func:`make_priority_array` key.  The resulting pop order is then
+    checked against the independently recomputed producers.
+    """
+    keys = [
+        tuple(k)
+        for k in make_priority_array(
+            graph.program.spec, scheme, graph.tile_array
+        ).tolist()
+    ]
+    indeg = graph.dependency_count_array()
+    ptr = graph.cons_ptr
+    rows = graph.cons_rows
+    heap = [(keys[int(r)], int(r)) for r in range(len(indeg)) if indeg[r] == 0]
+    heapq.heapify(heap)
+    position: Dict[int, int] = {}
+    while heap:
+        _, r = heapq.heappop(heap)
+        position[r] = len(position)
+        for e in range(int(ptr[r]), int(ptr[r + 1])):
+            c = int(rows[e])
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                heapq.heappush(heap, (keys[c], c))
+    if len(position) != len(graph.tile_array):
+        return None  # cyclic; RPR013 reports the cause
+    for tile, producers in expected.items():
+        cpos = position[row_of[tile]]
+        for producer in producers:
+            if position[row_of[producer]] >= cpos:
+                return (
+                    f"scheme {scheme!r} executes consumer tile {tile} "
+                    f"before its producer {producer}"
+                )
+    return None

@@ -1,13 +1,19 @@
 """Command-line interface.
 
-Three entry points (also installed as console scripts):
+Four entry points (also installed as console scripts):
 
 * ``repro-generate spec.txt -o prog.c``      — spec file to C (or Python)
   program, the paper's main workflow;
 * ``repro-run --problem bandit2 N=12``       — solve a built-in problem
   with the in-process tiled runtime and check it against the oracle;
 * ``repro-simulate --problem bandit2 N=60 --nodes 4 --cores 24`` —
-  scaling study on the simulated cluster.
+  scaling study on the simulated cluster;
+* ``repro-lint --all``                        — static analysis of specs,
+  kernels, schedules and emitted C (see :mod:`repro.analysis`).
+
+All entry points share one exit-code convention: 0 on success (for the
+linter: no error-severity diagnostics), 1 on any :class:`ReproError`
+or error-severity finding, 2 on usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -77,23 +83,12 @@ def _default_params(spec) -> Dict[str, int]:
     """Demo defaults: bandits get N=12; alignment problems take the
     lengths of their embedded strings.
 
-    The lengths are recovered from the objective point through the
-    ``x <= P`` constraints: a parameter appearing as the sole upper
-    bound of one loop variable defaults to that variable's objective
-    coordinate.
+    The logic lives in :func:`repro.analysis.probe.default_params` so
+    the linter's probe instantiation and the CLI stay in agreement.
     """
-    out = {p: 12 for p in spec.params}
-    if spec.objective_point:
-        for c in spec.constraints:
-            for p in spec.params:
-                if c.coeff(p) != 1 or c.expr.constant != 0:
-                    continue
-                loop_terms = [
-                    v for v in spec.loop_vars if c.coeff(v) != 0
-                ]
-                if len(loop_terms) == 1 and c.coeff(loop_terms[0]) == -1:
-                    out[p] = spec.objective_point[loop_terms[0]]
-    return out
+    from .analysis.probe import default_params
+
+    return default_params(spec)
 
 
 def main_generate(argv=None) -> int:
@@ -222,14 +217,14 @@ def main_simulate(argv=None) -> int:
     )
     ap.add_argument("params", nargs="*", help="NAME=VALUE parameters")
     args = ap.parse_args(argv)
-    spec = _builtin_spec(args.problem, args.tile_width)
-    params = _default_params(spec)
-    if set(spec.params) == {"N"}:
-        params = {"N": 40}
-    params.update(_parse_params(args.params))
-    program = generate(spec)
     machine = MachineModel(nodes=args.nodes, cores_per_node=args.cores)
     try:
+        spec = _builtin_spec(args.problem, args.tile_width)
+        params = _default_params(spec)
+        if set(spec.params) == {"N"}:
+            params = {"N": 40}
+        params.update(_parse_params(args.params))
+        program = generate(spec)
         if args.sweep_cores:
             pts = shared_memory_scaling(
                 program, params, [1, 2, 4, 8, 12, 16, 20, 24]
@@ -273,6 +268,57 @@ def main_simulate(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def main_lint(argv=None) -> int:
+    """Static analysis over built-in problems and/or spec files."""
+    ap = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Statically analyze problem specs, kernel fragments, tile "
+            "schedules and emitted C; report RPR0xx diagnostics."
+        ),
+    )
+    ap.add_argument(
+        "--problem",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=f"built-in problem to lint (repeatable); one of {sorted(REGISTRY)}",
+    )
+    ap.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="problem-description file to lint (repeatable)",
+    )
+    ap.add_argument(
+        "--all", action="store_true", help="lint every built-in problem"
+    )
+    ap.add_argument("--tile-width", type=int, default=4)
+    ap.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = ap.parse_args(argv)
+    if not (args.all or args.problem or args.spec):
+        ap.error("nothing to lint: pass --all, --problem or --spec")
+
+    from .analysis import analyze_spec, analyze_spec_file, has_errors, render
+
+    problems = sorted(REGISTRY) if args.all else list(args.problem)
+    diags = []
+    try:
+        for name in problems:
+            spec = _builtin_spec(name, args.tile_width)
+            diags.extend(analyze_spec(spec))
+        for path in args.spec:
+            diags.extend(analyze_spec_file(path))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render(diags, args.fmt))
+    return 1 if has_errors(diags) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,3 +38,12 @@ class RuntimeExecutionError(ReproError):
 
 class SimulationError(ReproError):
     """The cluster simulator was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer was invoked inconsistently.
+
+    Raised for analyzer-internal misuse (unknown diagnostic code,
+    unknown render format) — *findings* about the analyzed program are
+    reported as :class:`repro.analysis.Diagnostic` values, never raised.
+    """

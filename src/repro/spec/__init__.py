@@ -2,7 +2,14 @@
 
 from .templates import ASCENDING, DESCENDING, TemplateSet
 from .problem import Kernel, ProblemSpec, RESERVED_NAMES, VectorKernel
-from .parser import format_spec, parse_spec_file, parse_spec_text
+from .parser import (
+    SpecFields,
+    build_spec,
+    format_spec,
+    parse_spec_fields,
+    parse_spec_file,
+    parse_spec_text,
+)
 from .kernel_adapter import ensure_kernel, kernel_from_center_code
 
 __all__ = [
@@ -13,6 +20,9 @@ __all__ = [
     "Kernel",
     "VectorKernel",
     "RESERVED_NAMES",
+    "SpecFields",
+    "parse_spec_fields",
+    "build_spec",
     "parse_spec_text",
     "parse_spec_file",
     "format_spec",

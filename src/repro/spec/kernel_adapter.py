@@ -23,6 +23,15 @@ from ..errors import SpecError
 _CURRENT = ("__current__",)
 
 
+def _token(key) -> str:
+    """The fragment-level spelling of a V-index key, for messages."""
+    if key is _CURRENT:
+        return "loc"
+    if isinstance(key, str):
+        return f"loc_{key}"
+    return repr(key)
+
+
 class _StateProxy:
     """Stands in for the flat state array inside one cell's execution."""
 
@@ -39,7 +48,13 @@ class _StateProxy:
                 "center_code_py read V[loc] before writing it; the center "
                 "loop must only compute the current location"
             )
-        value = self.deps[key]
+        try:
+            value = self.deps[key]
+        except (KeyError, TypeError):
+            raise SpecError(
+                f"center_code_py read V[{_token(key)}], which is not a "
+                "declared template location"
+            ) from None
         if value is None:
             raise SpecError(
                 f"center_code_py read V[loc_{key}] while is_valid_{key} "
@@ -50,8 +65,9 @@ class _StateProxy:
     def __setitem__(self, key, value):
         if key is not _CURRENT:
             raise SpecError(
-                "center_code_py may only assign V[loc]; writing other "
-                "locations would race with their owners"
+                f"center_code_py assigned V[{_token(key)}]; the center "
+                "loop may only assign V[loc] — writing a dependency "
+                "location would race with its owner"
             )
         self.result = float(value)
         self.wrote = True
@@ -91,7 +107,24 @@ def kernel_from_center_code(spec) -> "callable":
         for name in template_names:
             local[f"loc_{name}"] = name
             local[f"is_valid_{name}"] = deps[name] is not None
-        exec(code, local)  # noqa: S102 - user-supplied center loop
+        try:
+            exec(code, local)  # noqa: S102 - user-supplied center loop
+        except NameError as exc:
+            # loc_<r> / is_valid_<r> are only bound for declared
+            # templates, so a typo'd template name surfaces here as an
+            # unbound name — report it in interface terms.
+            missing = getattr(exc, "name", "") or ""
+            if missing.startswith("loc_"):
+                raise SpecError(
+                    f"center_code_py read V[{missing}], but "
+                    f"{missing[4:]!r} is not a declared template location"
+                ) from None
+            if missing.startswith("is_valid_"):
+                raise SpecError(
+                    f"center_code_py tested {missing}, but "
+                    f"{missing[9:]!r} is not a declared template"
+                ) from None
+            raise
         if not proxy.wrote:
             raise SpecError(
                 f"center_code_py of {spec.name!r} never assigned V[loc]"

@@ -39,7 +39,8 @@ code blocks.  Comments and blank lines are ignored.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ParseError
 from ..polyhedra import ConstraintSystem
@@ -71,8 +72,33 @@ def _strip_comment(line: str) -> str:
     return line
 
 
-def parse_spec_text(text: str) -> ProblemSpec:
-    """Parse a problem-description document into a :class:`ProblemSpec`."""
+@dataclass
+class SpecFields:
+    """The raw fields of a parsed spec document, before validation.
+
+    :func:`parse_spec_fields` fills one of these from text without
+    constructing a :class:`ProblemSpec` — construction runs the spec's
+    consistency validation, which *raises* on an illegal loop ordering
+    or an undersized tile, so the static analyzer works on the fields
+    directly in order to report those defects as diagnostics instead.
+    :func:`build_spec` turns the fields into a validated spec.
+    """
+
+    name: str
+    loop_vars: List[str]
+    params: List[str]
+    constraint_lines: List[str]
+    templates: Dict[str, Tuple[int, ...]]
+    tile_widths: Dict[str, int]
+    lb_dims: Optional[List[str]] = None
+    state_name: str = "V"
+    objective: Optional[Dict[str, int]] = None
+    codes: Dict[str, str] = field(default_factory=dict)
+
+
+def parse_spec_fields(text: str) -> SpecFields:
+    """Parse a spec document into raw :class:`SpecFields` (no validation
+    beyond the concrete syntax)."""
     scalars: Dict[str, str] = {}
     blocks: Dict[str, List[str]] = {}
     codes: Dict[str, str] = {}
@@ -158,23 +184,44 @@ def parse_spec_text(text: str) -> ProblemSpec:
             except ValueError as exc:
                 raise ParseError(f"bad objective value in {tok!r}") from exc
 
-    return ProblemSpec.create(
+    return SpecFields(
         name=scalars["problem"],
         loop_vars=loop_vars,
         params=params,
-        constraints=ConstraintSystem.parse(blocks["constraints"]),
+        constraint_lines=blocks["constraints"],
         templates=templates,
         tile_widths=tile_widths,
         lb_dims=lb_dims,
         state_name=scalars.get("state", "V"),
-        objective_point=objective,
-        center_code_c=codes.get("center_code_c", ""),
-        init_code_c=codes.get("init_code_c", ""),
-        global_code_c=codes.get("global_code_c", ""),
-        center_code_py=codes.get("center_code_py", ""),
-        init_code_py=codes.get("init_code_py", ""),
-        global_code_py=codes.get("global_code_py", ""),
+        objective=objective,
+        codes=codes,
     )
+
+
+def build_spec(fields: SpecFields) -> ProblemSpec:
+    """Build (and validate) a :class:`ProblemSpec` from parsed fields."""
+    return ProblemSpec.create(
+        name=fields.name,
+        loop_vars=fields.loop_vars,
+        params=fields.params,
+        constraints=ConstraintSystem.parse(fields.constraint_lines),
+        templates=fields.templates,
+        tile_widths=fields.tile_widths,
+        lb_dims=fields.lb_dims,
+        state_name=fields.state_name,
+        objective_point=fields.objective,
+        center_code_c=fields.codes.get("center_code_c", ""),
+        init_code_c=fields.codes.get("init_code_c", ""),
+        global_code_c=fields.codes.get("global_code_c", ""),
+        center_code_py=fields.codes.get("center_code_py", ""),
+        init_code_py=fields.codes.get("init_code_py", ""),
+        global_code_py=fields.codes.get("global_code_py", ""),
+    )
+
+
+def parse_spec_text(text: str) -> ProblemSpec:
+    """Parse a problem-description document into a :class:`ProblemSpec`."""
+    return build_spec(parse_spec_fields(text))
 
 
 def parse_spec_file(path) -> ProblemSpec:

@@ -1,0 +1,412 @@
+"""Static analyzer: diagnostics framework, four passes, seeded defects.
+
+The seeded-defect corpus takes one known-good spec and plants exactly
+one bug per case; each case asserts the *stable* diagnostic code in both
+the text and JSON renderings, so the codes are part of the public
+contract (docs/spec_format.md lists them all).
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Diagnostic,
+    RULES,
+    analyze_program,
+    analyze_spec,
+    analyze_spec_text,
+    audit_emitted_c,
+    check_dependence,
+    count_by_severity,
+    default_params,
+    has_errors,
+    make_diagnostic,
+    probe_params,
+    render,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.errors import AnalysisError
+from repro.generator import build_validity, generate
+from repro.problems import REGISTRY
+from repro.spec import SpecFields, parse_spec_text
+
+#: A known-good spec: every dependency read is guarded, both templates
+#: are used, the scan order is legal.  Each defect below perturbs it.
+BASE = """\
+problem: staircase
+loop_vars: x y
+params: M
+tile_widths: 3
+
+constraints:
+    x >= 0
+    y >= 0
+    x + y <= M
+
+templates:
+    right = 1 0
+    up = 0 1
+
+center_code_py: |
+    _c = float((3 * x + 5 * y) % 7)
+    _best = None
+    if is_valid_right:
+        _best = V[loc_right]
+    if is_valid_up and (_best is None or V[loc_up] < _best):
+        _best = V[loc_up]
+    V[loc] = _c + (0.0 if _best is None else _best)
+"""
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestSeededDefects:
+    """Each seeded defect is caught with its stable code, in both
+    renderers."""
+
+    def assert_code_in_renderings(self, diags, code):
+        assert code in codes(diags)
+        text = render_text(diags)
+        assert code in text
+        doc = json.loads(render_json(diags))
+        assert any(d["code"] == code for d in doc["diagnostics"])
+        assert doc["clean"] is False
+
+    def test_base_spec_is_clean(self):
+        diags = analyze_spec_text(BASE)
+        assert not has_errors(diags), render_text(diags)
+
+    def test_illegal_ordering_is_rpr010(self):
+        # up = -1 1 forces x to scan downward while right forces upward:
+        # no lexicographic order over (x, y) respects both.
+        bad = BASE.replace("up = 0 1", "up = -1 1")
+        diags = analyze_spec_text(bad)
+        self.assert_code_in_renderings(diags, "RPR010")
+
+    def test_undeclared_template_read_is_rpr022(self):
+        bad = BASE.replace("V[loc_up]", "V[loc_ghost]")
+        diags = analyze_spec_text(bad)
+        self.assert_code_in_renderings(diags, "RPR022")
+
+    def test_unguarded_dependency_read_is_rpr025(self):
+        # Strip the is_valid_right guard: the read may now touch a
+        # point outside the iteration space.
+        bad = BASE.replace(
+            "    if is_valid_right:\n        _best = V[loc_right]\n",
+            "    _best = V[loc_right]\n",
+        )
+        diags = analyze_spec_text(bad)
+        self.assert_code_in_renderings(diags, "RPR025")
+
+    def test_deleted_pack_region_is_rpr030_rpr031(self):
+        # Drop one delta from the generated program (both its pack plan
+        # and its edge class): the audit recomputes ground truth from
+        # the spec and reports the missing region and missing edges.
+        spec = parse_spec_text(BASE)
+        prog = generate(spec)
+        victim = prog.deltas[0]
+        broken = dataclasses.replace(
+            prog,
+            deltas=[d for d in prog.deltas if d != victim],
+            delta_templates={
+                k: v for k, v in prog.delta_templates.items() if k != victim
+            },
+            pack_plans={
+                k: v for k, v in prog.pack_plans.items() if k != victim
+            },
+        )
+        diags = analyze_program(broken)
+        self.assert_code_in_renderings(diags, "RPR030")
+        self.assert_code_in_renderings(diags, "RPR031")
+
+
+class TestBundledProblemsClean:
+    @settings(max_examples=18, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(REGISTRY)),
+        width=st.integers(min_value=3, max_value=6),
+    )
+    def test_bundled_problems_lint_clean(self, name, width):
+        from repro.cli import _builtin_spec
+
+        spec = _builtin_spec(name, width)
+        diags = analyze_spec(spec)
+        assert not has_errors(diags), f"{name}: {render_text(diags)}"
+
+
+class TestDependencePass:
+    def fields(self, **kw):
+        base = dict(
+            name="t",
+            loop_vars=("x", "y"),
+            params=("M",),
+            constraint_lines=("x >= 0", "y >= 0", "x + y <= M"),
+            templates={"right": (1, 0), "up": (0, 1)},
+            tile_widths={"x": 3, "y": 3},
+        )
+        base.update(kw)
+        return SpecFields(**base)
+
+    def test_clean_fields(self):
+        assert check_dependence(self.fields()) == []
+
+    def test_wrong_arity_is_rpr002(self):
+        diags = check_dependence(self.fields(templates={"r": (1, 0, 0)}))
+        assert codes(diags) == {"RPR002"}
+
+    def test_zero_vector_is_rpr002(self):
+        diags = check_dependence(self.fields(templates={"r": (0, 0)}))
+        assert codes(diags) == {"RPR002"}
+
+    def test_opposite_scan_directions_is_rpr010(self):
+        diags = check_dependence(
+            self.fields(templates={"fwd": (1, 0), "bwd": (-1, 0)})
+        )
+        assert "RPR010" in codes(diags)
+
+    def test_cyclic_recurrence_is_rpr011(self):
+        pytest.importorskip("scipy")
+        diags = check_dependence(
+            self.fields(
+                loop_vars=("x",),
+                templates={"fwd": (1,), "bwd": (-1,)},
+                tile_widths={"x": 3},
+            )
+        )
+        assert "RPR011" in codes(diags)
+
+    def test_narrow_tile_is_rpr012(self):
+        diags = check_dependence(
+            self.fields(templates={"far": (4, 0), "up": (0, 1)})
+        )
+        assert "RPR012" in codes(diags)
+
+    def test_missing_width_is_rpr002(self):
+        diags = check_dependence(self.fields(tile_widths={"x": 3}))
+        assert "RPR002" in codes(diags)
+
+
+class TestKernelLintDetails:
+    def test_undefined_name_is_rpr021(self):
+        bad = BASE.replace("_c = float(", "_c = float(typo_var + ")
+        diags = analyze_spec_text(bad)
+        assert "RPR021" in codes(diags)
+
+    def test_unused_template_is_warning_rpr023(self):
+        bad = BASE.replace(
+            "    if is_valid_up and (_best is None or V[loc_up] < _best):\n"
+            "        _best = V[loc_up]\n",
+            "",
+        )
+        diags = analyze_spec_text(bad)
+        rpr023 = [d for d in diags if d.code == "RPR023"]
+        assert rpr023 and all(d.severity == "warning" for d in rpr023)
+        assert not has_errors(diags)
+
+    def test_read_before_write_is_rpr024(self):
+        bad = BASE.replace(
+            "_c = float((3 * x + 5 * y) % 7)", "_c = V[loc] + 1.0"
+        )
+        diags = analyze_spec_text(bad)
+        assert "RPR024" in codes(diags)
+
+    def test_never_writes_is_rpr027(self):
+        bad = BASE.replace(
+            "    V[loc] = _c + (0.0 if _best is None else _best)\n",
+            "    _ignored = _c\n",
+        )
+        diags = analyze_spec_text(bad)
+        assert "RPR027" in codes(diags)
+
+    def test_syntax_error_is_rpr020(self):
+        bad = BASE.replace("_best = None", "_best = = None")
+        diags = analyze_spec_text(bad)
+        assert "RPR020" in codes(diags)
+
+    def test_comparison_guard_accepted(self):
+        # An arithmetic guard equivalent to the validity check counts —
+        # the LCS specs guard with `x1 >= 1 and x2 >= 1`.
+        text = BASE.replace(
+            "    if is_valid_right:\n        _best = V[loc_right]\n",
+            "    if x + 1 + y <= M:\n        _best = V[loc_right]\n",
+        )
+        diags = analyze_spec_text(text)
+        assert "RPR025" not in codes(diags)
+
+
+class TestEmittedCAudit:
+    @pytest.fixture()
+    def spec_and_validity(self):
+        spec = parse_spec_text(BASE)
+        return spec, build_validity(spec)
+
+    def test_unguarded_read_is_rpr041(self, spec_and_validity):
+        spec, validity = spec_and_validity
+        src = (
+            "void repro_execute_tile(const long *t, double *V) {\n"
+            "    long loc = 0, loc_right = 1, loc_up = 2;\n"
+            "    double a = V[loc_right];\n"
+            "    if (is_valid_up) a += V[loc_up];\n"
+            "    V[loc] = a;\n"
+            "}\n"
+        )
+        diags = audit_emitted_c(spec, validity, src)
+        assert codes(diags) == {"RPR041"}
+        assert "loc_right" in diags[0].message
+        assert diags[0].line == 3
+
+    def test_guarded_read_is_clean(self, spec_and_validity):
+        spec, validity = spec_and_validity
+        src = (
+            "void repro_execute_tile(const long *t, double *V) {\n"
+            "    if (is_valid_right && is_valid_up) {\n"
+            "        V[loc] = V[loc_right] + V[loc_up];\n"
+            "    }\n"
+            "}\n"
+        )
+        assert audit_emitted_c(spec, validity, src) == []
+
+    def test_ternary_guard_covers_true_arm_only(self, spec_and_validity):
+        spec, validity = spec_and_validity
+        ok = "double a = is_valid_right ? V[loc_right] : 0.0;"
+        bad = "double a = is_valid_right ? 0.0 : V[loc_right];"
+        tmpl = "void repro_execute_tile(void) {\n    %s\n}\n"
+        assert audit_emitted_c(spec, validity, tmpl % ok) == []
+        diags = audit_emitted_c(spec, validity, tmpl % bad)
+        assert codes(diags) == {"RPR041"}
+
+    def test_unclassified_parallel_variable_is_rpr040(
+        self, spec_and_validity
+    ):
+        spec, validity = spec_and_validity
+        src = (
+            "static void worker(void) {\n"
+            "    long n = 0;\n"
+            "#pragma omp parallel\n"
+            "    {\n"
+            "        long local = n + 1;\n"
+            "        (void)local;\n"
+            "    }\n"
+            "}\n"
+        )
+        diags = audit_emitted_c(spec, validity, src)
+        assert codes(diags) == {"RPR040"}
+        assert "'n'" in diags[0].message
+
+    def test_classified_or_inner_variables_are_clean(
+        self, spec_and_validity
+    ):
+        spec, validity = spec_and_validity
+        src = (
+            "static void worker(void) {\n"
+            "    long n = 0;\n"
+            "#pragma omp parallel shared(n)\n"
+            "    {\n"
+            "        long local = n + 1;\n"
+            "        (void)local;\n"
+            "    }\n"
+            "}\n"
+        )
+        assert audit_emitted_c(spec, validity, src) == []
+
+    def test_real_emitted_program_is_clean(self):
+        from repro.cli import _builtin_spec
+        from repro.generator.cgen import emit_c_program
+
+        spec = _builtin_spec("bandit2", 4)
+        validity = build_validity(spec)
+        source = emit_c_program(generate(spec))
+        assert audit_emitted_c(spec, validity, source) == []
+
+
+class TestGuardAnalyzer:
+    def test_lp_implication(self):
+        pytest.importorskip("scipy")
+        from repro.analysis.guards import implies
+        from repro.polyhedra import parse_constraint
+
+        known = parse_constraint("x1 >= 2")
+        (weaker,) = parse_constraint("x1 >= 1")
+        (unrelated,) = parse_constraint("x2 >= 1")
+        assert implies(known, weaker)
+        assert not implies(known, unrelated)
+
+    def test_parse_comparison_rejects_noise(self):
+        from repro.analysis.guards import parse_comparison
+
+        assert parse_comparison("f(x) > 0", {"x"}) == []
+        assert parse_comparison("a[i] >= 1", {"a", "i"}) == []
+        assert parse_comparison("x >= 1", {"x"}) != []
+
+
+class TestDiagnosticsFramework:
+    def test_every_rule_has_code_severity_title(self):
+        for code, rule in RULES.items():
+            assert code == rule.code
+            assert rule.severity in ("error", "warning", "info")
+            assert rule.title
+
+    def test_unknown_code_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            make_diagnostic("RPR999", "nope")
+
+    def test_severity_comes_from_registry(self):
+        d = make_diagnostic("RPR023", "m")
+        assert d.severity == "warning"
+        assert not d.is_error()
+
+    def test_sort_is_by_location_then_code(self):
+        late = make_diagnostic("RPR025", "e", problem="p", source="k", line=9)
+        early = make_diagnostic("RPR023", "w", problem="p", source="k", line=2)
+        assert sort_diagnostics([late, early]) == [early, late]
+
+    def test_count_by_severity(self):
+        diags = [make_diagnostic("RPR023", "w"), make_diagnostic("RPR025", "e")]
+        counts = count_by_severity(diags)
+        assert counts["warning"] == 1 and counts["error"] == 1
+
+    def test_render_text_clean(self):
+        assert "all checks passed" in render_text([])
+
+    def test_render_text_summary_counts(self):
+        diags = [make_diagnostic("RPR025", "e", problem="p", source="k")]
+        text = render_text(diags)
+        assert "RPR025" in text and "found 1 error" in text
+
+    def test_render_json_shape(self):
+        doc = json.loads(render_json([make_diagnostic("RPR023", "w")]))
+        assert set(doc) == {"diagnostics", "counts", "clean"}
+        assert doc["clean"] is True  # warnings alone stay clean
+
+    def test_render_unknown_format_raises(self):
+        with pytest.raises(AnalysisError):
+            render([], "yaml")
+
+    def test_diagnostic_location(self):
+        d = Diagnostic(
+            code="RPR041", severity="error", message="m",
+            problem="p", source="emitted-c", line=7,
+        )
+        assert d.location() == "p:emitted-c:7"
+
+
+class TestProbeParams:
+    def test_default_params_match_cli(self):
+        from repro.cli import _builtin_spec, _default_params
+
+        for name in sorted(REGISTRY):
+            spec = _builtin_spec(name, 4)
+            assert default_params(spec) == _default_params(spec)
+
+    def test_probe_params_capped(self):
+        spec = parse_spec_text(BASE)
+        params = probe_params(spec)
+        assert all(v <= 64 for v in params.values())

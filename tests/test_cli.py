@@ -1,8 +1,10 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
-from repro.cli import main_generate, main_run, main_simulate
+from repro.cli import main_generate, main_lint, main_run, main_simulate
 
 SPEC = """\
 problem: staircase
@@ -135,3 +137,104 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "node  0 |" in out
         assert "node  1 |" in out
+
+
+#: A spec with a seeded defect on every tier the linter reports as an
+#: error: the unguarded V[loc_right] read is RPR025.
+BAD_SPEC = SPEC.replace(
+    "center_code_py: |\n    V[loc] = 1.0\n",
+    "center_code_py: |\n    V[loc] = V[loc_right]\n",
+)
+
+
+@pytest.fixture()
+def bad_spec_file(tmp_path):
+    path = tmp_path / "bad.spec"
+    path.write_text(BAD_SPEC)
+    return path
+
+
+class TestLint:
+    def test_clean_problem_exits_zero(self, capsys):
+        rc = main_lint(["--problem", "bandit2", "--tile-width", "3"])
+        assert rc == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_clean_spec_file(self, spec_file, capsys):
+        rc = main_lint(["--spec", str(spec_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # V[loc] = 1.0 never reads its templates: warnings, not errors.
+        assert "RPR023" in out
+
+    def test_defective_spec_exits_one(self, bad_spec_file, capsys):
+        rc = main_lint(["--spec", str(bad_spec_file)])
+        assert rc == 1
+        assert "RPR025" in capsys.readouterr().out
+
+    def test_json_format(self, bad_spec_file, capsys):
+        rc = main_lint(["--spec", str(bad_spec_file), "--format", "json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is False
+        assert any(d["code"] == "RPR025" for d in doc["diagnostics"])
+
+    def test_nothing_to_lint_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main_lint([])
+        assert exc.value.code == 2
+
+
+class TestExitCodeConvention:
+    """All four entry points: 0 success, 1 ReproError/findings, 2 usage."""
+
+    @pytest.mark.parametrize(
+        "entry, ok_argv, fail_argv, usage_argv",
+        [
+            (
+                main_generate,
+                ["{spec}"],
+                ["{bad_path}"],
+                [],
+            ),
+            (
+                main_run,
+                ["--problem", "bandit2", "--tile-width", "3", "N=6"],
+                ["--spec", "{bad_path}"],
+                [],
+            ),
+            (
+                main_simulate,
+                ["--problem", "bandit2", "--tile-width", "5", "N=12"],
+                ["--problem", "bandit2", "--tile-width", "5", "N=-1"],
+                ["--no-such-flag"],
+            ),
+            (
+                main_lint,
+                ["--problem", "bandit2", "--tile-width", "3"],
+                ["--spec", "{bad_spec}"],
+                [],
+            ),
+        ],
+        ids=["generate", "run", "simulate", "lint"],
+    )
+    def test_exit_codes(
+        self, entry, ok_argv, fail_argv, usage_argv,
+        spec_file, bad_spec_file, tmp_path, capsys
+    ):
+        bad_path = tmp_path / "unparseable.spec"
+        bad_path.write_text("problem: x\n")  # missing required keys
+        subst = {
+            "{spec}": str(spec_file),
+            "{bad_path}": str(bad_path),
+            "{bad_spec}": str(bad_spec_file),
+        }
+        ok = [subst.get(a, a) for a in ok_argv]
+        fail = [subst.get(a, a) for a in fail_argv]
+        usage = [subst.get(a, a) for a in usage_argv]
+        assert entry(ok) == 0
+        assert entry(fail) == 1
+        with pytest.raises(SystemExit) as exc:
+            entry(usage)
+        assert exc.value.code == 2
+        capsys.readouterr()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import (
+    AnalysisError,
     EmptyPolyhedronError,
     GenerationError,
     ParseError,
@@ -24,6 +25,7 @@ from repro.errors import (
         GenerationError,
         RuntimeExecutionError,
         SimulationError,
+        AnalysisError,
     ],
 )
 def test_all_derive_from_repro_error(exc):
@@ -48,3 +50,25 @@ def test_top_level_reexports():
 
     assert repro.ReproError is ReproError
     assert repro.SpecError is SpecError
+
+
+class TestAnalysisContract:
+    def test_analysis_misuse_caught_by_base_class(self):
+        # The one-base-class catch contract covers the analyzer too.
+        from repro.analysis import make_diagnostic
+
+        with pytest.raises(ReproError):
+            make_diagnostic("RPR999", "no such rule")
+        with pytest.raises(AnalysisError):
+            make_diagnostic("RPR999", "no such rule")
+
+    def test_diagnostic_is_a_value_not_an_exception(self):
+        # Findings are reported, never raised: Diagnostic is a frozen
+        # dataclass exported from repro.analysis, not an error type.
+        from repro.analysis import Diagnostic
+
+        assert not issubclass(Diagnostic, BaseException)
+        d = Diagnostic(code="RPR021", severity="error", message="m")
+        assert d.is_error()
+        with pytest.raises(Exception):
+            d.code = "RPR022"  # frozen

@@ -125,6 +125,39 @@ class TestGuards:
         with pytest.raises(SpecError):
             execute(generate(spec), {"M": 5}, kernel=kernel)
 
+    def test_writing_dependency_names_the_token(self):
+        # The error must say *which* location was written, and be
+        # distinct from the undeclared-read message.
+        text = STAIRCASE.replace(
+            "    V[loc] = _c + (0.0 if _best is None else _best)",
+            "    V[loc_right] = 1.0\n"
+            "    V[loc] = _c + (0.0 if _best is None else _best)",
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError, match=r"assigned V\[loc_right\]"):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+    def test_undeclared_read_names_the_token(self):
+        text = STAIRCASE.replace("V[loc_up]", "V[loc_ghost]").replace(
+            "is_valid_up", "is_valid_right"
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError, match=r"V\[loc_ghost\].*not a "
+                                            r"declared template"):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
+    def test_invalid_read_names_template_and_guard(self):
+        text = STAIRCASE.replace(
+            "    if is_valid_right:\n        _best = V[loc_right]\n",
+            "    _best = V[loc_right]\n",
+        )
+        spec = parse_spec_text(text)
+        kernel = kernel_from_center_code(spec)
+        with pytest.raises(SpecError, match=r"V\[loc_right\].*is_valid_right"):
+            execute(generate(spec), {"M": 5}, kernel=kernel)
+
 
 class TestCliSpecOption:
     def test_run_from_spec_file(self, tmp_path, capsys):

@@ -106,3 +106,49 @@ class TestSharing:
         v2 = build_validity(spec2)
         # "side" can violate y <= 3 only; "up" can violate x <= L only.
         assert v2.per_template["up"] != v2.per_template["side"]
+
+
+class TestEdgeCases:
+    def test_zero_templates(self):
+        # Direct construction (a spec requires >= 1 template): the
+        # metrics must degrade gracefully on the empty set.
+        from repro.generator.validity import ValiditySet
+
+        v = ValiditySet(checks=(), per_template={})
+        assert v.shared_check_count() == 0
+
+    def test_template_with_empty_check_set_is_always_valid(self):
+        from repro.generator.validity import ValiditySet
+
+        v = ValiditySet(checks=(), per_template={"r": ()})
+        assert v.always_valid("r")
+        assert v.is_valid("r", {})  # vacuous conjunction
+        assert v.shared_check_count() == 0
+
+    def test_all_shared_checks(self):
+        # Every template of the bandit family needs exactly the one
+        # budget check, so the shared count equals the check count.
+        validity = build_validity(two_arm_spec(tile_width=3))
+        assert validity.shared_check_count() == len(validity.checks) == 1
+        assert not any(
+            validity.always_valid(t) for t in validity.per_template
+        )
+
+    def test_unshared_check_not_counted(self):
+        spec = ProblemSpec.create(
+            name="unshared",
+            loop_vars=["x", "y"],
+            params=["L"],
+            constraints=["x >= 0", "x <= L", "y >= 0", "y <= 3"],
+            templates={"up": [1, 0], "side": [0, 1]},
+            tile_widths=4,
+        )
+        v = build_validity(spec)
+        # Two distinct single-use checks: nothing is shared.
+        assert len(v.checks) == 2
+        assert v.shared_check_count() == 0
+
+    def test_always_valid_unknown_template_raises(self):
+        validity = build_validity(two_arm_spec(tile_width=3))
+        with pytest.raises(KeyError):
+            validity.always_valid("nope")
