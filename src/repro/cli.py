@@ -162,8 +162,18 @@ def main_run(argv=None) -> int:
         choices=("column-major", "level-set", "lb-first", "lb-last"),
         default="lb-first",
     )
+    ap.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="SPMD rank count; > 1 partitions tiles with the load "
+        "balancer and routes cross-rank edges through in-memory message "
+        "queues (and cross-checks the result against a single-rank run)",
+    )
     ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
     args = ap.parse_args(argv)
+    if args.ranks < 1:
+        ap.error(f"--ranks must be >= 1, got {args.ranks}")
     try:
         if args.spec:
             spec = parse_spec_file(args.spec)
@@ -173,10 +183,17 @@ def main_run(argv=None) -> int:
             kernel = spec.kernel
         params = _default_params(spec)
         params.update(_parse_params(args.params))
+        program = generate(spec)
         result = execute(
-            generate(spec), params, kernel=kernel,
-            priority_scheme=args.priority,
+            program, params, kernel=kernel,
+            priority_scheme=args.priority, ranks=args.ranks,
         )
+        single = None
+        if args.ranks > 1:
+            single = execute(
+                program, params, kernel=kernel,
+                priority_scheme=args.priority,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -187,6 +204,23 @@ def main_run(argv=None) -> int:
     print(f"cells computed    : {result.cells_computed}")
     print(f"peak edge buffer  : {result.memory['peak_cells']} cells "
           f"({result.memory['peak_edges']} edges)")
+    if args.ranks > 1:
+        print(f"ranks             : {result.ranks}")
+        print(f"tiles per rank    : {result.tiles_per_rank}")
+        print(f"peak edges / rank : {result.peak_edge_cells_per_rank} cells")
+        print(f"cross-rank msgs   : {result.cross_rank_messages} "
+              f"({result.cross_rank_cells} cells)")
+        identical = single.objective_value == result.objective_value
+        print(f"vs single rank    : objective "
+              f"{'bit-identical' if identical else 'MISMATCH'}")
+        if not identical:
+            print(
+                f"error: ranks={args.ranks} objective "
+                f"{result.objective_value!r} != ranks=1 objective "
+                f"{single.objective_value!r}",
+                file=sys.stderr,
+            )
+            return 1
     if result.objective_value is not None:
         print(f"objective {result.objective_point} = {result.objective_value!r}")
     return 0

@@ -2,6 +2,12 @@
 
 from .graph import Edge, TileGraph, TileIndex, build_tile_graph_dicts, tile_graph
 from .memory import EdgeMemoryTracker
+from .scheduler import (
+    TileScheduler,
+    TransitionEvent,
+    encode_events,
+    rank_of_rows,
+)
 from .executor import (
     CompiledExecutor,
     ExecutionResult,
@@ -10,6 +16,7 @@ from .executor import (
     solve_reference,
 )
 from .fastpath import VectorTileEngine, vector_unsupported_reason
+from .spmd import run_spmd, spmd_rank_assignment
 from .recover import Policy, SolutionRecovery
 
 __all__ = [
@@ -19,6 +26,10 @@ __all__ = [
     "tile_graph",
     "build_tile_graph_dicts",
     "EdgeMemoryTracker",
+    "TileScheduler",
+    "TransitionEvent",
+    "encode_events",
+    "rank_of_rows",
     "CompiledExecutor",
     "compiled_executor",
     "ExecutionResult",
@@ -26,6 +37,8 @@ __all__ = [
     "solve_reference",
     "VectorTileEngine",
     "vector_unsupported_reason",
+    "run_spmd",
+    "spmd_rank_assignment",
     "SolutionRecovery",
     "Policy",
 ]

@@ -1,13 +1,14 @@
 """In-process execution of a generated program (paper Section V).
 
-This is the Python twin of the generated C runtime: tiles wait in a
-pending table until their dependencies are satisfied, move to a priority
-queue, and execute one at a time (the host is a single core; parallelism
-is studied with :mod:`repro.simulate`).  Each executing tile allocates a
-padded array, unpacks the incoming edges into its ghost margins, scans
-its local iteration space in the legal direction evaluating the user
-kernel, packs its outgoing edges, and frees the array — only edges stay
-buffered, which is the paper's memory-saving design (Section V-B).
+This is the Python twin of the generated C runtime.  The scheduling
+protocol — pending tiles, priority-ordered ready queues, packed-edge
+buffering — lives in one place, :class:`repro.runtime.scheduler.TileScheduler`;
+this module is the *numeric driver* of that core: each started tile
+allocates a padded array, unpacks the incoming edges into its ghost
+margins, scans its local iteration space in the legal direction
+evaluating the user kernel, packs its outgoing edges, and frees the
+array — only edges stay buffered, which is the paper's memory-saving
+design (Section V-B).
 
 Two center-loop engines share that outer protocol:
 
@@ -20,11 +21,15 @@ Two center-loop engines share that outer protocol:
 ``execute(..., mode=...)`` selects the engine: ``"auto"`` (default)
 uses the fast path whenever the program supports it and falls back to
 the interpreter otherwise; ``"interpret"``/``"vector"`` force one
-engine (``"vector"`` raises when unsupported).  All loop-invariant
-compiled artifacts — the local-space scanner, the validity-check
-closures, the vector engine — are cached per program in a
-:class:`CompiledExecutor`, so repeated runs (benchmarks, calibration
-sweeps) stop re-deriving them.
+engine (``"vector"`` raises when unsupported).  ``execute(..., ranks=P)``
+with ``P > 1`` partitions the tiles by the load balancer's rank
+assignment and runs the multi-rank SPMD harness
+(:mod:`repro.runtime.spmd`) instead of the single-rank driver; results
+are bit-identical by construction.  All loop-invariant compiled
+artifacts — the local-space scanner, the validity-check closures, the
+vector engine — are cached per program in a :class:`CompiledExecutor`,
+so repeated runs (benchmarks, calibration sweeps) stop re-deriving
+them.
 
 Every numerical result is produced here by actually evaluating the
 recurrence; tests compare the outputs against independent brute-force
@@ -33,10 +38,8 @@ solvers, and the fast path is pinned bit-identical to the interpreter.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -46,7 +49,7 @@ from ..polyhedra.compile import compile_scanner
 from ..spec import Kernel
 from .fastpath import VectorTileEngine, vector_unsupported_reason
 from .graph import TileGraph, TileIndex, tile_graph
-from .memory import EdgeMemoryTracker
+from .scheduler import TileScheduler, TransitionEvent
 
 EXECUTION_MODES = ("auto", "interpret", "vector")
 
@@ -68,6 +71,20 @@ class ExecutionResult:
     edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = None
     #: Which center-loop engine produced the numbers ("interpret"/"vector").
     mode: str = "interpret"
+    #: How many SPMD ranks executed the run (1 = the plain executor).
+    ranks: int = 1
+    #: Per-rank edge-memory snapshots (same keys as ``memory``, which
+    #: aggregates across ranks).  Cells are float64 state-array elements;
+    #: multiply by 8 for bytes.
+    memory_per_rank: Optional[List[Dict[str, int]]] = None
+    #: Tiles executed by each rank.
+    tiles_per_rank: Optional[List[int]] = None
+    #: Edges that crossed a rank boundary (one in-memory message each —
+    #: the analogue of the generated C's MPI message count).
+    cross_rank_messages: int = 0
+    cross_rank_cells: int = 0
+    #: With ``record_events=True``: the scheduler's transition trace.
+    events: Optional[List[TransitionEvent]] = None
 
     def value_at(self, point: Mapping[str, int], loop_vars) -> float:
         if self.values is None:
@@ -77,12 +94,20 @@ class ExecutionResult:
         key = tuple(point[v] for v in loop_vars)
         return self.values[key]
 
+    @property
+    def peak_edge_cells_per_rank(self) -> Optional[List[int]]:
+        if self.memory_per_rank is None:
+            return None
+        return [m["peak_cells"] for m in self.memory_per_rank]
+
 
 def _compile_checks(program: GeneratedProgram):
     """Turn validity constraints into fast integer closures.
 
     Returns ``(check_fns, per_template)`` where each check function maps a
-    global environment (loop vars + params) to bool.
+    global environment (loop vars + params) to bool.  Prefer
+    :attr:`CompiledExecutor.validity_checks` (cached per program via
+    :func:`compiled_executor`) over calling this directly.
     """
     check_fns = []
     for c in program.validity.checks:
@@ -108,6 +133,115 @@ def _compile_checks(program: GeneratedProgram):
         name: tuple(ids) for name, ids in program.validity.per_template.items()
     }
     return check_fns, per_template
+
+
+class _RunState:
+    """Per-run numeric state: one tile body shared by every driver.
+
+    Owns the objective bookkeeping, the optional ``values`` record, and
+    the reused per-point environments of the interpreter.
+    :meth:`execute_tile` evaluates one tile's local iteration space
+    (ghosts already unpacked into *array*) with whichever engine the run
+    resolved to — the single-rank executor and the multi-rank SPMD
+    harness call exactly the same body, which is what makes their
+    numbers bit-identical regardless of scheduling.
+    """
+
+    def __init__(
+        self,
+        ce: "CompiledExecutor",
+        params: Dict[str, int],
+        kernel: Optional[Kernel],
+        engine: Optional[VectorTileEngine],
+        record_values: bool,
+    ):
+        self.ce = ce
+        self.params = params
+        self.kernel = kernel
+        self.engine = engine
+        spec = ce.spec
+        self.objective = spec.objective(params)
+        self.objective_key = tuple(
+            self.objective[v] for v in spec.loop_vars
+        )
+        self.objective_tile = ce.program.spaces.point_to_tile(self.objective)
+        self.objective_value: Optional[float] = None
+        self.values: Optional[Dict[Tuple[int, ...], float]] = (
+            {} if record_values else None
+        )
+        self.cells_computed = 0
+        # Reused per-point environments for the interpreter: one global
+        # env for the validity checks (params + loop vars, updated in
+        # place), one point dict for the kernel, one deps dict.  Nothing
+        # is reallocated inside the inner loop.
+        self._genv: Dict[str, int] = dict(params)
+        self._point: Dict[str, int] = {}
+        self._deps: Dict[str, Optional[float]] = {}
+
+    def execute_tile(self, tile: TileIndex, array: np.ndarray) -> int:
+        """Evaluate every in-space cell of *tile*; returns cells computed."""
+        ce = self.ce
+        spec = ce.spec
+        layout = ce.program.layout
+        widths = spec.tile_width_vector()
+        values = self.values
+        engine = self.engine
+        if engine is not None:
+            cells = engine.execute_tile(tile, array, self.params, values)
+            if tile == self.objective_tile:
+                local = tuple(
+                    self.objective[x] - widths[k] * tile[k]
+                    for k, x in enumerate(spec.loop_vars)
+                )
+                value = array[layout.array_index(local)]
+                if not np.isnan(value):
+                    self.objective_value = float(value)
+            self.cells_computed += cells
+            return cells
+
+        kernel = self.kernel
+        genv = self._genv
+        point = self._point
+        deps = self._deps
+        objective_key = self.objective_key
+        check_fns = ce.check_fns
+        per_template = ce.per_template
+        tile_env = dict(self.params)
+        tile_env.update(ce.program.spaces.tile_env(tile))
+        cells = 0
+        for local in ce.scan(tile_env):
+            for k, x in enumerate(spec.loop_vars):
+                g = widths[k] * tile[k] + local[k]
+                point[x] = g
+                genv[x] = g
+            # Key taken before the kernel call: a kernel mutating
+            # its point dict must not corrupt the recorded cell.
+            key = tuple(genv[x] for x in spec.loop_vars)
+            for name, vec in ce.template_items:
+                ok = all(
+                    check_fns[idx](genv) for idx in per_template[name]
+                )
+                if ok:
+                    ghost = tuple(i + r for i, r in zip(local, vec))
+                    value = array[layout.array_index(ghost)]
+                    if np.isnan(value):
+                        raise RuntimeExecutionError(
+                            f"tile {tile}: dependency {name} of "
+                            f"point {dict(point)} is valid but its "
+                            "value was never computed or delivered"
+                        )
+                    deps[name] = float(value)
+                else:
+                    deps[name] = None
+            result = kernel(point, deps, self.params)
+            array[layout.array_index(local)] = result
+            cells += 1
+            if values is not None:
+                values[key] = float(result)
+            if key == objective_key:
+                self.objective_value = float(result)
+        self.cells_computed += cells
+        return cells
 
 
 class CompiledExecutor:
@@ -137,6 +271,20 @@ class CompiledExecutor:
         self._vector_engine: Optional[VectorTileEngine] = None
         self._vector_reason: Optional[str] = None
         self._vector_probed = False
+
+    # -- public compiled artifacts --------------------------------------------
+
+    @property
+    def validity_checks(self):
+        """The compiled validity checks: ``(check_fns, per_template)``.
+
+        ``check_fns[i]`` maps a global environment (params + loop vars)
+        to bool; ``per_template[name]`` lists the check ids guarding the
+        template.  Public so solution recovery and analysis tooling
+        reuse the executor's compiled closures instead of re-deriving
+        them.
+        """
+        return self.check_fns, self.per_template
 
     # -- engine selection -----------------------------------------------------
 
@@ -182,6 +330,27 @@ class CompiledExecutor:
             return "interpret"
         return "vector"
 
+    def make_run_state(
+        self,
+        params: Dict[str, int],
+        kernel: Optional[Kernel],
+        resolved: str,
+        record_values: bool,
+    ) -> _RunState:
+        """The per-run numeric state for one resolved engine (see
+        :class:`_RunState`); drivers call ``state.execute_tile`` per
+        started tile."""
+        if resolved == "interpret":
+            if kernel is None:
+                kernel = self.spec.kernel
+            if kernel is None:
+                raise RuntimeExecutionError(
+                    f"problem {self.spec.name!r} has no Python kernel; "
+                    "pass kernel="
+                )
+        engine = self.vector_engine if resolved == "vector" else None
+        return _RunState(self, params, kernel, engine, record_values)
+
     # -- the run --------------------------------------------------------------
 
     def run(
@@ -193,181 +362,85 @@ class CompiledExecutor:
         graph: Optional[TileGraph] = None,
         keep_edges: bool = False,
         mode: str = "auto",
+        record_events: bool = False,
     ) -> ExecutionResult:
+        """One single-rank run: drive the scheduler core, tile by tile."""
         program = self.program
-        spec = self.spec
         resolved = self.resolve_mode(mode, kernel)
-        if resolved == "interpret":
-            if kernel is None:
-                kernel = spec.kernel
-            if kernel is None:
-                raise RuntimeExecutionError(
-                    f"problem {spec.name!r} has no Python kernel; pass kernel="
-                )
         params = dict(params)
         if graph is None:
             graph = tile_graph(program, params)
         spaces = program.spaces
         layout = program.layout
-
-        objective = spec.objective(params)
-        objective_key = tuple(objective[v] for v in spec.loop_vars)
-        objective_tile = spaces.point_to_tile(objective)
-        objective_value: Optional[float] = None
-
-        values: Optional[Dict[Tuple[int, ...], float]] = (
-            {} if record_values else None
-        )
-
-        # The ready queue runs on the graph's arrays: rows instead of
-        # tuples, precomputed priority keys, int32 pending counters.
-        # Heap order is identical to the scalar (priority(t), t) entries
-        # because row number == the tile's lexicographic rank.
-        tile_tuples = graph.tile_tuples
-        prio = graph.priority_tuples(priority_scheme)
-        remaining = graph.dependency_count_array()
-        prod_ptr = graph.prod_ptr.tolist()
-        prod_rows = graph.prod_rows.tolist()
-        prod_delta = graph.prod_delta.tolist()
-        cons_ptr = graph.cons_ptr.tolist()
-        cons_rows = graph.cons_rows.tolist()
-        cons_delta = graph.cons_delta.tolist()
+        local_vars = spaces.local_vars
         deltas = program.deltas
-        heap: List[Tuple[tuple, int]] = [
-            (prio[r], r) for r in graph.initial_rows().tolist()
-        ]
-        heapq.heapify(heap)
+        pack_plans = program.pack_plans
 
-        edge_store: Dict[Tuple[int, int], np.ndarray] = {}
+        state = self.make_run_state(params, kernel, resolved, record_values)
+        sched = TileScheduler(
+            graph,
+            priority_scheme=priority_scheme,
+            record_events=record_events,
+        )
+        sched.seed()
+
+        tile_tuples = graph.tile_tuples
         kept_edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = (
             {} if keep_edges else None
         )
-        tracker = EdgeMemoryTracker()
         tile_order: List[TileIndex] = []
-        cells_computed = 0
 
-        local_vars = spaces.local_vars
-        widths = spec.tile_width_vector()
-        engine = self.vector_engine if resolved == "vector" else None
-
-        # Reused per-point environments for the interpreter: one global
-        # env for the validity checks (params + loop vars, updated in
-        # place), one point dict for the kernel, one deps dict.  Nothing
-        # is reallocated inside the inner loop.
-        genv: Dict[str, int] = dict(params)
-        point: Dict[str, int] = {}
-        deps: Dict[str, Optional[float]] = {}
-
-        while heap:
-            _, row = heapq.heappop(heap)
+        while True:
+            row = sched.start_tile(0)
+            if row is None:
+                break
             tile = tile_tuples[row]
             tile_order.append(tile)
             array = np.full(layout.padded_shape, np.nan, dtype=np.float64)
 
             # Unpack incoming edges into the ghost margins.
-            for e in range(prod_ptr[row], prod_ptr[row + 1]):
-                producer = prod_rows[e]
-                plan = program.pack_plans[deltas[prod_delta[e]]]
-                buffer = edge_store.pop((producer, row))
-                tracker.remove_edge((tile_tuples[producer], tile))
+            for producer, delta_id, buffer in sched.consume_edges(row):
+                plan = pack_plans[deltas[delta_id]]
                 env = dict(params)
                 env.update(spaces.tile_env(tile_tuples[producer]))
                 plan.unpack(env, buffer, array, layout, local_vars)
 
             # Execute the tile's local iteration space in the legal order.
-            tile_env = dict(params)
-            tile_env.update(spaces.tile_env(tile))
-            if engine is not None:
-                cells_computed += engine.execute_tile(
-                    tile, array, params, values
-                )
-                if tile == objective_tile:
-                    local = tuple(
-                        objective[x] - widths[k] * tile[k]
-                        for k, x in enumerate(spec.loop_vars)
-                    )
-                    value = array[layout.array_index(local)]
-                    if not np.isnan(value):
-                        objective_value = float(value)
-            else:
-                for local in self.scan(tile_env):
-                    for k, x in enumerate(spec.loop_vars):
-                        g = widths[k] * tile[k] + local[k]
-                        point[x] = g
-                        genv[x] = g
-                    # Key taken before the kernel call: a kernel mutating
-                    # its point dict must not corrupt the recorded cell.
-                    key = tuple(genv[x] for x in spec.loop_vars)
-                    for name, vec in self.template_items:
-                        ok = all(
-                            self.check_fns[idx](genv)
-                            for idx in self.per_template[name]
-                        )
-                        if ok:
-                            ghost = tuple(
-                                i + r for i, r in zip(local, vec)
-                            )
-                            value = array[layout.array_index(ghost)]
-                            if np.isnan(value):
-                                raise RuntimeExecutionError(
-                                    f"tile {tile}: dependency {name} of "
-                                    f"point {dict(point)} is valid but its "
-                                    "value was never computed or delivered"
-                                )
-                            deps[name] = float(value)
-                        else:
-                            deps[name] = None
-                    result = kernel(point, deps, params)
-                    array[layout.array_index(local)] = result
-                    cells_computed += 1
-                    if values is not None:
-                        values[key] = float(result)
-                    if key == objective_key:
-                        objective_value = float(result)
+            state.execute_tile(tile, array)
 
             # Pack outgoing edges, deliver to consumers, release the tile.
-            for e in range(cons_ptr[row], cons_ptr[row + 1]):
-                consumer = cons_rows[e]
-                plan = program.pack_plans[deltas[cons_delta[e]]]
+            tile_env = dict(params)
+            tile_env.update(spaces.tile_env(tile))
+            for consumer, delta_id, _, _ in sched.outgoing(row):
+                plan = pack_plans[deltas[delta_id]]
                 buffer = plan.pack(tile_env, array, layout, local_vars)
-                edge_store[(row, consumer)] = buffer
                 if kept_edges is not None:
                     kept_edges[(tile, tile_tuples[consumer])] = buffer.copy()
-                tracker.add_edge((tile, tile_tuples[consumer]), len(buffer))
-                remaining[consumer] -= 1
-                if remaining[consumer] == 0:
-                    heapq.heappush(heap, (prio[consumer], consumer))
-                elif remaining[consumer] < 0:
-                    raise RuntimeExecutionError(
-                        f"tile {tile_tuples[consumer]} received more edges "
-                        "than it has producers"
-                    )
+                sched.send_edge(row, consumer, buffer, len(buffer))
+                sched.deliver_edge(consumer)
+            sched.finish_tile(row)
 
-        if len(tile_order) != len(tile_tuples):
+        sched.verify_drained()
+        if state.cells_computed != graph.total_work():
             raise RuntimeExecutionError(
-                f"executed {len(tile_order)} of {len(tile_tuples)} tiles; "
-                "the dependency graph deadlocked"
-            )
-        if cells_computed != graph.total_work():
-            raise RuntimeExecutionError(
-                f"computed {cells_computed} cells but the graph holds "
+                f"computed {state.cells_computed} cells but the graph holds "
                 f"{graph.total_work()} points"
-            )
-        if edge_store:
-            raise RuntimeExecutionError(
-                f"{len(edge_store)} edges were packed but never consumed"
             )
 
         return ExecutionResult(
-            objective_point=objective,
-            objective_value=objective_value,
+            objective_point=state.objective,
+            objective_value=state.objective_value,
             tiles_executed=len(tile_order),
-            cells_computed=cells_computed,
+            cells_computed=state.cells_computed,
             tile_order=tile_order,
-            memory=tracker.snapshot(),
-            values=values,
+            memory=sched.memory_snapshot(),
+            values=state.values,
             edges=kept_edges,
             mode=resolved,
+            ranks=1,
+            memory_per_rank=sched.memory_per_rank(),
+            tiles_per_rank=list(sched.finished_per_rank),
+            events=sched.events,
         )
 
 
@@ -389,6 +462,9 @@ def execute(
     graph: Optional[TileGraph] = None,
     keep_edges: bool = False,
     mode: str = "auto",
+    ranks: int = 1,
+    lb_method: str = "dimension-cut",
+    record_events: bool = False,
 ) -> ExecutionResult:
     """Solve the problem instance and return the objective value.
 
@@ -403,8 +479,28 @@ def execute(
     the center-loop engine: ``"auto"`` (vectorized fast path when the
     spec has a vector kernel and no custom *kernel* is given, else the
     interpreter), ``"interpret"``, or ``"vector"`` (raises when the fast
-    path cannot run this program).
+    path cannot run this program).  *ranks* > 1 partitions the tiles
+    with the load balancer (*lb_method*) and runs the SPMD harness —
+    same numbers, plus per-rank accounting and cross-rank message
+    counts.  *record_events* returns the scheduler's transition trace
+    in ``ExecutionResult.events``.
     """
+    if ranks > 1:
+        from .spmd import run_spmd
+
+        return run_spmd(
+            program,
+            params,
+            ranks=ranks,
+            kernel=kernel,
+            priority_scheme=priority_scheme,
+            record_values=record_values,
+            graph=graph,
+            keep_edges=keep_edges,
+            mode=mode,
+            lb_method=lb_method,
+            record_events=record_events,
+        )
     return compiled_executor(program).run(
         params,
         kernel=kernel,
@@ -413,6 +509,7 @@ def execute(
         graph=graph,
         keep_edges=keep_edges,
         mode=mode,
+        record_events=record_events,
     )
 
 
@@ -433,7 +530,7 @@ def solve_reference(
     if kernel is None:
         raise RuntimeExecutionError("no kernel available")
     params = dict(params)
-    check_fns, per_template = _compile_checks(program)
+    check_fns, per_template = compiled_executor(program).validity_checks
     directions = spec.scan_directions()
     store: Dict[Tuple[int, ...], float] = {}
     objective = spec.objective(params)

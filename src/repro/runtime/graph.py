@@ -236,6 +236,28 @@ class TileGraph:
             self._tile_tuples = [tuple(r) for r in self.tile_array.tolist()]
         return self._tile_tuples
 
+    def row_of(self, tile: TileIndex) -> int:
+        """The tile's row (its lexicographic rank); raises for non-tiles."""
+        index = self._dict_cache.get("row_of")
+        if index is None:
+            index = {t: r for r, t in enumerate(self.tile_tuples)}
+            self._dict_cache["row_of"] = index
+        try:
+            return index[tuple(tile)]
+        except KeyError:
+            raise RuntimeExecutionError(
+                f"{tuple(tile)} is not a valid tile"
+            ) from None
+
+    def producer_edges(self, row: int) -> List[Tuple[int, int]]:
+        """Incoming edges of one row: ``(producer_row, delta_id)`` in the
+        program's delta order — the order the unpack loop wants."""
+        ptr = self.prod_ptr
+        return [
+            (int(self.prod_rows[e]), int(self.prod_delta[e]))
+            for e in range(int(ptr[row]), int(ptr[row + 1]))
+        ]
+
     def dependency_count_array(self) -> np.ndarray:
         """Producer count per row, int32 (copy — safe to decrement)."""
         return np.diff(self.prod_ptr).astype(np.int32)

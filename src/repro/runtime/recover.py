@@ -7,13 +7,22 @@ values) does not require storing the whole O(n^d) space: as the paper
 sketches, "the edges of the tiles could be saved, and needed tiles
 recalculated on the fly during the traceback".
 
-:class:`SolutionRecovery` does exactly that: one forward pass with
-``keep_edges=True`` retains the O(n^(d-1)) packed edges; any tile can
-then be recomputed in isolation by unpacking its stored incoming edges
-and re-running the kernel over its local space.  ``value_at`` answers
-point queries, and ``traceback`` walks a user-supplied policy through
-the space, recomputing tiles on demand (with a small LRU of recomputed
-tiles, since tracebacks revisit neighbours).
+:class:`SolutionRecovery` does exactly that: one forward pass through
+the scheduler-driven executor with ``keep_edges=True`` retains the
+O(n^(d-1)) packed edges; any tile can then be recomputed in isolation
+by unpacking its stored incoming edges and re-running the kernel over
+its local space.  ``value_at`` answers point queries, and ``traceback``
+walks a user-supplied policy through the space, recomputing tiles on
+demand (with a small LRU of recomputed tiles, since tracebacks revisit
+neighbours).
+
+Recovery owns no scheduling or compilation machinery of its own: the
+forward pass is :func:`repro.runtime.executor.execute` (and therefore
+:class:`repro.runtime.scheduler.TileScheduler`), tile recomputation
+reuses the :class:`~repro.runtime.executor.CompiledExecutor`'s cached
+scanner and public ``validity_checks``, and producer edges come from
+the graph's CSR arrays — the same delta-order walk the unpack loop
+uses.
 """
 
 from __future__ import annotations
@@ -25,10 +34,8 @@ import numpy as np
 
 from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
-from ..generator.tile_deps import delta_between
-from ..polyhedra.compile import compile_scanner
 from ..spec import Kernel
-from .executor import _compile_checks, execute
+from .executor import compiled_executor, execute
 from .graph import TileGraph, TileIndex, tile_graph
 
 Point = Tuple[int, ...]
@@ -66,7 +73,10 @@ class SolutionRecovery:
         )
         self._cache: "OrderedDict[TileIndex, Dict[Point, float]]" = OrderedDict()
         self._cache_tiles = cache_tiles
-        self._check_fns, self._per_template = _compile_checks(program)
+        # The executor's compiled artifacts, shared rather than re-derived:
+        # the local-space scanner and the validity-check closures.
+        self._compiled = compiled_executor(program)
+        self._check_fns, self._per_template = self._compiled.validity_checks
 
     # -- tile recomputation -------------------------------------------------
 
@@ -76,32 +86,28 @@ class SolutionRecovery:
         if cached is not None:
             self._cache.move_to_end(tile)
             return cached
-        if tile not in self.graph.tiles:
-            raise RuntimeExecutionError(f"{tile} is not a valid tile")
         program = self.program
         spec = program.spec
         spaces = program.spaces
         layout = program.layout
         params = self.params
+        deltas = program.deltas
         edges = self.result.edges
         assert edges is not None
+        row = self.graph.row_of(tile)
+        tile_tuples = self.graph.tile_tuples
 
         array = np.full(layout.padded_shape, np.nan)
-        for producer in self.graph.producers[tile]:
-            delta = delta_between(tile, producer)
-            plan = program.pack_plans[delta]
+        for producer_row, delta_id in self.graph.producer_edges(row):
+            producer = tile_tuples[producer_row]
+            plan = program.pack_plans[deltas[delta_id]]
             env = dict(params)
             env.update(spaces.tile_env(producer))
             plan.unpack(
                 env, edges[(producer, tile)], array, layout, spaces.local_vars
             )
 
-        directions_x = spec.scan_directions()
-        local_directions = {
-            spaces.local_vars[k]: directions_x[x]
-            for k, x in enumerate(spec.loop_vars)
-        }
-        scan = compile_scanner(spaces.local_nest, local_directions)
+        scan = self._compiled.scan
         tile_env = dict(params)
         tile_env.update(spaces.tile_env(tile))
         widths = spec.tile_width_vector()

@@ -1,0 +1,384 @@
+"""The rank-aware tile-scheduling core (paper Sections V–VI).
+
+The generated programs have exactly one scheduling protocol: tiles wait
+in a pending table until every producer has delivered its packed edge,
+move to a priority-ordered ready queue, execute, pack their outgoing
+edges, and release — only edges stay buffered between tiles.  This
+module owns that state machine once, driven directly off the CSR arrays
+of :class:`~repro.runtime.graph.TileGraph`, so every runtime component
+is a thin *driver* of the same engine instead of a re-implementation:
+
+* the in-process executor (:mod:`repro.runtime.executor`) runs a single
+  rank and plugs real numerics into ``tile_start``/``edge_sent``;
+* the SPMD harness (:mod:`repro.runtime.spmd`) runs one logical rank
+  per load-balancer node and routes cross-rank edges through explicit
+  message queues, mirroring the generated C's MPI protocol;
+* the discrete-event simulator (:mod:`repro.simulate.hybrid`) layers a
+  :class:`~repro.simulate.machine.MachineModel` *timing policy* on the
+  same transition stream — executed and simulated schedules are the
+  same object by construction;
+* solution recovery (:mod:`repro.runtime.recover`) replays the forward
+  pass through the executor driver.
+
+State transitions are observable: with ``record_events=True`` the
+scheduler appends one :class:`TransitionEvent` per transition
+(``tile_ready``, ``tile_start``, ``edge_sent``, ``tile_done``), in a
+deterministic total order (priority heaps break ties by lexicographic
+tile rank, drivers sequence ranks deterministically), which tests pin
+byte-for-byte across runs.
+
+Edge-buffer accounting is per rank: each rank owns an
+:class:`~repro.runtime.memory.EdgeMemoryTracker` charged for the edges
+its tiles *consume* (an in-flight cross-rank edge counts against its
+destination, the rank that must buffer it until the consumer runs),
+plus one aggregate tracker across all ranks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import RuntimeExecutionError
+from .graph import TileGraph, TileIndex
+from .memory import EdgeMemoryTracker
+
+__all__ = [
+    "TransitionEvent",
+    "TileScheduler",
+    "rank_of_rows",
+    "encode_events",
+]
+
+EVENT_KINDS = ("tile_ready", "tile_start", "edge_sent", "tile_done")
+
+
+@dataclass(frozen=True)
+class TransitionEvent:
+    """One observable transition of the scheduling state machine.
+
+    ``tile_ready``  — the tile's last pending edge was delivered;
+    ``tile_start``  — the tile was popped from its rank's ready queue;
+    ``edge_sent``   — the tile packed one outgoing edge (``dest``/
+    ``dest_rank``/``cells`` describe the edge; a cross-rank send has
+    ``dest_rank != rank``);
+    ``tile_done``   — the tile released its state array.
+    """
+
+    seq: int
+    kind: str
+    tile: TileIndex
+    rank: int
+    dest: Optional[TileIndex] = None
+    dest_rank: Optional[int] = None
+    cells: int = 0
+
+    def encode(self) -> str:
+        """Stable one-line text form (the byte-identical trace unit)."""
+        if self.kind == "edge_sent":
+            return (
+                f"{self.seq} {self.kind} {self.tile} r{self.rank} -> "
+                f"{self.dest} r{self.dest_rank} cells={self.cells}"
+            )
+        return f"{self.seq} {self.kind} {self.tile} r{self.rank}"
+
+
+def encode_events(events: Sequence[TransitionEvent]) -> bytes:
+    """Serialize a transition trace to bytes for exact comparison."""
+    return "\n".join(e.encode() for e in events).encode("ascii")
+
+
+def rank_of_rows(graph: TileGraph, balance) -> np.ndarray:
+    """Per-row owning rank from a load-balancer assignment.
+
+    Projects every tile row onto the lb dimensions and looks its slab up
+    in ``balance.slab_node`` — the vectorized twin of
+    :meth:`repro.generator.loadbalance.LoadBalance.node_of_tile`.
+    """
+    slab_node = balance.slab_node
+    keys = graph.lb_key_rows().tolist()
+    out = np.empty(len(keys), dtype=np.int64)
+    for r, key in enumerate(keys):
+        try:
+            out[r] = slab_node[tuple(key)]
+        except KeyError:
+            raise RuntimeExecutionError(
+                f"tile {graph.tile_tuples[r]} projects to unassigned lb "
+                f"slab {tuple(key)}"
+            ) from None
+    return out
+
+
+class TileScheduler:
+    """The pending → ready → running → done state machine over one graph.
+
+    The scheduler owns *logical* scheduling state only — who is ready,
+    which edges are buffered where, what transitioned when.  Drivers own
+    time (the simulator), numerics (the executor/SPMD harness) and
+    message transport (the SPMD queues), and call back in:
+
+    ``make_ready(row)``
+        push an unblocked tile onto its rank's priority heap (drivers
+        decide *when*: the executor seeds immediately, the simulator at
+        the event's simulated arrival time);
+    ``start_tile(rank)``
+        pop the highest-priority ready tile of one rank;
+    ``consume_edges(row)``
+        pop and un-account every incoming edge buffer of a starting tile;
+    ``send_edge(producer, consumer, ...)``
+        buffer one packed outgoing edge (accounted against the
+        consumer's rank; cross-rank sends are counted);
+    ``deliver_edge(consumer)``
+        decrement the pending counter once an edge has *arrived*
+        (immediately for local edges; after transport for cross-rank
+        edges and simulated messages);
+    ``finish_tile(row)``
+        release the tile.
+
+    Priority heaps hold ``(priority_key[row], row)``; because a row
+    number is the tile's lexicographic rank, ordering is identical to
+    the scalar ``(priority(tile), tile)`` heap of the generated C.
+    """
+
+    def __init__(
+        self,
+        graph: TileGraph,
+        ranks: int = 1,
+        rank_of: Optional[Sequence[int]] = None,
+        priority_scheme: str = "lb-first",
+        record_events: bool = False,
+    ):
+        if ranks < 1:
+            raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
+        self.graph = graph
+        self.ranks = ranks
+        self.tile_tuples = graph.tile_tuples
+        T = len(self.tile_tuples)
+        if rank_of is None:
+            self.rank_of: List[int] = [0] * T
+        else:
+            self.rank_of = [int(r) for r in rank_of]
+            if len(self.rank_of) != T:
+                raise RuntimeExecutionError(
+                    f"rank assignment covers {len(self.rank_of)} rows but "
+                    f"the graph has {T} tiles"
+                )
+            bad = [r for r in self.rank_of if not 0 <= r < ranks]
+            if bad:
+                raise RuntimeExecutionError(
+                    f"tile assigned to rank {bad[0]} outside 0..{ranks - 1}"
+                )
+        self.prio = graph.priority_tuples(priority_scheme)
+        self._remaining = graph.dependency_count_array().tolist()
+        self._prod_ptr = graph.prod_ptr.tolist()
+        self._prod_rows = graph.prod_rows.tolist()
+        self._prod_delta = graph.prod_delta.tolist()
+        self._cons_ptr = graph.cons_ptr.tolist()
+        self._cons_rows = graph.cons_rows.tolist()
+        self._cons_delta = graph.cons_delta.tolist()
+        self._cons_cells = graph.cons_cells.tolist()
+        self.ready: List[List[Tuple[tuple, int]]] = [[] for _ in range(ranks)]
+        self.trackers = [EdgeMemoryTracker() for _ in range(ranks)]
+        # Aggregate accounting across ranks; aliases rank 0's tracker in
+        # the single-rank case so the hot path pays for one tracker only.
+        self.tracker = self.trackers[0] if ranks == 1 else EdgeMemoryTracker()
+        self._store: Dict[Tuple[int, int], np.ndarray] = {}
+        self.started = 0
+        self.finished = 0
+        self.finished_per_rank = [0] * ranks
+        self.cross_rank_messages = 0
+        self.cross_rank_cells = 0
+        self.events: Optional[List[TransitionEvent]] = (
+            [] if record_events else None
+        )
+        self._seq = 0
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        row: int,
+        rank: int,
+        dest: Optional[int] = None,
+        dest_rank: Optional[int] = None,
+        cells: int = 0,
+    ) -> None:
+        events = self.events
+        if events is None:
+            return
+        tt = self.tile_tuples
+        events.append(
+            TransitionEvent(
+                seq=self._seq,
+                kind=kind,
+                tile=tt[row],
+                rank=rank,
+                dest=tt[dest] if dest is not None else None,
+                dest_rank=dest_rank,
+                cells=cells,
+            )
+        )
+        self._seq += 1
+
+    # -- pending -> ready ------------------------------------------------------
+
+    def seed(self) -> None:
+        """Make every zero-dependency tile ready (drivers with their own
+        notion of time call :meth:`make_ready` per row instead)."""
+        for row in self.graph.initial_rows().tolist():
+            self.make_ready(row)
+
+    def make_ready(self, row: int) -> None:
+        rank = self.rank_of[row]
+        heapq.heappush(self.ready[rank], (self.prio[row], row))
+        self._emit("tile_ready", row, rank)
+
+    def deliver_edge(self, consumer: int) -> bool:
+        """Record the arrival of one incoming edge; True when the
+        consumer became ready (and was pushed onto its rank's queue)."""
+        remaining = self._remaining
+        remaining[consumer] -= 1
+        if remaining[consumer] == 0:
+            self.make_ready(consumer)
+            return True
+        if remaining[consumer] < 0:
+            raise RuntimeExecutionError(
+                f"tile {self.tile_tuples[consumer]} received more edges "
+                "than it has producers"
+            )
+        return False
+
+    # -- ready -> running ------------------------------------------------------
+
+    def has_ready(self, rank: int = 0) -> bool:
+        return bool(self.ready[rank])
+
+    def start_tile(self, rank: int = 0) -> Optional[int]:
+        """Pop the highest-priority ready tile of *rank* (None = idle)."""
+        rq = self.ready[rank]
+        if not rq:
+            return None
+        _, row = heapq.heappop(rq)
+        self.started += 1
+        self._emit("tile_start", row, rank)
+        return row
+
+    def consume_edges(
+        self, row: int
+    ) -> Iterator[Tuple[int, int, Optional[np.ndarray]]]:
+        """Pop every incoming edge of a starting tile, releasing buffers.
+
+        Yields ``(producer_row, delta_id, buffer)`` in the program's
+        delta order — the order the unpack loop wants.  *buffer* is None
+        for drivers that schedule without numerics (the simulator).
+        """
+        ptr = self._prod_ptr
+        prod_rows = self._prod_rows
+        prod_delta = self._prod_delta
+        rank = self.rank_of[row]
+        tracker = self.trackers[rank]
+        aggregate = self.tracker
+        store = self._store
+        for e in range(ptr[row], ptr[row + 1]):
+            producer = prod_rows[e]
+            key = (producer, row)
+            tracker.remove_edge(key)
+            if aggregate is not tracker:
+                aggregate.remove_edge(key)
+            yield producer, prod_delta[e], store.pop(key, None)
+
+    # -- running -> done -------------------------------------------------------
+
+    def outgoing(self, row: int) -> List[Tuple[int, int, int, int]]:
+        """The tile's outgoing edges: ``(consumer_row, delta_id, cells,
+        consumer_rank)`` in lexicographic consumer order — the order the
+        generated C posts its sends."""
+        ptr = self._cons_ptr
+        rank_of = self.rank_of
+        out = []
+        for e in range(ptr[row], ptr[row + 1]):
+            c = self._cons_rows[e]
+            out.append(
+                (c, self._cons_delta[e], self._cons_cells[e], rank_of[c])
+            )
+        return out
+
+    def send_edge(
+        self,
+        row: int,
+        consumer: int,
+        buffer: Optional[np.ndarray] = None,
+        cells: Optional[int] = None,
+    ) -> None:
+        """Buffer one packed edge, charged against the consumer's rank.
+
+        *cells* defaults to the graph's packed size for the edge (pass
+        ``len(buffer)`` to account the actual buffer).  Delivery is
+        separate: call :meth:`deliver_edge` when the edge *arrives*.
+        """
+        key = (row, consumer)
+        if cells is None:
+            ptr = self._cons_ptr
+            for e in range(ptr[row], ptr[row + 1]):
+                if self._cons_rows[e] == consumer:
+                    cells = self._cons_cells[e]
+                    break
+            else:
+                raise RuntimeExecutionError(
+                    f"tile {self.tile_tuples[row]} has no edge to "
+                    f"{self.tile_tuples[consumer]}"
+                )
+        if buffer is not None:
+            self._store[key] = buffer
+        src_rank = self.rank_of[row]
+        dst_rank = self.rank_of[consumer]
+        tracker = self.trackers[dst_rank]
+        tracker.add_edge(key, cells)
+        if self.tracker is not tracker:
+            self.tracker.add_edge(key, cells)
+        if dst_rank != src_rank:
+            self.cross_rank_messages += 1
+            self.cross_rank_cells += cells
+        self._emit(
+            "edge_sent", row, src_rank, dest=consumer, dest_rank=dst_rank,
+            cells=cells,
+        )
+
+    def finish_tile(self, row: int) -> None:
+        rank = self.rank_of[row]
+        self.finished += 1
+        self.finished_per_rank[rank] += 1
+        self._emit("tile_done", row, rank)
+
+    # -- terminal checks -------------------------------------------------------
+
+    def verify_drained(self) -> None:
+        """Raise unless every tile ran and every edge was consumed."""
+        T = len(self.tile_tuples)
+        if self.finished != T:
+            raise RuntimeExecutionError(
+                f"executed {self.finished} of {T} tiles; the dependency "
+                "graph deadlocked"
+            )
+        if self.tracker.live_edges:
+            raise RuntimeExecutionError(
+                f"{self.tracker.live_edges} edges were packed but never "
+                "consumed"
+            )
+        if self._store:  # pragma: no cover - implied by live_edges == 0
+            raise RuntimeExecutionError(
+                f"{len(self._store)} edge buffers were never released"
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    def memory_snapshot(self) -> Dict[str, int]:
+        """Aggregate edge-memory accounting across all ranks."""
+        return self.tracker.snapshot()
+
+    def memory_per_rank(self) -> List[Dict[str, int]]:
+        return [t.snapshot() for t in self.trackers]

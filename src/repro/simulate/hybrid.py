@@ -1,12 +1,21 @@
 """Discrete-event simulation of the generated hybrid program (Section VI).
 
-The simulator executes the *real* schedule of the generated program — the
-same tile DAG, priority queue, load-balance assignment and packed-edge
-communication the in-process runtime uses — against the cost model of
-:class:`~repro.simulate.machine.MachineModel`.  Inside a node, tiles are
-dispatched to cores through a serialized work queue (the OpenMP critical
-section); between nodes, packed edges travel over a finite set of send
-channels with latency + bandwidth costs (the MPI send buffers).
+The simulator executes the *real* schedule of the generated program:
+pending counters, per-node priority-ordered ready queues and packed-edge
+lifecycle all live in :class:`repro.runtime.scheduler.TileScheduler` —
+the same engine the in-process executor and the SPMD harness drive — and
+this module layers the cost model of
+:class:`~repro.simulate.machine.MachineModel` on top as a pure *timing
+policy*: the scheduler decides *what* transitions, the machine model
+decides *when*.  Inside a node, tiles are dispatched to cores through a
+serialized work queue (the OpenMP critical section); between nodes,
+packed edges travel over a finite set of send channels with latency +
+bandwidth costs (the MPI send buffers).
+
+Executed and simulated schedules are therefore the same object by
+construction — a simulated transition stream is a timed reordering of
+the transitions the executor emits, not a re-implementation pinned
+equal by tests.
 
 This is the substitution for the paper's 8x24-core testbed: wall-clock
 numbers are synthetic, but who waits for whom — the thing that determines
@@ -17,18 +26,23 @@ computed exactly.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..generator.pipeline import GeneratedProgram
 from ..runtime.graph import TileGraph, TileIndex, tile_graph
+from ..runtime.scheduler import TileScheduler
 from .events import EventQueue
 from .machine import MachineModel
 
 NodeId = int
+
+#: Tile-to-node assignment: either a mapping keyed by tile index tuples
+#: or a per-row integer sequence in graph row order.
+Assignment = Union[Mapping[TileIndex, NodeId], Sequence[int], np.ndarray]
 
 
 @dataclass
@@ -48,6 +62,9 @@ class SimResult:
     machine: MachineModel
     #: Per-tile execution spans when simulate(..., trace=True).
     spans: Optional[list] = None
+    #: Per-node edge-memory snapshots (cells), same keys as the
+    #: executor's ``ExecutionResult.memory``.
+    memory_per_node: Optional[List[Dict[str, int]]] = None
 
     @property
     def speedup(self) -> float:
@@ -68,45 +85,73 @@ class SimResult:
     def cells_per_second(self) -> float:
         return self.total_cells / self.makespan_s if self.makespan_s else 0.0
 
+    @property
+    def peak_edge_bytes_per_node(self) -> Optional[List[int]]:
+        """Peak buffered edge bytes on each node (cells x bytes_per_cell)."""
+        if self.memory_per_node is None:
+            return None
+        return [
+            m["peak_cells"] * self.machine.bytes_per_cell
+            for m in self.memory_per_node
+        ]
 
-def simulate(
-    graph: TileGraph,
-    machine: MachineModel,
-    assignment: Optional[Mapping[TileIndex, NodeId]] = None,
-    priority_scheme: str = "lb-first",
-    trace: bool = False,
-) -> SimResult:
-    """Simulate the tiled execution of *graph* on *machine*.
 
-    *assignment* maps each tile to its owning node (default: everything
-    on node 0 — pure shared-memory execution).  *trace* additionally
-    records one :class:`~repro.simulate.trace.TileSpan` per tile.
-    """
+def _assignment_rows(
+    graph: TileGraph, machine: MachineModel, assignment: Optional[Assignment]
+) -> List[int]:
+    """Normalize an assignment to per-row node ids, validating range."""
     tile_tuples = graph.tile_tuples
-    T = len(tile_tuples)
     if assignment is None:
-        assign = [0] * T
-    else:
+        return [0] * len(tile_tuples)
+    if isinstance(assignment, Mapping):
         missing = [t for t in tile_tuples if t not in assignment]
         if missing:
             raise SimulationError(
                 f"{len(missing)} tiles lack a node assignment (e.g. {missing[0]})"
             )
-        assign = [assignment[t] for t in tile_tuples]
-        bad = [r for r, n in enumerate(assign) if not 0 <= n < machine.nodes]
-        if bad:
+        assign = [int(assignment[t]) for t in tile_tuples]
+    else:
+        assign = [int(n) for n in np.asarray(assignment).tolist()]
+        if len(assign) != len(tile_tuples):
             raise SimulationError(
-                f"tile {tile_tuples[bad[0]]} assigned to node "
-                f"{assign[bad[0]]} outside 0..{machine.nodes - 1}"
+                f"assignment covers {len(assign)} rows but the graph has "
+                f"{len(tile_tuples)} tiles"
             )
+    bad = [r for r, n in enumerate(assign) if not 0 <= n < machine.nodes]
+    if bad:
+        raise SimulationError(
+            f"tile {tile_tuples[bad[0]]} assigned to node "
+            f"{assign[bad[0]]} outside 0..{machine.nodes - 1}"
+        )
+    return assign
 
-    # Ready queues and pending counters run on the graph's arrays: rows
-    # instead of tuples, precomputed priority keys (identical ordering —
-    # row number is the tile's lexicographic rank).
-    prio = graph.priority_tuples(priority_scheme)
-    cons_ptr = graph.cons_ptr.tolist()
-    cons_rows = graph.cons_rows.tolist()
-    cons_cells = graph.cons_cells.tolist()
+
+def simulate(
+    graph: TileGraph,
+    machine: MachineModel,
+    assignment: Optional[Assignment] = None,
+    priority_scheme: str = "lb-first",
+    trace: bool = False,
+) -> SimResult:
+    """Simulate the tiled execution of *graph* on *machine*.
+
+    *assignment* maps each tile to its owning node — a ``tile -> node``
+    mapping or a per-row integer array (default: everything on node 0 —
+    pure shared-memory execution).  *trace* additionally records one
+    :class:`~repro.simulate.trace.TileSpan` per tile.
+    """
+    tile_tuples = graph.tile_tuples
+    T = len(tile_tuples)
+    assign = _assignment_rows(graph, machine, assignment)
+
+    # The scheduling core: per-node ready queues, pending counters and
+    # edge accounting, shared with the executor and the SPMD harness.
+    sched = TileScheduler(
+        graph,
+        ranks=machine.nodes,
+        rank_of=assign,
+        priority_scheme=priority_scheme,
+    )
 
     # Per-tile cost: compute cells plus pack/unpack traffic through the tile.
     edge_prod = np.repeat(np.arange(T), np.diff(graph.cons_ptr))
@@ -121,10 +166,8 @@ def simulate(
 
     serial_time = sum(machine.queue_lock_s + d for d in durations)
 
-    # Node state.
-    ready: List[List[Tuple[tuple, TileIndex]]] = [
-        [] for _ in range(machine.nodes)
-    ]
+    # Node timing state (the machine model's domain: cores, the dequeue
+    # lock, finite send channels).
     core_free: List[List[float]] = [
         [0.0] * machine.cores_per_node for _ in range(machine.nodes)
     ]
@@ -142,29 +185,23 @@ def simulate(
         heapq.heapify(h)
 
     busy: List[float] = [0.0] * machine.nodes
-    tiles_done: List[int] = [0] * machine.nodes
     work_done: List[int] = [0] * machine.nodes
     node_finish: List[float] = [0.0] * machine.nodes
-    messages = 0
-    bytes_sent = 0
     max_queue_wait = 0.0
 
-    pending = graph.dependency_count_array()
     events = EventQueue()
     spans: Optional[list] = [] if trace else None
 
     for r in graph.initial_rows().tolist():
         events.push(0.0, ("ready", r))
 
-    finished = 0
-
     def dispatch(node: NodeId, now: float) -> None:
-        nonlocal finished
-        rq = ready[node]
         cf = core_free[node]
-        while rq and cf and cf[0] <= now:
+        while cf and cf[0] <= now and sched.has_ready(node):
             heapq.heappop(cf)  # core taken
-            _, row = heapq.heappop(rq)
+            row = sched.start_tile(node)
+            for _ in sched.consume_edges(row):
+                pass  # release the incoming edge buffers
             locks = lock_free[node]
             group = min(range(len(locks)), key=locks.__getitem__)
             start = max(now, locks[group])
@@ -183,20 +220,15 @@ def simulate(
         kind = payload[0]
         if kind == "ready":
             row = payload[1]
-            node = assign[row]
-            heapq.heappush(ready[node], (prio[row], row))
-            dispatch(node, now)
+            sched.make_ready(row)
+            dispatch(assign[row], now)
         elif kind == "finish":
             row, node = payload[1], payload[2]
-            finished += 1
-            tiles_done[node] += 1
             work_done[node] += work_list[row]
             node_finish[node] = max(node_finish[node], now)
             heapq.heappush(core_free[node], now)
-            for e in range(cons_ptr[row], cons_ptr[row + 1]):
-                consumer = cons_rows[e]
-                cnode = assign[consumer]
-                cells = cons_cells[e]
+            for consumer, _, cells, cnode in sched.outgoing(row):
+                sched.send_edge(row, consumer, cells=cells)
                 if cnode == node:
                     arrival = now
                 else:
@@ -206,23 +238,19 @@ def simulate(
                     done = tx_start + machine.message_duration(cells)
                     heapq.heappush(send_free[node], done)
                     arrival = done
-                    messages += 1
-                    bytes_sent += cells * machine.bytes_per_cell
                 events.push(arrival, ("edge", consumer))
+            sched.finish_tile(row)
             dispatch(node, now)
         elif kind == "edge":
             consumer = payload[1]
-            pending[consumer] -= 1
-            if pending[consumer] == 0:
-                node = assign[consumer]
-                heapq.heappush(ready[node], (prio[consumer], consumer))
-                dispatch(node, now)
+            if sched.deliver_edge(consumer):
+                dispatch(assign[consumer], now)
         else:  # pragma: no cover
             raise SimulationError(f"unknown event {payload!r}")
 
-    if finished != T:
+    if sched.finished != T:
         raise SimulationError(
-            f"simulation deadlocked: {finished} of {T} tiles ran"
+            f"simulation deadlocked: {sched.finished} of {T} tiles ran"
         )
 
     makespan = max(node_finish) if node_finish else 0.0
@@ -230,15 +258,16 @@ def simulate(
         makespan_s=makespan,
         serial_time_s=serial_time,
         busy_s_per_node=busy,
-        tiles_per_node=tiles_done,
+        tiles_per_node=list(sched.finished_per_rank),
         work_cells_per_node=work_done,
         node_finish_s=node_finish,
-        messages=messages,
-        bytes_sent=bytes_sent,
+        messages=sched.cross_rank_messages,
+        bytes_sent=sched.cross_rank_cells * machine.bytes_per_cell,
         max_send_queue_wait_s=max_queue_wait,
         total_cells=graph.total_work(),
         machine=machine,
         spans=spans,
+        memory_per_node=sched.memory_per_rank(),
     )
 
 
@@ -255,25 +284,25 @@ def simulate_program(
     The graph comes from the per-program cache (one build per parameter
     set), and with ``nodes > 1`` the load balancer is fed the slab work
     the graph already holds — per-slab sums of per-tile work — instead of
-    recounting every slab with fresh compiled scans.
+    recounting every slab with fresh compiled scans.  The rank
+    assignment is the same one ``execute(..., ranks=machine.nodes)``
+    partitions by, so SPMD cross-rank message counts and simulated
+    ``messages`` agree for the same machine shape.
     """
     if graph is None:
         graph = tile_graph(program, params)
     if machine.nodes == 1:
-        assignment = None
+        assignment: Optional[Assignment] = None
     else:
-        balance = program.load_balance(
-            params, machine.nodes, method=lb_method, slab_work=graph.slab_work()
-        )
-        slab_node = balance.slab_node
-        assignment = {}
-        for t, key in zip(graph.tile_tuples, graph.lb_key_rows().tolist()):
-            try:
-                assignment[t] = slab_node[tuple(key)]
-            except KeyError:
-                raise SimulationError(
-                    f"tile {t} projects to unassigned lb slab {tuple(key)}"
-                ) from None
+        from ..errors import RuntimeExecutionError
+        from ..runtime.spmd import spmd_rank_assignment
+
+        try:
+            assignment = spmd_rank_assignment(
+                program, params, graph, machine.nodes, lb_method=lb_method
+            )
+        except RuntimeExecutionError as exc:
+            raise SimulationError(str(exc)) from None
     return simulate(
         graph, machine, assignment=assignment, priority_scheme=priority_scheme
     )

@@ -87,6 +87,27 @@ class TestRun:
         assert rc == 0
         assert "objective" in capsys.readouterr().out
 
+    def test_spmd_ranks(self, capsys):
+        rc = main_run(
+            ["--problem", "bandit2", "--tile-width", "3", "--ranks", "2",
+             "N=10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tiles per rank" in out
+        assert "cross-rank msgs" in out
+        assert "bit-identical" in out
+
+    def test_spec_file_with_ranks(self, spec_file, capsys):
+        rc = main_run(["--spec", str(spec_file), "--ranks", "2", "M=9"])
+        assert rc == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_bad_rank_count_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main_run(["--problem", "bandit2", "--ranks", "0", "N=6"])
+        assert exc.value.code == 2
+
     def test_unknown_problem(self):
         with pytest.raises(SystemExit):
             main_run(["--problem", "nope"])

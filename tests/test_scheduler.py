@@ -1,0 +1,337 @@
+"""The rank-aware scheduler core and the multi-rank SPMD harness.
+
+One engine (:class:`repro.runtime.scheduler.TileScheduler`) owns the
+pending/ready/edge state machine; the executor, the SPMD harness and
+the simulator are drivers.  These tests pin the properties that make
+that single-core design trustworthy:
+
+* rank-count invariance — ``execute(..., ranks=P)`` is bit-identical to
+  ``ranks=1`` for every P, for objective values and every recorded cell
+  (the end-to-end numerical validation of load balance + packing +
+  priority);
+* determinism — two runs at the same rank count produce byte-identical
+  transition-event traces;
+* per-rank edge-memory accounting — rank peaks sum-bound the aggregate
+  peak;
+* protocol parity — SPMD cross-rank message counts equal the
+  simulator's ``messages`` for the same machine shape.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime import (
+    TileGraph,
+    TileScheduler,
+    compiled_executor,
+    encode_events,
+    execute,
+    run_spmd,
+    spmd_rank_assignment,
+    tile_graph,
+)
+from repro.simulate import MachineModel, simulate, simulate_program
+
+
+@pytest.fixture(scope="module")
+def graph(bandit2_program):
+    return TileGraph.build(bandit2_program, {"N": 7})
+
+
+class TestTileScheduler:
+    def test_seed_makes_initial_tiles_ready(self, graph):
+        sched = TileScheduler(graph)
+        sched.seed()
+        ready = set()
+        while sched.has_ready(0):
+            ready.add(sched.start_tile(0))
+        assert ready == set(graph.initial_rows().tolist())
+
+    def test_start_tile_respects_priority(self, graph):
+        sched = TileScheduler(graph, priority_scheme="column-major")
+        sched.seed()
+        prio = sched.prio
+        popped = []
+        while sched.has_ready(0):
+            popped.append(sched.start_tile(0))
+        assert popped == sorted(popped, key=lambda r: (prio[r], r))
+
+    def test_idle_rank_returns_none(self, graph):
+        sched = TileScheduler(graph, ranks=2)
+        assert sched.start_tile(1) is None
+
+    def test_over_delivery_raises(self, graph):
+        sched = TileScheduler(graph)
+        sched.seed()
+        row = sched.start_tile(0)
+        consumer, _, cells, _ = sched.outgoing(row)[0]
+        nprod = len(graph.producer_edges(consumer))
+        sched.send_edge(row, consumer, cells=cells)
+        for _ in range(nprod):
+            sched.deliver_edge(consumer)
+        with pytest.raises(RuntimeExecutionError):
+            sched.deliver_edge(consumer)
+
+    def test_verify_drained_detects_deadlock(self, graph):
+        sched = TileScheduler(graph)
+        sched.seed()
+        sched.finish_tile(sched.start_tile(0))
+        with pytest.raises(RuntimeExecutionError, match="deadlocked"):
+            sched.verify_drained()
+
+    def test_rank_assignment_validated(self, graph):
+        T = len(graph.tile_tuples)
+        with pytest.raises(RuntimeExecutionError):
+            TileScheduler(graph, ranks=2, rank_of=[5] * T)
+        with pytest.raises(RuntimeExecutionError):
+            TileScheduler(graph, ranks=2, rank_of=[0] * (T - 1))
+        with pytest.raises(RuntimeExecutionError):
+            TileScheduler(graph, ranks=0)
+
+    def test_event_trace_shape(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 6}, record_events=True)
+        graph = tile_graph(bandit2_program, {"N": 6})
+        T = len(graph.tile_tuples)
+        kinds = [e.kind for e in res.events]
+        assert kinds.count("tile_ready") == T
+        assert kinds.count("tile_start") == T
+        assert kinds.count("tile_done") == T
+        assert kinds.count("edge_sent") == graph.num_edges()
+        # Sequence numbers are the deterministic total order.
+        assert [e.seq for e in res.events] == list(range(len(res.events)))
+        # Every tile starts after it became ready, finishes after it started.
+        ready_at = {e.tile: e.seq for e in res.events if e.kind == "tile_ready"}
+        start_at = {e.tile: e.seq for e in res.events if e.kind == "tile_start"}
+        done_at = {e.tile: e.seq for e in res.events if e.kind == "tile_done"}
+        for tile in start_at:
+            assert ready_at[tile] < start_at[tile] < done_at[tile]
+
+    def test_events_off_by_default(self, bandit2_program):
+        assert execute(bandit2_program, {"N": 6}).events is None
+
+
+class TestRankInvariance:
+    """execute(..., ranks=P) is bit-identical to ranks=1 for all P."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        ranks=st.integers(min_value=1, max_value=4),
+    )
+    def test_bandit2_objective_and_values(self, bandit2_program, n, ranks):
+        base = execute(bandit2_program, {"N": n}, record_values=True)
+        spmd = execute(
+            bandit2_program, {"N": n}, ranks=ranks, record_values=True
+        )
+        assert spmd.objective_value == base.objective_value
+        assert spmd.values == base.values
+        assert spmd.cells_computed == base.cells_computed
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        la=st.integers(min_value=1, max_value=9),
+        lb=st.integers(min_value=1, max_value=9),
+        ranks=st.integers(min_value=1, max_value=4),
+    )
+    def test_edit_distance_objective_and_values(
+        self, edit_program, la, lb, ranks
+    ):
+        params = {"LA": la, "LB": lb}
+        base = execute(edit_program, params, record_values=True)
+        spmd = execute(edit_program, params, ranks=ranks, record_values=True)
+        assert spmd.objective_value == base.objective_value
+        assert spmd.values == base.values
+
+    @pytest.mark.parametrize("ranks", [2, 3, 4])
+    def test_value_at_matches(self, bandit2_program, ranks):
+        base = execute(bandit2_program, {"N": 6}, record_values=True)
+        spmd = execute(
+            bandit2_program, {"N": 6}, ranks=ranks, record_values=True
+        )
+        loop_vars = bandit2_program.spec.loop_vars
+        for key in base.values:
+            point = dict(zip(loop_vars, key))
+            assert spmd.value_at(point, loop_vars) == base.value_at(
+                point, loop_vars
+            )
+
+    @pytest.mark.parametrize("fixture,params", [
+        ("bandit3_program", {"N": 5}),
+        ("lcs3_program", {"L1": 8, "L2": 9, "L3": 10}),
+        ("msa3_program", {"L1": 8, "L2": 9, "L3": 10}),
+    ])
+    def test_other_problems_at_three_ranks(self, request, fixture, params):
+        program = request.getfixturevalue(fixture)
+        base = execute(program, params)
+        spmd = execute(program, params, ranks=3)
+        assert spmd.objective_value == base.objective_value
+
+    def test_interpreter_mode_matches_too(self, bandit2_program):
+        base = execute(bandit2_program, {"N": 7}, mode="interpret")
+        spmd = execute(bandit2_program, {"N": 7}, ranks=3, mode="interpret")
+        assert spmd.mode == "interpret"
+        assert spmd.objective_value == base.objective_value
+
+    def test_arbitrary_assignment_still_identical(self, bandit2_program):
+        # A pathological round-robin partition (messages flow in every
+        # direction) must still be numerically invisible.
+        params = {"N": 7}
+        graph = tile_graph(bandit2_program, params)
+        T = len(graph.tile_tuples)
+        rank_of = [r % 3 for r in range(T)]
+        base = execute(bandit2_program, params, record_values=True)
+        spmd = run_spmd(
+            bandit2_program, params, ranks=3, rank_of=rank_of,
+            record_values=True,
+        )
+        assert spmd.objective_value == base.objective_value
+        assert spmd.values == base.values
+
+    def test_tile_order_is_topological(self, bandit2_program):
+        params = {"N": 7}
+        res = execute(bandit2_program, params, ranks=3)
+        tile_graph(bandit2_program, params).validate_schedule(res.tile_order)
+
+    def test_tiles_per_rank_totals(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 7}, ranks=3)
+        assert sum(res.tiles_per_rank) == res.tiles_executed
+        assert res.ranks == 3
+
+
+class TestDeterminism:
+    """Two runs at the same rank count: byte-identical event traces."""
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3])
+    def test_execute_trace_reproducible(self, bandit2_program, ranks):
+        runs = [
+            execute(
+                bandit2_program, {"N": 7}, ranks=ranks, record_events=True
+            )
+            for _ in range(2)
+        ]
+        a, b = (encode_events(r.events) for r in runs)
+        assert a == b
+        assert runs[0].tile_order == runs[1].tile_order
+
+    def test_trace_differs_across_rank_counts(self, bandit2_program):
+        # Sanity: the trace is rank-aware, not a constant.
+        one = execute(bandit2_program, {"N": 7}, ranks=1, record_events=True)
+        two = execute(bandit2_program, {"N": 7}, ranks=2, record_events=True)
+        assert encode_events(one.events) != encode_events(two.events)
+
+
+class TestPerRankMemory:
+    def test_single_rank_per_rank_equals_aggregate(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 7})
+        assert res.memory_per_rank == [res.memory]
+        assert res.peak_edge_cells_per_rank == [res.memory["peak_cells"]]
+
+    @pytest.mark.parametrize("ranks", [2, 3, 4])
+    def test_rank_peaks_sum_bound_single_rank_peak(
+        self, bandit2_program, ranks
+    ):
+        single = execute(bandit2_program, {"N": 8})
+        spmd = execute(bandit2_program, {"N": 8}, ranks=ranks)
+        assert sum(spmd.peak_edge_cells_per_rank) >= single.memory[
+            "peak_cells"
+        ]
+        # And within the SPMD run, rank peaks sum-bound its own aggregate
+        # peak (each rank's live cells are bounded by its own peak at the
+        # aggregate's peak instant).
+        assert sum(spmd.peak_edge_cells_per_rank) >= spmd.memory["peak_cells"]
+
+    def test_aggregate_conserved_across_ranks(self, bandit2_program):
+        single = execute(bandit2_program, {"N": 8})
+        spmd = execute(bandit2_program, {"N": 8}, ranks=3)
+        # Every edge is packed exactly once whatever the partition.
+        assert (
+            spmd.memory["total_packed_cells"]
+            == single.memory["total_packed_cells"]
+        )
+        assert spmd.memory["total_edges"] == single.memory["total_edges"]
+        assert spmd.memory["live_cells"] == 0
+        assert sum(m["total_edges"] for m in spmd.memory_per_rank) == (
+            spmd.memory["total_edges"]
+        )
+
+
+class TestSimulatorParity:
+    """The simulator drives the same core; protocols must agree."""
+
+    @pytest.mark.parametrize("nodes", [2, 4])
+    def test_cross_rank_messages_match_simulator(
+        self, bandit2_w4_program, nodes
+    ):
+        params = {"N": 15}
+        spmd = execute(bandit2_w4_program, params, ranks=nodes)
+        sim = simulate_program(
+            bandit2_w4_program,
+            params,
+            MachineModel(nodes=nodes, cores_per_node=4),
+        )
+        assert sim.messages == spmd.cross_rank_messages
+        assert sim.bytes_sent == (
+            spmd.cross_rank_cells * sim.machine.bytes_per_cell
+        )
+
+    def test_simulator_reports_per_node_memory(self, bandit2_w4_program):
+        params = {"N": 15}
+        machine = MachineModel(nodes=2, cores_per_node=4)
+        sim = simulate_program(bandit2_w4_program, params, machine)
+        assert len(sim.memory_per_node) == 2
+        assert sim.peak_edge_bytes_per_node == [
+            m["peak_cells"] * machine.bytes_per_cell
+            for m in sim.memory_per_node
+        ]
+        # All edges consumed by the end of the run.
+        assert all(m["live_cells"] == 0 for m in sim.memory_per_node)
+
+    def test_simulator_row_assignment_equals_mapping(self, bandit2_w4_program):
+        params = {"N": 15}
+        graph = tile_graph(bandit2_w4_program, params)
+        machine = MachineModel(nodes=2, cores_per_node=4)
+        rows = spmd_rank_assignment(bandit2_w4_program, params, graph, 2)
+        mapping = {
+            t: int(n) for t, n in zip(graph.tile_tuples, rows.tolist())
+        }
+        by_rows = simulate(graph, machine, assignment=rows)
+        by_map = simulate(graph, machine, assignment=mapping)
+        assert by_rows.makespan_s == by_map.makespan_s
+        assert by_rows.messages == by_map.messages
+
+
+class TestPublicCheckAPI:
+    def test_validity_checks_exposed(self, bandit2_program):
+        ce = compiled_executor(bandit2_program)
+        check_fns, per_template = ce.validity_checks
+        assert set(per_template) == set(
+            bandit2_program.spec.templates.names()
+        )
+        env = dict({"N": 5})
+        env.update(
+            {v: 0 for v in bandit2_program.spec.loop_vars}
+        )
+        for name, ids in per_template.items():
+            for idx in ids:
+                assert check_fns[idx](env) in (True, False)
+
+    def test_recovery_uses_no_private_executor_api(self):
+        import repro.runtime.recover as recover
+
+        source = inspect.getsource(recover)
+        assert "_compile_checks" not in source
+        assert "compile_scanner" not in source
