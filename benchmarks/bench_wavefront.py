@@ -1,0 +1,125 @@
+"""WAVE — per-tile vector engine vs wavefront-fused batch execution.
+
+Measures end-to-end ``execute(mode="vector")`` against
+``execute(mode="wavefront")`` on the two shapes that bracket the fused
+path's regimes:
+
+* 2-D LCS at N = 2048 with 32-wide tiles — 65-tile-long fronts of dense
+  full tiles, where batch draining amortizes the per-tile Python cost
+  (ghost allocation, pack/unpack round-trips, per-tile validity) over
+  whole fronts; and
+* the 4-D 2-arm bandit at N = 60 — thousands of tiny ragged tiles where
+  the per-tile path is pure scheduling overhead and fronts are huge.
+
+Bit-identity is asserted on the benchmark instances themselves
+(objective and cell counts).  Full runs write ``BENCH_wavefront.json``
+at the repository root so later PRs can track the trajectory; ``--quick``
+uses small instances and writes only the textual report under
+``benchmarks/out/`` (it never touches the committed JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.generator import generate
+from repro.problems import lcs_spec, random_sequence, two_arm_spec
+from repro.runtime import TileGraph, execute
+
+from _common import write_report
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_wavefront.json"
+
+LCS_N = 2048
+LCS_TILE = 32
+BANDIT_N = 60
+BANDIT_TILE = 8
+
+QUICK_LCS_N = 256
+QUICK_BANDIT_N = 16
+
+
+def _measure(program, params, mode, repeats):
+    graph = TileGraph.build(program, params)
+    # Warm-up triggers the one-time per-program compilation (scanner,
+    # vector engine, wavefront geometry, static levels).
+    execute(program, params, graph=graph, mode=mode)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute(program, params, graph=graph, mode=mode)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def _bench_case(name, program, params, repeats):
+    vector, t_v = _measure(program, params, "vector", repeats)
+    wave, t_w = _measure(program, params, "wavefront", repeats)
+    assert wave.objective_value == vector.objective_value
+    assert wave.cells_computed == vector.cells_computed
+    cells = vector.cells_computed
+    return {
+        "case": name,
+        "params": dict(params),
+        "tile_widths": dict(program.spec.tile_widths),
+        "cells": cells,
+        "objective": wave.objective_value,
+        "vector_s": t_v,
+        "wavefront_s": t_w,
+        "vector_cells_per_s": cells / t_v,
+        "wavefront_cells_per_s": cells / t_w,
+        "speedup": t_v / t_w,
+    }
+
+
+def run_bench(repeats=2, quick=False):
+    lcs_n = QUICK_LCS_N if quick else LCS_N
+    bandit_n = QUICK_BANDIT_N if quick else BANDIT_N
+    a = random_sequence(lcs_n, seed=71)
+    b = random_sequence(lcs_n, seed=72)
+    lcs_program = generate(lcs_spec([a, b], tile_width=min(LCS_TILE, lcs_n)))
+    bandit_program = generate(two_arm_spec(tile_width=BANDIT_TILE))
+    rows = [
+        _bench_case(
+            "lcs2", lcs_program, {"L1": lcs_n, "L2": lcs_n}, repeats
+        ),
+        _bench_case("bandit2", bandit_program, {"N": bandit_n}, repeats),
+    ]
+    if not quick:
+        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    lines = []
+    for r in rows:
+        lines.append(
+            f"WAVE {r['case']}: {r['cells']} cells | "
+            f"vector {r['vector_cells_per_s'] / 1e6:.2f}M cells/s | "
+            f"wavefront {r['wavefront_cells_per_s'] / 1e6:.2f}M cells/s | "
+            f"speedup {r['speedup']:.1f}x"
+        )
+    write_report("wavefront", "\n".join(lines))
+    return rows
+
+
+def test_wavefront_fusion():
+    rows = run_bench()
+    lcs_row = next(r for r in rows if r["case"] == "lcs2")
+    bandit_row = next(r for r in rows if r["case"] == "bandit2")
+    # The acceptance bar: batch draining must beat tile-at-a-time by a
+    # wide margin on both dense-front and many-tiny-tile shapes.
+    assert lcs_row["speedup"] >= 5.0
+    assert bandit_row["speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instances, no JSON update (CI smoke mode)",
+    )
+    args = parser.parse_args()
+    run_bench(repeats=1 if args.quick else 2, quick=args.quick)

@@ -170,6 +170,16 @@ def main_run(argv=None) -> int:
         "balancer and routes cross-rank edges through in-memory message "
         "queues (and cross-checks the result against a single-rank run)",
     )
+    ap.add_argument(
+        "--mode",
+        choices=("auto", "interpret", "vector", "wavefront"),
+        default="auto",
+        help="execution engine: 'wavefront' drains whole ready-fronts "
+        "through one fused numpy evaluation, 'vector' runs tile-at-a-"
+        "time numpy wavefronts, 'interpret' evaluates cell by cell; "
+        "'auto' (default) picks the fastest engine the problem supports "
+        "and degrades gracefully",
+    )
     ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
     args = ap.parse_args(argv)
     if args.ranks < 1:
@@ -187,12 +197,13 @@ def main_run(argv=None) -> int:
         result = execute(
             program, params, kernel=kernel,
             priority_scheme=args.priority, ranks=args.ranks,
+            mode=args.mode,
         )
         single = None
         if args.ranks > 1:
             single = execute(
                 program, params, kernel=kernel,
-                priority_scheme=args.priority,
+                priority_scheme=args.priority, mode=args.mode,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -200,6 +211,7 @@ def main_run(argv=None) -> int:
     print(spec.describe())
     print()
     print(f"parameters        : {params}")
+    print(f"engine mode       : {result.mode}")
     print(f"tiles executed    : {result.tiles_executed}")
     print(f"cells computed    : {result.cells_computed}")
     print(f"peak edge buffer  : {result.memory['peak_cells']} cells "

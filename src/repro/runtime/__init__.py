@@ -15,7 +15,12 @@ from .executor import (
     execute,
     solve_reference,
 )
-from .fastpath import VectorTileEngine, vector_unsupported_reason
+from .fastpath import (
+    VectorTileEngine,
+    WavefrontEngine,
+    WavefrontRun,
+    vector_unsupported_reason,
+)
 from .spmd import run_spmd, spmd_rank_assignment
 from .recover import Policy, SolutionRecovery
 
@@ -36,6 +41,8 @@ __all__ = [
     "execute",
     "solve_reference",
     "VectorTileEngine",
+    "WavefrontEngine",
+    "WavefrontRun",
     "vector_unsupported_reason",
     "run_spmd",
     "spmd_rank_assignment",

@@ -47,11 +47,16 @@ from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
 from ..polyhedra.compile import compile_scanner
 from ..spec import Kernel
-from .fastpath import VectorTileEngine, vector_unsupported_reason
+from .fastpath import (
+    VectorTileEngine,
+    WavefrontEngine,
+    WavefrontRun,
+    vector_unsupported_reason,
+)
 from .graph import TileGraph, TileIndex, tile_graph
 from .scheduler import TileScheduler, TransitionEvent
 
-EXECUTION_MODES = ("auto", "interpret", "vector")
+EXECUTION_MODES = ("auto", "interpret", "vector", "wavefront")
 
 
 @dataclass
@@ -111,15 +116,17 @@ def _compile_checks(program: GeneratedProgram):
     """
     check_fns = []
     for c in program.validity.checks:
-        items: List[Tuple[str, int]] = []
-        for name, coef in c.expr.terms():
-            if coef.denominator != 1:
-                raise RuntimeExecutionError(f"non-integral check constraint {c}")
-            items.append((name, coef.numerator))
+        # Integral coefficients stay plain ints (the fast common case);
+        # rational coefficients keep their exact Fraction so the
+        # interpreter still evaluates the check correctly — the vector
+        # engine rejects such programs at construction and auto mode
+        # falls back here.
+        items = [
+            (name, coef.numerator if coef.denominator == 1 else coef)
+            for name, coef in c.expr.terms()
+        ]
         const = c.expr.constant
-        if const.denominator != 1:
-            raise RuntimeExecutionError(f"non-integral check constraint {c}")
-        const_i = const.numerator
+        const_i = const.numerator if const.denominator == 1 else const
         is_eq = c.is_equality()
 
         def fn(env, items=tuple(items), const_i=const_i, is_eq=is_eq):
@@ -178,6 +185,26 @@ class _RunState:
         self._point: Dict[str, int] = {}
         self._deps: Dict[str, Optional[float]] = {}
 
+    def note_objective(self, tile: TileIndex, array: np.ndarray) -> None:
+        """Record the objective cell if *tile* holds it (array engines).
+
+        The vector and wavefront engines write whole arrays instead of
+        visiting points one by one, so the objective is read back from
+        the tile's padded array after evaluation; NaN means the
+        objective point is outside the iteration space (prefix runs).
+        """
+        if tile != self.objective_tile:
+            return
+        spec = self.ce.spec
+        widths = spec.tile_width_vector()
+        local = tuple(
+            self.objective[x] - widths[k] * tile[k]
+            for k, x in enumerate(spec.loop_vars)
+        )
+        value = array[self.ce.program.layout.array_index(local)]
+        if not np.isnan(value):
+            self.objective_value = float(value)
+
     def execute_tile(self, tile: TileIndex, array: np.ndarray) -> int:
         """Evaluate every in-space cell of *tile*; returns cells computed."""
         ce = self.ce
@@ -188,14 +215,7 @@ class _RunState:
         engine = self.engine
         if engine is not None:
             cells = engine.execute_tile(tile, array, self.params, values)
-            if tile == self.objective_tile:
-                local = tuple(
-                    self.objective[x] - widths[k] * tile[k]
-                    for k, x in enumerate(spec.loop_vars)
-                )
-                value = array[layout.array_index(local)]
-                if not np.isnan(value):
-                    self.objective_value = float(value)
+            self.note_objective(tile, array)
             self.cells_computed += cells
             return cells
 
@@ -271,6 +291,9 @@ class CompiledExecutor:
         self._vector_engine: Optional[VectorTileEngine] = None
         self._vector_reason: Optional[str] = None
         self._vector_probed = False
+        self._wavefront_engine: Optional[WavefrontEngine] = None
+        self._wavefront_reason: Optional[str] = None
+        self._wavefront_probed = False
 
     # -- public compiled artifacts --------------------------------------------
 
@@ -290,12 +313,23 @@ class CompiledExecutor:
 
     @property
     def vector_engine(self) -> Optional[VectorTileEngine]:
-        """The vectorized engine, or None with ``vector_reason`` set."""
+        """The vectorized engine, or None with ``vector_reason`` set.
+
+        Engine *construction* failures (e.g. non-integral check
+        constraints the interval analysis cannot split) fold into the
+        reason instead of escaping, so auto mode degrades to the
+        interpreter rather than crashing after dispatch committed.
+        """
         if not self._vector_probed:
             self._vector_probed = True
             reason = vector_unsupported_reason(self.program)
             if reason is None:
-                self._vector_engine = VectorTileEngine(self.program)
+                try:
+                    self._vector_engine = VectorTileEngine(self.program)
+                except RuntimeExecutionError as exc:
+                    self._vector_reason = (
+                        f"vector engine construction failed: {exc}"
+                    )
             else:
                 self._vector_reason = reason
         return self._vector_engine
@@ -305,8 +339,49 @@ class CompiledExecutor:
         self.vector_engine  # noqa: B018 - force the probe
         return self._vector_reason
 
-    def resolve_mode(self, mode: str, kernel: Optional[Kernel]) -> str:
-        """Dispatch ``auto``/``interpret``/``vector`` to a concrete engine."""
+    @property
+    def wavefront_engine(self) -> Optional[WavefrontEngine]:
+        """The wavefront-fused batch engine, or None with a reason set.
+
+        Requires the per-tile vector engine (same support condition);
+        shares its compiled artifacts.
+        """
+        if not self._wavefront_probed:
+            self._wavefront_probed = True
+            if self.vector_engine is None:
+                self._wavefront_reason = self._vector_reason
+            else:
+                try:
+                    self._wavefront_engine = WavefrontEngine(
+                        self.program, tile_engine=self.vector_engine
+                    )
+                except RuntimeExecutionError as exc:
+                    self._wavefront_reason = (
+                        f"wavefront engine construction failed: {exc}"
+                    )
+        return self._wavefront_engine
+
+    @property
+    def wavefront_reason(self) -> Optional[str]:
+        self.wavefront_engine  # noqa: B018 - force the probe
+        return self._wavefront_reason
+
+    def resolve_mode(
+        self,
+        mode: str,
+        kernel: Optional[Kernel],
+        keep_edges: bool = False,
+    ) -> str:
+        """Dispatch ``auto``/``interpret``/``vector``/``wavefront`` to a
+        concrete engine.
+
+        Auto prefers the wavefront-fused batch path, stepping down to
+        the per-tile vector engine when the run must retain packed edges
+        (``keep_edges`` — wavefront interior edges are array views,
+        never packed) and to the interpreter when the program has no
+        vector kernel, a custom scalar kernel, or engine construction
+        failed.  Forced modes raise instead of degrading.
+        """
         if mode not in EXECUTION_MODES:
             raise RuntimeExecutionError(
                 f"unknown execution mode {mode!r}; expected one of "
@@ -316,9 +391,9 @@ class CompiledExecutor:
             return "interpret"
         custom_kernel = kernel is not None and kernel is not self.spec.kernel
         if custom_kernel:
-            if mode == "vector":
+            if mode in ("vector", "wavefront"):
                 raise RuntimeExecutionError(
-                    "vector mode cannot run a custom scalar kernel; pass "
+                    f"{mode} mode cannot run a custom scalar kernel; pass "
                     "mode='interpret' or a spec with a matching vector_kernel"
                 )
             return "interpret"
@@ -327,8 +402,29 @@ class CompiledExecutor:
                 raise RuntimeExecutionError(
                     f"vector mode unavailable: {self._vector_reason}"
                 )
+            if mode == "wavefront":
+                raise RuntimeExecutionError(
+                    f"wavefront mode unavailable: {self._vector_reason}"
+                )
             return "interpret"
-        return "vector"
+        if mode == "vector":
+            return "vector"
+        if mode == "wavefront":
+            if keep_edges:
+                raise RuntimeExecutionError(
+                    "wavefront mode cannot retain packed edges: interior "
+                    "edges are array views, never packed; use "
+                    "mode='vector' with keep_edges=True"
+                )
+            if self.wavefront_engine is None:
+                raise RuntimeExecutionError(
+                    f"wavefront mode unavailable: {self._wavefront_reason}"
+                )
+            return "wavefront"
+        # auto
+        if keep_edges or self.wavefront_engine is None:
+            return "vector"
+        return "wavefront"
 
     def make_run_state(
         self,
@@ -366,10 +462,14 @@ class CompiledExecutor:
     ) -> ExecutionResult:
         """One single-rank run: drive the scheduler core, tile by tile."""
         program = self.program
-        resolved = self.resolve_mode(mode, kernel)
+        resolved = self.resolve_mode(mode, kernel, keep_edges)
         params = dict(params)
         if graph is None:
             graph = tile_graph(program, params)
+        if resolved == "wavefront":
+            return self._run_wavefront(
+                params, graph, priority_scheme, record_values, record_events
+            )
         spaces = program.spaces
         layout = program.layout
         local_vars = spaces.local_vars
@@ -443,6 +543,76 @@ class CompiledExecutor:
             events=sched.events,
         )
 
+    def _run_wavefront(
+        self,
+        params: Dict[str, int],
+        graph: TileGraph,
+        priority_scheme: str,
+        record_values: bool,
+        record_events: bool,
+    ) -> ExecutionResult:
+        """One single-rank wavefront-fused run: drain whole fronts.
+
+        The batch scheduler pops every ready tile of the current static
+        wavefront level at once and :class:`WavefrontRun` evaluates the
+        front against one shared padded array — interior edges travel as
+        array slices, so nothing is ever packed (the priority scheme is
+        irrelevant here: the schedule *is* the level order).  The
+        per-tile path stays the oracle; results are pinned bit-identical
+        in tests/test_wavefront.py.
+        """
+        state = self.make_run_state(params, None, "wavefront", record_values)
+        sched = TileScheduler(
+            graph,
+            priority_scheme=priority_scheme,
+            record_events=record_events,
+            batch=True,
+        )
+        sched.seed()
+        run = WavefrontRun(
+            self.wavefront_engine, graph, params, values=state.values
+        )
+
+        tile_tuples = graph.tile_tuples
+        tile_order: List[TileIndex] = []
+        while True:
+            rows = sched.start_batch(0)
+            if not rows:
+                break
+            batch = run.execute_batch(rows)
+            for b, row in enumerate(rows):
+                tile = tile_tuples[row]
+                tile_order.append(tile)
+                state.note_objective(tile, batch[b])
+                for consumer, _, _, _ in sched.outgoing(row):
+                    sched.deliver_edge(consumer)
+                sched.finish_tile(row)
+
+        sched.verify_drained()
+        run.verify_drained()
+        state.cells_computed = run.cells
+        if state.cells_computed != graph.total_work():
+            raise RuntimeExecutionError(
+                f"computed {state.cells_computed} cells but the graph holds "
+                f"{graph.total_work()} points"
+            )
+
+        return ExecutionResult(
+            objective_point=state.objective,
+            objective_value=state.objective_value,
+            tiles_executed=len(tile_order),
+            cells_computed=state.cells_computed,
+            tile_order=tile_order,
+            memory=sched.memory_snapshot(),
+            values=state.values,
+            edges=None,
+            mode="wavefront",
+            ranks=1,
+            memory_per_rank=sched.memory_per_rank(),
+            tiles_per_rank=list(sched.finished_per_rank),
+            events=sched.events,
+        )
+
 
 def compiled_executor(program: GeneratedProgram) -> CompiledExecutor:
     """The per-program :class:`CompiledExecutor`, built once and cached."""
@@ -476,10 +646,12 @@ def execute(
     of the O(n^d) full space — enabling solution recovery by on-the-fly
     tile recomputation (paper Section VII-A; see
     :class:`repro.runtime.recover.SolutionRecovery`).  *mode* selects
-    the center-loop engine: ``"auto"`` (vectorized fast path when the
-    spec has a vector kernel and no custom *kernel* is given, else the
-    interpreter), ``"interpret"``, or ``"vector"`` (raises when the fast
-    path cannot run this program).  *ranks* > 1 partitions the tiles
+    the center-loop engine: ``"auto"`` (wavefront-fused batch execution
+    when the spec has a vector kernel and no custom *kernel* is given,
+    stepping down to the per-tile vector engine under *keep_edges* and
+    to the interpreter otherwise), ``"interpret"``, ``"vector"``, or
+    ``"wavefront"`` (forced modes raise when the engine cannot run this
+    program).  *ranks* > 1 partitions the tiles
     with the load balancer (*lb_method*) and runs the SPMD harness —
     same numbers, plus per-rank accounting and cross-rank message
     counts.  *record_events* returns the scheduler's transition trace

@@ -44,7 +44,12 @@ from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
 from ..polyhedra import Constraint
 
-__all__ = ["VectorTileEngine", "vector_unsupported_reason"]
+__all__ = [
+    "VectorTileEngine",
+    "WavefrontEngine",
+    "WavefrontRun",
+    "vector_unsupported_reason",
+]
 
 
 def vector_unsupported_reason(program: GeneratedProgram) -> Optional[str]:
@@ -333,3 +338,352 @@ class VectorTileEngine:
                 ).tolist()
                 values.update(zip(map(tuple, cols), out.tolist()))
         return ncells
+
+
+class WavefrontEngine:
+    """Evaluates whole ready-fronts of tiles as one batched operation.
+
+    The per-tile :class:`VectorTileEngine` still pays Python per tile:
+    one ghost-array allocation, one pack/unpack round-trip per edge (a
+    cell-by-cell Python loop), one validity evaluation, and one kernel
+    call per intra-tile wavefront.  This engine amortizes all of that
+    over a *batch* — every simultaneously-ready tile of one static
+    wavefront level (see
+    :meth:`repro.runtime.scheduler.TileScheduler.start_batch`):
+
+    * the batch shares a single padded ghost array of shape
+      ``(B, *padded_shape)``, allocated once per front;
+    * interior cross-tile edges are **array slices**: a consumer's ghost
+      margin is filled directly from the retained interior of its
+      producer (``fill_slices`` maps each delta to a static
+      producer-slab → consumer-window slice pair), so the pack/copy/
+      unpack round-trip disappears.  Packed edges survive only at rank
+      boundaries (SPMD) — exactly the edges the generated C sends over
+      MPI;
+    * interval analysis runs **batched**: one integer matmul classifies
+      every validity check of every tile in the front as uniformly
+      true/false or mixed.  Tiles whose box is fully in space and whose
+      checks all collapse are evaluated *fused* — one vector-kernel call
+      per intra-tile level for the whole sub-batch; the rest fall back
+      to the per-tile engine on their own padded row (identical
+      numerics, still no packing).
+
+    Bit-identity with the per-tile path holds because vector kernels are
+    lane-wise: stacking tiles along a batch axis feeds every cell the
+    same dependency values through the same IEEE operations in the same
+    order.  Results are pinned against ``mode="vector"``, the
+    interpreter and ``solve_reference`` in tests/test_wavefront.py.
+
+    Construction derives only program-level geometry; per-run state
+    (retained interiors, refcounts, parameter-folded check bases) lives
+    in :class:`WavefrontRun`.
+    """
+
+    def __init__(
+        self,
+        program: GeneratedProgram,
+        tile_engine: Optional[VectorTileEngine] = None,
+    ):
+        self.tile_engine = (
+            tile_engine if tile_engine is not None
+            else VectorTileEngine(program)
+        )
+        eng = self.tile_engine
+        self.program = program
+        self.spec = eng.spec
+        self.layout = eng.layout
+        self.loop_vars = eng.loop_vars
+        self.widths = eng.widths
+        self.padded_shape = tuple(eng.layout.padded_shape)
+        self.interior_slices = eng.interior_slices
+        self.deltas = list(program.deltas)
+
+        # Ghost-fill geometry per delta (producer = consumer + delta):
+        # the producer-interior slab visible through the consumer's
+        # padded window, and the window slice it lands in.  With
+        # ``i_consumer = i_producer + w_k * delta_k`` both are static.
+        ghost_lo = eng.layout.ghost_lo
+        ghost_hi = eng.layout.ghost_hi
+        self.fill_slices: Dict[tuple, Tuple[tuple, tuple]] = {}
+        for delta in self.deltas:
+            src: List[slice] = []
+            dst: List[slice] = []
+            for k, d in enumerate(delta):
+                w = self.widths[k]
+                lo = ghost_lo[k]
+                hi = ghost_hi[k]
+                p_lo = max(0, -lo - d * w)
+                p_hi = min(w, w + hi - d * w)
+                src.append(slice(p_lo, p_hi))
+                dst.append(slice(p_lo + d * w + lo, p_hi + d * w + lo))
+            self.fill_slices[delta] = (tuple(src), tuple(dst))
+
+        # Batched interval analysis: stack every space constraint and
+        # validity check into one (d, P) tile-coefficient matrix so a
+        # single integer matmul yields the per-tile scalar base of every
+        # part for the whole batch.
+        self._parts = list(eng._space_parts) + list(eng._check_parts)
+        self._n_space = len(eng._space_parts)
+        d = len(self.loop_vars)
+        if self._parts:
+            self._coef = np.array(
+                [p["tile_coefs"] for p in self._parts], dtype=np.int64
+            ).T
+        else:
+            self._coef = np.zeros((d, 0), dtype=np.int64)
+        self.per_template = eng.per_template
+
+
+class WavefrontRun:
+    """Per-run state of the wavefront-fused executor.
+
+    Holds the retained tile interiors (the slice-copy substitute for
+    packed interior edges), their refcounts (number of *same-rank*
+    consumers still to run), the parameter-folded check bases, and the
+    run's ``values``/cell accounting.  Drivers call
+    :meth:`execute_batch` once per drained front and
+    :meth:`verify_drained` after the loop.
+    """
+
+    def __init__(
+        self,
+        engine: WavefrontEngine,
+        graph,
+        params: Mapping[str, int],
+        rank_of: Optional[Sequence[int]] = None,
+        values: Optional[Dict[Tuple[int, ...], float]] = None,
+    ):
+        self.engine = engine
+        self.graph = graph
+        self.params = dict(params)
+        self.values = values
+        self.cells = 0
+        self._store: Dict[int, np.ndarray] = {}
+        self._refs: Dict[int, int] = {}
+        # Per-part scalar base with the run's parameters folded in; the
+        # batch classification only adds the tile term.
+        base0 = [
+            p["const"]
+            + sum(c * self.params[name] for name, c in p["param_items"])
+            for p in engine._parts
+        ]
+        self._base0 = np.asarray(base0, dtype=np.int64)
+        # How many consumers of each row read its interior through the
+        # shared array (same rank); cross-rank consumers go through
+        # packed edges and are not counted.
+        counts = np.diff(graph.cons_ptr)
+        if rank_of is None:
+            self._nlocal = counts.astype(np.int64)
+        else:
+            r = np.asarray(rank_of, dtype=np.int64)
+            owner = np.repeat(np.arange(counts.size), counts)
+            same = r[owner] == r[graph.cons_rows]
+            self._nlocal = np.bincount(
+                owner[same], minlength=counts.size
+            ).astype(np.int64)
+
+    # -- batched interval analysis -------------------------------------------
+
+    def _classify(self, tiles_arr: np.ndarray):
+        """Fusable mask + per-template scalar validity for one batch.
+
+        A tile is *fusable* when its box is entirely in the iteration
+        space and every validity check collapses to a scalar over the
+        box — the batched twin of
+        :meth:`VectorTileEngine._eval_parts` interval analysis.  Mixed
+        tiles fall back to the per-tile engine.
+        """
+        eng = self.engine
+        B = tiles_arr.shape[0]
+        P = len(eng._parts)
+        fused = np.ones(B, dtype=bool)
+        valid: Dict[str, np.ndarray] = {}
+        vals = self._base0[None, :] + tiles_arr @ eng._coef
+        uni_true = np.empty((P, B), dtype=bool)
+        uni_false = np.empty((P, B), dtype=bool)
+        for i, p in enumerate(eng._parts):
+            v = vals[:, i]
+            lin_min = p["lin_min"]
+            lin_max = p["lin_max"]
+            if p["lin"] is None or lin_min == lin_max:
+                vv = v + lin_min
+                t = (vv == 0) if p["is_eq"] else (vv >= 0)
+                f = ~t
+            elif p["is_eq"]:
+                f = (v + lin_min > 0) | (v + lin_max < 0)
+                t = np.zeros(B, dtype=bool)
+            else:
+                t = v + lin_min >= 0
+                f = v + lin_max < 0
+            uni_true[i] = t
+            uni_false[i] = f
+        for i in range(eng._n_space):
+            fused &= uni_true[i]
+        ns = eng._n_space
+        for name, ids in eng.per_template.items():
+            has_false = np.zeros(B, dtype=bool)
+            all_true = np.ones(B, dtype=bool)
+            for idx in ids:
+                has_false |= uni_false[ns + idx]
+                all_true &= uni_true[ns + idx]
+            # Classified = uniformly False (some check fails everywhere)
+            # or uniformly True (every check holds everywhere).
+            fused &= has_false | all_true
+            valid[name] = all_true
+        return fused, valid
+
+    # -- batch execution ------------------------------------------------------
+
+    def execute_batch(
+        self,
+        rows: Sequence[int],
+        packed: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Evaluate one drained front; returns the batch padded array.
+
+        *rows* are mutually independent (one ``start_batch`` result).
+        *packed* maps ``(producer_row, row)`` to a packed edge buffer
+        for edges that crossed a rank boundary; every other incoming
+        edge is ghost-filled by slicing the producer's retained
+        interior.  The returned ``(B, *padded_shape)`` array row ``b``
+        is tile ``rows[b]``'s padded array — drivers read objective
+        cells and pack outgoing cross-rank edges from it.
+        """
+        eng = self.engine
+        graph = self.graph
+        B = len(rows)
+        batch = np.full(
+            (B,) + eng.padded_shape, np.nan, dtype=np.float64
+        )
+        pptr = graph.prod_ptr
+        prows = graph.prod_rows
+        pdelta = graph.prod_delta
+        deltas = eng.deltas
+        store = self._store
+        refs = self._refs
+        program = eng.program
+        spaces = program.spaces
+        tt = graph.tile_tuples
+        for b, row in enumerate(rows):
+            arr = batch[b]
+            for e in range(int(pptr[row]), int(pptr[row + 1])):
+                p = int(prows[e])
+                buf = packed.pop((p, row), None) if packed else None
+                if buf is not None:
+                    plan = program.pack_plans[deltas[int(pdelta[e])]]
+                    env = dict(self.params)
+                    env.update(spaces.tile_env(tt[p]))
+                    plan.unpack(env, buf, arr, eng.layout, spaces.local_vars)
+                    continue
+                interior = store.get(p)
+                if interior is None:
+                    raise RuntimeExecutionError(
+                        f"tile {tt[row]} started before the interior of "
+                        f"its producer {tt[p]} was retained"
+                    )
+                src, dst = eng.fill_slices[deltas[int(pdelta[e])]]
+                arr[dst] = interior[src]
+                refs[p] -= 1
+                if refs[p] == 0:
+                    del store[p]
+                    del refs[p]
+
+        tiles_arr = graph.tile_array[list(rows)]
+        fused, valid = self._classify(tiles_arr)
+        cells = 0
+        tile_engine = eng.tile_engine
+        for b in np.flatnonzero(~fused).tolist():
+            cells += tile_engine.execute_tile(
+                tt[rows[b]], batch[b], self.params, self.values
+            )
+        fi = np.flatnonzero(fused)
+        if fi.size:
+            cells += self._execute_fused(batch, fi, tiles_arr, valid)
+        self.cells += cells
+
+        nlocal = self._nlocal
+        interior_slices = eng.interior_slices
+        for b, row in enumerate(rows):
+            n = int(nlocal[row])
+            if n:
+                store[row] = batch[b][interior_slices].copy()
+                refs[row] = n
+        return batch
+
+    def _execute_fused(
+        self,
+        batch: np.ndarray,
+        fi: np.ndarray,
+        tiles_arr: np.ndarray,
+        valid_scalar: Dict[str, np.ndarray],
+    ) -> int:
+        """One fused evaluation of every full, collapsed tile in the batch.
+
+        Cells are flattened tile-major per intra-tile level, so the
+        kernel sees exactly the 1-D lane arrays the per-tile engine
+        feeds it — just more lanes per call.
+        """
+        eng = self.engine
+        tile_engine = eng.tile_engine
+        full = fi.size == batch.shape[0]
+        sub = batch if full else batch[fi]
+        Bf = int(fi.size)
+        widths = np.asarray(eng.widths, dtype=np.int64)
+        base = tiles_arr[fi] * widths[None, :]
+        interior = sub[(slice(None),) + eng.interior_slices]
+        views = {
+            name: sub[(slice(None),) + slc]
+            for name, slc in tile_engine.template_slices.items()
+        }
+        vcols = {name: valid_scalar[name][fi] for name in views}
+        vector_kernel = tile_engine.vector_kernel
+        values = self.values
+        loop_vars = eng.loop_vars
+        params = self.params
+        for idx in tile_engine._full_wavefronts:
+            L = idx[0].shape[0]
+            point = {
+                x: (base[:, k, None] + idx[k][None, :]).reshape(-1)
+                for k, x in enumerate(loop_vars)
+            }
+            deps: Dict[str, object] = {}
+            valid: Dict[str, object] = {}
+            for name, view in views.items():
+                vals = view[(slice(None),) + idx].reshape(-1)
+                vmask = np.repeat(vcols[name], L)
+                bad = np.isnan(vals) & vmask
+                if bad.any():
+                    j = int(np.flatnonzero(bad)[0])
+                    tile = tuple(tiles_arr[int(fi[j // L])].tolist())
+                    where = {x: int(point[x][j]) for x in loop_vars}
+                    raise RuntimeExecutionError(
+                        f"tile {tile}: dependency {name} of point {where} "
+                        "is valid but its value was never computed or "
+                        "delivered"
+                    )
+                deps[name] = vals
+                valid[name] = vmask
+            out = np.asarray(
+                vector_kernel(point, deps, valid, params), dtype=np.float64
+            )
+            if out.ndim == 0:
+                out = np.broadcast_to(out, (Bf * L,))
+            interior[(slice(None),) + idx] = out.reshape(Bf, L)
+            if values is not None:
+                cols = np.stack(
+                    [point[x] for x in loop_vars], axis=1
+                ).tolist()
+                values.update(zip(map(tuple, cols), out.tolist()))
+        if not full:
+            batch[fi] = sub
+        return Bf * tile_engine._full_cells
+
+    # -- terminal check -------------------------------------------------------
+
+    def verify_drained(self) -> None:
+        """Raise unless every retained interior was consumed."""
+        if self._store:
+            raise RuntimeExecutionError(
+                f"{len(self._store)} tile interiors were retained but "
+                "never consumed by the wavefront ghost fill"
+            )

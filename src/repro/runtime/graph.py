@@ -266,6 +266,53 @@ class TileGraph:
         """Rows with no valid producer, ascending (lex order)."""
         return np.flatnonzero(np.diff(self.prod_ptr) == 0)
 
+    def wavefront_levels(self) -> np.ndarray:
+        """Static wavefront level of every row (longest producer path).
+
+        Level 0 is the initial front; a tile's level is one more than
+        the deepest of its producers, so the rows of level L form the
+        L-th wavefront of the DAG: mutually independent, and ready the
+        moment every earlier level has finished.  This is the static
+        schedule of the batch-drain scheduler
+        (:meth:`repro.runtime.scheduler.TileScheduler.start_batch`) —
+        computed once per graph with vectorized Kahn propagation over
+        the CSR arrays, then cached.
+        """
+        cached = self._dict_cache.get("wavefront_levels")
+        if cached is None:
+            T = self.tile_array.shape[0]
+            indeg = np.diff(self.prod_ptr)
+            levels = np.zeros(T, dtype=np.int64)
+            ptr = self.cons_ptr
+            cons = self.cons_rows
+            frontier = np.flatnonzero(indeg == 0)
+            level = 0
+            seen = int(frontier.size)
+            while frontier.size:
+                levels[frontier] = level
+                counts = ptr[frontier + 1] - ptr[frontier]
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                starts = np.repeat(ptr[frontier], counts)
+                offsets = np.arange(total) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                consumers = cons[starts + offsets]
+                dec = np.bincount(consumers, minlength=T)
+                indeg = indeg - dec
+                frontier = np.flatnonzero((indeg == 0) & (dec > 0))
+                level += 1
+                seen += int(frontier.size)
+            if seen != T:
+                raise RuntimeExecutionError(
+                    f"tile graph has a cycle: only {seen} of {T} tiles "
+                    "are reachable from the initial front"
+                )
+            cached = levels
+            self._dict_cache["wavefront_levels"] = cached
+        return cached
+
     def priority_tuples(self, scheme: str = "lb-first") -> List[tuple]:
         """Row -> priority key tuple, identical to ``program.priority``.
 

@@ -11,14 +11,23 @@ their peak, which the FIG45 benchmark reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
+
+from ..errors import RuntimeExecutionError
 
 Edge = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
 
 @dataclass
 class EdgeMemoryTracker:
-    """Tracks live packed-edge buffers in cells (state-array elements)."""
+    """Tracks live packed-edge buffers in cells (state-array elements).
+
+    *rank* identifies the owning rank in error messages (None for the
+    aggregate tracker that spans all ranks).  Protocol violations —
+    packing the same edge twice, consuming an edge twice or before it
+    was ever buffered — raise :class:`RuntimeExecutionError` naming the
+    edge and rank, like every other runtime failure.
+    """
 
     live_cells: int = 0
     live_edges: int = 0
@@ -26,11 +35,17 @@ class EdgeMemoryTracker:
     peak_edges: int = 0
     total_packed_cells: int = 0
     total_edges: int = 0
+    rank: Optional[int] = None
     _sizes: Dict[Edge, int] = field(default_factory=dict)
+
+    def _where(self) -> str:
+        return "" if self.rank is None else f" on rank {self.rank}"
 
     def add_edge(self, edge: Edge, cells: int) -> None:
         if edge in self._sizes:
-            raise KeyError(f"edge {edge} buffered twice")
+            raise RuntimeExecutionError(
+                f"edge {edge} buffered twice{self._where()}"
+            )
         self._sizes[edge] = cells
         self.live_cells += cells
         self.live_edges += 1
@@ -40,7 +55,11 @@ class EdgeMemoryTracker:
         self.peak_edges = max(self.peak_edges, self.live_edges)
 
     def remove_edge(self, edge: Edge) -> int:
-        cells = self._sizes.pop(edge)
+        cells = self._sizes.pop(edge, None)
+        if cells is None:
+            raise RuntimeExecutionError(
+                f"edge {edge} consumed twice or never buffered{self._where()}"
+            )
         self.live_cells -= cells
         self.live_edges -= 1
         return cells

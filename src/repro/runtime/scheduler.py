@@ -96,19 +96,38 @@ def rank_of_rows(graph: TileGraph, balance) -> np.ndarray:
 
     Projects every tile row onto the lb dimensions and looks its slab up
     in ``balance.slab_node`` — the vectorized twin of
-    :meth:`repro.generator.loadbalance.LoadBalance.node_of_tile`.
+    :meth:`repro.generator.loadbalance.LoadBalance.node_of_tile`.  The
+    slab dict is scattered once into a dense array-indexed table over
+    the slab bounding box, so the per-row lookup is one fancy-indexed
+    gather instead of T hash probes.
     """
     slab_node = balance.slab_node
-    keys = graph.lb_key_rows().tolist()
-    out = np.empty(len(keys), dtype=np.int64)
-    for r, key in enumerate(keys):
-        try:
-            out[r] = slab_node[tuple(key)]
-        except KeyError:
-            raise RuntimeExecutionError(
-                f"tile {graph.tile_tuples[r]} projects to unassigned lb "
-                f"slab {tuple(key)}"
-            ) from None
+    keys = np.asarray(graph.lb_key_rows(), dtype=np.int64)
+    if keys.ndim == 1:
+        keys = keys[:, None]
+    T = keys.shape[0]
+    out = np.full(T, -1, dtype=np.int64)
+    if slab_node:
+        slab_keys = np.asarray(list(slab_node.keys()), dtype=np.int64)
+        if slab_keys.ndim == 1:
+            slab_keys = slab_keys[:, None]
+        nodes = np.fromiter(
+            slab_node.values(), dtype=np.int64, count=len(slab_node)
+        )
+        lo = slab_keys.min(axis=0)
+        hi = slab_keys.max(axis=0)
+        table = np.full(tuple((hi - lo + 1).tolist()), -1, dtype=np.int64)
+        table[tuple((slab_keys - lo).T)] = nodes
+        inside = np.flatnonzero(np.all((keys >= lo) & (keys <= hi), axis=1))
+        if inside.size:
+            out[inside] = table[tuple((keys[inside] - lo).T)]
+    bad = np.flatnonzero(out < 0)
+    if bad.size:
+        r = int(bad[0])
+        raise RuntimeExecutionError(
+            f"tile {graph.tile_tuples[r]} projects to unassigned lb "
+            f"slab {tuple(keys[r].tolist())}"
+        )
     return out
 
 
@@ -150,6 +169,7 @@ class TileScheduler:
         rank_of: Optional[Sequence[int]] = None,
         priority_scheme: str = "lb-first",
         record_events: bool = False,
+        batch: bool = False,
     ):
         if ranks < 1:
             raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
@@ -166,11 +186,12 @@ class TileScheduler:
                     f"rank assignment covers {len(self.rank_of)} rows but "
                     f"the graph has {T} tiles"
                 )
-            bad = [r for r in self.rank_of if not 0 <= r < ranks]
-            if bad:
-                raise RuntimeExecutionError(
-                    f"tile assigned to rank {bad[0]} outside 0..{ranks - 1}"
-                )
+            for row, r in enumerate(self.rank_of):
+                if not 0 <= r < ranks:
+                    raise RuntimeExecutionError(
+                        f"row {row} (tile {self.tile_tuples[row]}) assigned "
+                        f"to rank {r} outside 0..{ranks - 1}"
+                    )
         self.prio = graph.priority_tuples(priority_scheme)
         self._remaining = graph.dependency_count_array().tolist()
         self._prod_ptr = graph.prod_ptr.tolist()
@@ -181,7 +202,18 @@ class TileScheduler:
         self._cons_delta = graph.cons_delta.tolist()
         self._cons_cells = graph.cons_cells.tolist()
         self.ready: List[List[Tuple[tuple, int]]] = [[] for _ in range(ranks)]
-        self.trackers = [EdgeMemoryTracker() for _ in range(ranks)]
+        # Batch mode: ready tiles are bucketed by their static wavefront
+        # level instead of heaped by priority key; start_batch pops a
+        # whole level at once, so the steady state does list appends and
+        # one small per-level heap op instead of per-tile heap churn.
+        self.batch = batch
+        if batch:
+            self._levels = graph.wavefront_levels().tolist()
+            self._buckets: List[Dict[int, List[int]]] = [
+                {} for _ in range(ranks)
+            ]
+            self._level_heaps: List[List[int]] = [[] for _ in range(ranks)]
+        self.trackers = [EdgeMemoryTracker(rank=r) for r in range(ranks)]
         # Aggregate accounting across ranks; aliases rank 0's tracker in
         # the single-rank case so the hot path pays for one tracker only.
         self.tracker = self.trackers[0] if ranks == 1 else EdgeMemoryTracker()
@@ -234,7 +266,17 @@ class TileScheduler:
 
     def make_ready(self, row: int) -> None:
         rank = self.rank_of[row]
-        heapq.heappush(self.ready[rank], (self.prio[row], row))
+        if self.batch:
+            level = self._levels[row]
+            bucket = self._buckets[rank]
+            rows = bucket.get(level)
+            if rows is None:
+                bucket[level] = [row]
+                heapq.heappush(self._level_heaps[rank], level)
+            else:
+                rows.append(row)
+        else:
+            heapq.heappush(self.ready[rank], (self.prio[row], row))
         self._emit("tile_ready", row, rank)
 
     def deliver_edge(self, consumer: int) -> bool:
@@ -255,10 +297,17 @@ class TileScheduler:
     # -- ready -> running ------------------------------------------------------
 
     def has_ready(self, rank: int = 0) -> bool:
+        if self.batch:
+            return bool(self._buckets[rank])
         return bool(self.ready[rank])
 
     def start_tile(self, rank: int = 0) -> Optional[int]:
         """Pop the highest-priority ready tile of *rank* (None = idle)."""
+        if self.batch:
+            raise RuntimeExecutionError(
+                "scheduler is in batch mode; pop whole fronts with "
+                "start_batch instead of start_tile"
+            )
         rq = self.ready[rank]
         if not rq:
             return None
@@ -266,6 +315,32 @@ class TileScheduler:
         self.started += 1
         self._emit("tile_start", row, rank)
         return row
+
+    def start_batch(self, rank: int = 0) -> List[int]:
+        """Pop *every* ready tile of *rank*'s lowest wavefront level.
+
+        The batch-drain API of the wavefront-fused executor: all rows of
+        one static wavefront level (see
+        :meth:`repro.runtime.graph.TileGraph.wavefront_levels`) that are
+        currently ready on this rank, in ascending row (lexicographic
+        tile) order.  Tiles of one level never depend on each other, so
+        a drained batch is safe to evaluate as a single fused operation.
+        Returns an empty list when the rank is idle.
+        """
+        if not self.batch:
+            raise RuntimeExecutionError(
+                "scheduler was not built with batch=True; start_batch "
+                "needs the static wavefront buckets"
+            )
+        bucket = self._buckets[rank]
+        if not bucket:
+            return []
+        level = heapq.heappop(self._level_heaps[rank])
+        rows = sorted(bucket.pop(level))
+        self.started += len(rows)
+        for row in rows:
+            self._emit("tile_start", row, rank)
+        return rows
 
     def consume_edges(
         self, row: int
@@ -290,6 +365,23 @@ class TileScheduler:
             if aggregate is not tracker:
                 aggregate.remove_edge(key)
             yield producer, prod_delta[e], store.pop(key, None)
+
+    def take_edge(
+        self, producer: int, consumer: int
+    ) -> Optional[np.ndarray]:
+        """Pop one buffered edge of a starting tile, releasing its memory.
+
+        The single-edge twin of :meth:`consume_edges`, used by the
+        wavefront-fused drivers which consume only their *cross-rank*
+        edges through the packed-edge store (interior edges travel as
+        array slices and are never packed).
+        """
+        key = (producer, consumer)
+        tracker = self.trackers[self.rank_of[consumer]]
+        tracker.remove_edge(key)
+        if self.tracker is not tracker:
+            self.tracker.remove_edge(key)
+        return self._store.pop(key, None)
 
     # -- running -> done -------------------------------------------------------
 

@@ -41,10 +41,48 @@ from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
 from ..spec import Kernel
 from .executor import ExecutionResult, compiled_executor
+from .fastpath import WavefrontRun
 from .graph import TileGraph, TileIndex, tile_graph
 from .scheduler import TileScheduler, rank_of_rows
 
 __all__ = ["run_spmd", "spmd_rank_assignment"]
+
+
+def _validate_rank_of(
+    rank_of, graph: TileGraph, ranks: int
+) -> np.ndarray:
+    """Validate an explicit per-row rank assignment up front.
+
+    Shape, dtype and range are checked *before* any scheduling state is
+    built, so a bad override fails with a message naming the offending
+    row instead of surfacing as an opaque downstream error (or worse, a
+    silent misroute).
+    """
+    arr = np.asarray(rank_of)
+    if arr.ndim != 1:
+        raise RuntimeExecutionError(
+            f"rank_of must be a 1-D per-row array, got shape "
+            f"{tuple(arr.shape)}"
+        )
+    T = len(graph.tile_tuples)
+    if arr.shape[0] != T:
+        raise RuntimeExecutionError(
+            f"rank_of covers {arr.shape[0]} rows but the graph has "
+            f"{T} tiles"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise RuntimeExecutionError(
+            f"rank_of must hold integer ranks, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64)
+    bad = np.flatnonzero((arr < 0) | (arr >= ranks))
+    if bad.size:
+        r = int(bad[0])
+        raise RuntimeExecutionError(
+            f"rank_of[{r}] = {int(arr[r])} assigns tile "
+            f"{graph.tile_tuples[r]} outside 0..{ranks - 1}"
+        )
+    return arr
 
 
 def spmd_rank_assignment(
@@ -96,13 +134,27 @@ def run_spmd(
     if ranks < 1:
         raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
     ce = compiled_executor(program)
-    resolved = ce.resolve_mode(mode, kernel)
+    resolved = ce.resolve_mode(mode, kernel, keep_edges)
     params = dict(params)
     if graph is None:
         graph = tile_graph(program, params)
     if rank_of is None:
         rank_of = spmd_rank_assignment(
             program, params, graph, ranks, lb_method=lb_method
+        )
+    else:
+        rank_of = _validate_rank_of(rank_of, graph, ranks)
+    if resolved == "wavefront":
+        return _run_spmd_wavefront(
+            ce,
+            program,
+            params,
+            ranks,
+            graph,
+            rank_of,
+            priority_scheme,
+            record_values,
+            record_events,
         )
 
     spaces = program.spaces
@@ -215,6 +267,158 @@ def run_spmd(
         values=state.values,
         edges=kept_edges,
         mode=resolved,
+        ranks=ranks,
+        memory_per_rank=sched.memory_per_rank(),
+        tiles_per_rank=list(sched.finished_per_rank),
+        cross_rank_messages=sched.cross_rank_messages,
+        cross_rank_cells=sched.cross_rank_cells,
+        events=sched.events,
+    )
+
+
+def _run_spmd_wavefront(
+    ce,
+    program: GeneratedProgram,
+    params: Dict[str, int],
+    ranks: int,
+    graph: TileGraph,
+    rank_of: np.ndarray,
+    priority_scheme: str,
+    record_values: bool,
+    record_events: bool,
+) -> ExecutionResult:
+    """The wavefront-fused SPMD driver: each rank drains whole fronts.
+
+    Per scheduling turn a rank receives its inbound messages, pops every
+    ready tile of its lowest static wavefront level
+    (:meth:`~repro.runtime.scheduler.TileScheduler.start_batch`) and
+    evaluates the batch in one fused operation.  Packed edges survive
+    only at rank boundaries — exactly the edges the generated C sends
+    over MPI: incoming cross-rank edges are consumed from the
+    scheduler's store (:meth:`~TileScheduler.take_edge`) and unpacked
+    into the batch's ghost margins, outgoing cross-rank edges are packed
+    from the batch and posted to the FIFO channels.  Same-rank edges
+    travel as array slices of retained interiors and are never packed,
+    so edge-memory accounting here covers cross-rank traffic only.
+    """
+    spaces = program.spaces
+    layout = program.layout
+    local_vars = spaces.local_vars
+    deltas = program.deltas
+    pack_plans = program.pack_plans
+
+    state = ce.make_run_state(params, None, "wavefront", record_values)
+    sched = TileScheduler(
+        graph,
+        ranks=ranks,
+        rank_of=rank_of,
+        priority_scheme=priority_scheme,
+        record_events=record_events,
+        batch=True,
+    )
+    sched.seed()
+    run = WavefrontRun(
+        ce.wavefront_engine,
+        graph,
+        params,
+        rank_of=rank_of,
+        values=state.values,
+    )
+
+    tile_tuples = graph.tile_tuples
+    T = len(tile_tuples)
+    tile_order: List[TileIndex] = []
+    rank_list = rank_of.tolist()
+    pptr = graph.prod_ptr.tolist()
+    prows = graph.prod_rows.tolist()
+
+    channels: Dict[Tuple[int, int], Deque[int]] = {
+        (src, dst): deque()
+        for src in range(ranks)
+        for dst in range(ranks)
+        if src != dst
+    }
+
+    def drain_inbox(rank: int) -> bool:
+        received = False
+        for src in range(ranks):
+            if src == rank:
+                continue
+            channel = channels[(src, rank)]
+            while channel:
+                sched.deliver_edge(channel.popleft())
+                received = True
+        return received
+
+    while sched.finished < T:
+        progress = False
+        for rank in range(ranks):
+            if drain_inbox(rank):
+                progress = True
+            rows = sched.start_batch(rank)
+            if not rows:
+                continue
+            progress = True
+
+            # Collect the batch's cross-rank incoming edges from the
+            # packed store; same-rank edges ghost-fill from retained
+            # interiors inside execute_batch.
+            packed: Dict[Tuple[int, int], np.ndarray] = {}
+            for row in rows:
+                for e in range(pptr[row], pptr[row + 1]):
+                    p = prows[e]
+                    if rank_list[p] != rank:
+                        packed[(p, row)] = sched.take_edge(p, row)
+
+            batch = run.execute_batch(rows, packed=packed)
+
+            for b, row in enumerate(rows):
+                tile = tile_tuples[row]
+                tile_order.append(tile)
+                state.note_objective(tile, batch[b])
+                tile_env = dict(params)
+                tile_env.update(spaces.tile_env(tile))
+                for consumer, delta_id, _, dest_rank in sched.outgoing(row):
+                    if dest_rank == rank:
+                        sched.deliver_edge(consumer)
+                    else:
+                        plan = pack_plans[deltas[delta_id]]
+                        buffer = plan.pack(
+                            tile_env, batch[b], layout, local_vars
+                        )
+                        sched.send_edge(row, consumer, buffer, len(buffer))
+                        channels[(rank, dest_rank)].append(consumer)
+                sched.finish_tile(row)
+        if not progress:
+            raise RuntimeExecutionError(
+                f"SPMD deadlock: {sched.finished} of {T} tiles ran, no "
+                "rank can make progress"
+            )
+
+    undelivered = sum(len(c) for c in channels.values())
+    if undelivered:  # pragma: no cover - implied by finished == T
+        raise RuntimeExecutionError(
+            f"{undelivered} cross-rank messages were never received"
+        )
+    sched.verify_drained()
+    run.verify_drained()
+    state.cells_computed = run.cells
+    if state.cells_computed != graph.total_work():
+        raise RuntimeExecutionError(
+            f"computed {state.cells_computed} cells but the graph holds "
+            f"{graph.total_work()} points"
+        )
+
+    return ExecutionResult(
+        objective_point=state.objective,
+        objective_value=state.objective_value,
+        tiles_executed=len(tile_order),
+        cells_computed=state.cells_computed,
+        tile_order=tile_order,
+        memory=sched.memory_snapshot(),
+        values=state.values,
+        edges=None,
+        mode="wavefront",
         ranks=ranks,
         memory_per_rank=sched.memory_per_rank(),
         tiles_per_rank=list(sched.finished_per_rank),

@@ -148,7 +148,7 @@ class TestKernelHandling:
         spec = dataclasses.replace(bandit2_spec, kernel=None)
         program = generate(spec)
         res = execute(program, {"N": 4})
-        assert res.mode == "vector"
+        assert res.mode == "wavefront"
         assert res.objective_value == pytest.approx(
             two_arm_reference(4), abs=1e-12
         )

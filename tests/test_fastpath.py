@@ -157,8 +157,24 @@ class TestHypothesisSweep:
 
 
 class TestDispatch:
-    def test_auto_prefers_vector(self, bandit2_program):
-        assert execute(bandit2_program, {"N": 4}).mode == "vector"
+    def test_auto_prefers_wavefront(self, bandit2_program):
+        assert execute(bandit2_program, {"N": 4}).mode == "wavefront"
+
+    def test_auto_steps_down_to_vector_for_keep_edges(self, bandit2_program):
+        # Wavefront mode never packs interior edges, so a run that must
+        # retain them (solution recovery) resolves to the per-tile
+        # engine instead.
+        res = execute(bandit2_program, {"N": 4}, keep_edges=True)
+        assert res.mode == "vector"
+        assert res.edges
+
+    def test_forced_wavefront_rejects_keep_edges(self, bandit2_program):
+        with pytest.raises(
+            RuntimeExecutionError, match="cannot retain packed edges"
+        ):
+            execute(
+                bandit2_program, {"N": 4}, mode="wavefront", keep_edges=True
+            )
 
     def test_auto_falls_back_without_vector_kernel(self, bandit2_spec):
         spec = dataclasses.replace(bandit2_spec, vector_kernel=None)

@@ -8,6 +8,7 @@ reproduce the 2-D law exactly with the real scheduler.
 
 import pytest
 
+from repro.errors import RuntimeExecutionError
 from repro.generator import generate
 from repro.runtime import EdgeMemoryTracker, execute
 from repro.spec import ProblemSpec
@@ -48,12 +49,22 @@ class TestTracker:
     def test_double_add_rejected(self):
         t = EdgeMemoryTracker()
         t.add_edge("a", 1)
-        with pytest.raises(KeyError):
+        with pytest.raises(
+            RuntimeExecutionError, match="edge a buffered twice"
+        ):
             t.add_edge("a", 1)
 
     def test_remove_unknown_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(
+            RuntimeExecutionError,
+            match="edge zz consumed twice or never buffered",
+        ):
             EdgeMemoryTracker().remove_edge("zz")
+
+    def test_violation_names_rank(self):
+        t = EdgeMemoryTracker(rank=3)
+        with pytest.raises(RuntimeExecutionError, match="on rank 3"):
+            t.remove_edge(((0, 0), (0, 1)))
 
 
 class TestFigure4:
