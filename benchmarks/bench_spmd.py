@@ -1,0 +1,137 @@
+"""SPMD — process-backend wall clock vs the single-rank wavefront path.
+
+Measures 2-D LCS (N = 2048, 32-wide tiles — the WAVE benchmark's dense
+shape) three ways:
+
+* ``ranks=1, mode="wavefront"`` — the fastest single-core path;
+* ``ranks=4, backend="inline"``  — the cooperative oracle, which pays
+  the full SPMD protocol on one core (a slowdown by construction);
+* ``ranks=4, backend="process"`` — four real workers over shared-memory
+  ghost arrays (:mod:`repro.runtime.parallel`).
+
+Parity (objective and cell counts) is asserted on the benchmark
+instances themselves.  The process rows only translate into wall-clock
+wins when real cores back the workers, so ``cpu_count`` is recorded in
+every row and the speedup acceptance test gates on it: on a >= 4-core
+machine the 4-worker run must beat single-rank wavefront by > 1.5x; on
+smaller machines the benchmark still runs and reports honest numbers
+but asserts parity only.  Full runs write ``BENCH_spmd.json`` at the
+repository root; ``--quick`` uses a small instance and writes only the
+textual report under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.generator import generate
+from repro.problems import lcs_spec, random_sequence
+from repro.runtime import TileGraph, execute
+
+from _common import write_report
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmd.json"
+
+LCS_N = 2048
+LCS_TILE = 32
+QUICK_LCS_N = 256
+RANKS = 4
+
+
+def _measure(program, params, graph, repeats, **kwargs):
+    execute(program, params, graph=graph, **kwargs)  # warm-up
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute(program, params, graph=graph, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def run_bench(repeats=2, quick=False, ranks=RANKS):
+    n = QUICK_LCS_N if quick else LCS_N
+    a = random_sequence(n, seed=81)
+    b = random_sequence(n, seed=82)
+    program = generate(lcs_spec([a, b], tile_width=min(LCS_TILE, n)))
+    params = {"L1": n, "L2": n}
+    graph = TileGraph.build(program, params)
+
+    single, t_single = _measure(
+        program, params, graph, repeats, mode="wavefront"
+    )
+    inline, t_inline = _measure(
+        program, params, graph, repeats, mode="wavefront", ranks=ranks
+    )
+    proc, t_proc = _measure(
+        program, params, graph, repeats, mode="wavefront", ranks=ranks,
+        backend="process",
+    )
+    assert proc.objective_value == single.objective_value
+    assert proc.objective_value == inline.objective_value
+    assert proc.cells_computed == single.cells_computed
+    assert proc.cross_rank_messages == inline.cross_rank_messages
+
+    cells = single.cells_computed
+    row = {
+        "case": f"lcs2-n{n}",
+        "params": dict(params),
+        "ranks": ranks,
+        "cpu_count": os.cpu_count(),
+        "cells": cells,
+        "objective": proc.objective_value,
+        "cross_rank_messages": proc.cross_rank_messages,
+        "single_rank_wavefront_s": t_single,
+        "inline_4rank_s": t_inline,
+        "process_4rank_s": t_proc,
+        "single_cells_per_s": cells / t_single,
+        "process_cells_per_s": cells / t_proc,
+        "speedup_vs_single": t_single / t_proc,
+        "speedup_vs_inline": t_inline / t_proc,
+    }
+    rows = [row]
+    if not quick:
+        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    write_report(
+        "spmd",
+        f"SPMD {row['case']}: {cells} cells on {os.cpu_count()} cpus | "
+        f"1-rank wavefront {t_single * 1e3:.0f}ms | "
+        f"{ranks}-rank inline {t_inline * 1e3:.0f}ms | "
+        f"{ranks}-rank process {t_proc * 1e3:.0f}ms | "
+        f"vs single {row['speedup_vs_single']:.2f}x | "
+        f"vs inline {row['speedup_vs_inline']:.2f}x",
+    )
+    return rows
+
+
+def test_process_backend_speedup():
+    rows = run_bench()
+    row = rows[0]
+    # Wall-clock wins need real cores under the workers: on one CPU the
+    # four processes time-slice the same compute plus fork/IPC overhead
+    # and are honestly slower, so the speedup bars gate on cpu_count
+    # and parity (asserted inside run_bench) is the single-core
+    # acceptance bar.
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        # Real workers beat the cooperative harness at equal rank count
+        # (it serializes the same protocol on one core).
+        assert row["speedup_vs_inline"] > 1.0
+    if cpus >= 4:
+        assert row["speedup_vs_single"] > 1.5
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instance, no JSON update (CI smoke mode)",
+    )
+    args = parser.parse_args()
+    run_bench(repeats=1 if args.quick else 2, quick=args.quick)

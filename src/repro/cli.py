@@ -180,10 +180,22 @@ def main_run(argv=None) -> int:
         "'auto' (default) picks the fastest engine the problem supports "
         "and degrades gracefully",
     )
+    ap.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="multi-rank transport: 'inline' (default) interleaves the "
+        "ranks cooperatively in this thread (the deterministic oracle); "
+        "'process' runs one OS worker per rank over shared-memory ghost "
+        "arrays for real multi-core parallelism (requires --ranks >= 2)",
+    )
     ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
     args = ap.parse_args(argv)
     if args.ranks < 1:
         ap.error(f"--ranks must be >= 1, got {args.ranks}")
+    if args.backend == "process" and args.ranks < 2:
+        ap.error("--backend process needs --ranks >= 2 (a single-rank "
+                 "run has no ranks to parallelize)")
     try:
         if args.spec:
             spec = parse_spec_file(args.spec)
@@ -197,7 +209,7 @@ def main_run(argv=None) -> int:
         result = execute(
             program, params, kernel=kernel,
             priority_scheme=args.priority, ranks=args.ranks,
-            mode=args.mode,
+            mode=args.mode, backend=args.backend,
         )
         single = None
         if args.ranks > 1:
@@ -211,7 +223,8 @@ def main_run(argv=None) -> int:
     print(spec.describe())
     print()
     print(f"parameters        : {params}")
-    print(f"engine mode       : {result.mode}")
+    print(f"engine mode       : {result.mode}"
+          + (f" ({result.backend} backend)" if args.ranks > 1 else ""))
     print(f"tiles executed    : {result.tiles_executed}")
     print(f"cells computed    : {result.cells_computed}")
     print(f"peak edge buffer  : {result.memory['peak_cells']} cells "

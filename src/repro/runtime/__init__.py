@@ -21,7 +21,8 @@ from .fastpath import (
     WavefrontRun,
     vector_unsupported_reason,
 )
-from .spmd import run_spmd, spmd_rank_assignment
+from .spmd import SPMD_BACKENDS, run_spmd, spmd_rank_assignment, validate_rank_of
+from .parallel import run_spmd_process
 from .recover import Policy, SolutionRecovery
 
 __all__ = [
@@ -45,7 +46,10 @@ __all__ = [
     "WavefrontRun",
     "vector_unsupported_reason",
     "run_spmd",
+    "run_spmd_process",
     "spmd_rank_assignment",
+    "validate_rank_of",
+    "SPMD_BACKENDS",
     "SolutionRecovery",
     "Policy",
 ]

@@ -76,6 +76,10 @@ class ExecutionResult:
     edges: Optional[Dict[Tuple[TileIndex, TileIndex], np.ndarray]] = None
     #: Which center-loop engine produced the numbers ("interpret"/"vector").
     mode: str = "interpret"
+    #: Which SPMD transport ran the ranks: "inline" (cooperative,
+    #: single-thread — also the value for plain single-rank runs) or
+    #: "process" (one OS process per rank over shared memory).
+    backend: str = "inline"
     #: How many SPMD ranks executed the run (1 = the plain executor).
     ranks: int = 1
     #: Per-rank edge-memory snapshots (same keys as ``memory``, which
@@ -569,8 +573,18 @@ class CompiledExecutor:
             batch=True,
         )
         sched.seed()
+        # One ghost-array arena sized for the widest static front,
+        # reused by every execute_batch call instead of a fresh
+        # allocation per front (results are read out before the next
+        # batch overwrites it).
+        cap = int(np.bincount(graph.wavefront_levels()).max())
+        arena = np.empty(
+            (cap,) + tuple(self.program.layout.padded_shape),
+            dtype=np.float64,
+        )
         run = WavefrontRun(
-            self.wavefront_engine, graph, params, values=state.values
+            self.wavefront_engine, graph, params, values=state.values,
+            arena=arena,
         )
 
         tile_tuples = graph.tile_tuples
@@ -635,6 +649,7 @@ def execute(
     ranks: int = 1,
     lb_method: str = "dimension-cut",
     record_events: bool = False,
+    backend: str = "inline",
 ) -> ExecutionResult:
     """Solve the problem instance and return the objective value.
 
@@ -655,9 +670,14 @@ def execute(
     with the load balancer (*lb_method*) and runs the SPMD harness —
     same numbers, plus per-rank accounting and cross-rank message
     counts.  *record_events* returns the scheduler's transition trace
-    in ``ExecutionResult.events``.
+    in ``ExecutionResult.events``.  *backend* selects the multi-rank
+    transport: ``"inline"`` (default — ranks interleaved cooperatively
+    in this thread, the deterministic oracle) or ``"process"`` (one OS
+    worker process per rank over ``multiprocessing.shared_memory``
+    ghost arrays, for real multi-core wall-clock wins; see
+    :mod:`repro.runtime.parallel`).
     """
-    if ranks > 1:
+    if backend != "inline" or ranks > 1:
         from .spmd import run_spmd
 
         return run_spmd(
@@ -672,6 +692,7 @@ def execute(
             mode=mode,
             lb_method=lb_method,
             record_events=record_events,
+            backend=backend,
         )
     return compiled_executor(program).run(
         params,

@@ -443,6 +443,16 @@ class WavefrontRun:
     run's ``values``/cell accounting.  Drivers call
     :meth:`execute_batch` once per drained front and
     :meth:`verify_drained` after the loop.
+
+    *arena* is an optional externally-owned ``(cap, *padded_shape)``
+    float64 buffer backing the batch ghost arrays: when given (and the
+    front fits), :meth:`execute_batch` evaluates the front in place in
+    ``arena[:B]`` instead of allocating a fresh array per front.  The
+    process-parallel SPMD backend (:mod:`repro.runtime.parallel`) hands
+    each rank a view into a ``multiprocessing.shared_memory`` segment
+    here, and the single-rank driver reuses one heap allocation across
+    every front.  A returned batch is only valid until the next
+    :meth:`execute_batch` call.
     """
 
     def __init__(
@@ -452,12 +462,26 @@ class WavefrontRun:
         params: Mapping[str, int],
         rank_of: Optional[Sequence[int]] = None,
         values: Optional[Dict[Tuple[int, ...], float]] = None,
+        arena: Optional[np.ndarray] = None,
     ):
         self.engine = engine
         self.graph = graph
         self.params = dict(params)
         self.values = values
         self.cells = 0
+        if arena is not None:
+            expected = engine.padded_shape
+            if (
+                arena.ndim != len(expected) + 1
+                or tuple(arena.shape[1:]) != expected
+                or arena.dtype != np.float64
+            ):
+                raise RuntimeExecutionError(
+                    f"wavefront arena must be float64 with shape "
+                    f"(cap, {', '.join(map(str, expected))}); got "
+                    f"{arena.dtype} {tuple(arena.shape)}"
+                )
+        self._arena = arena
         self._store: Dict[int, np.ndarray] = {}
         self._refs: Dict[int, int] = {}
         # Per-part scalar base with the run's parameters folded in; the
@@ -552,9 +576,14 @@ class WavefrontRun:
         eng = self.engine
         graph = self.graph
         B = len(rows)
-        batch = np.full(
-            (B,) + eng.padded_shape, np.nan, dtype=np.float64
-        )
+        arena = self._arena
+        if arena is not None and B <= arena.shape[0]:
+            batch = arena[:B]
+            batch.fill(np.nan)
+        else:
+            batch = np.full(
+                (B,) + eng.padded_shape, np.nan, dtype=np.float64
+            )
         pptr = graph.prod_ptr
         prows = graph.prod_rows
         pdelta = graph.prod_delta

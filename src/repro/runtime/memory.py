@@ -11,7 +11,7 @@ their peak, which the FIG45 benchmark reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import RuntimeExecutionError
 
@@ -73,3 +73,27 @@ class EdgeMemoryTracker:
             "total_packed_cells": self.total_packed_cells,
             "total_edges": self.total_edges,
         }
+
+    @staticmethod
+    def merge_snapshots(snapshots: Sequence[Dict[str, int]]) -> Dict[str, int]:
+        """Field-wise sum of per-rank snapshots into one aggregate.
+
+        Totals (``total_packed_cells``, ``total_edges``) sum exactly.
+        The summed ``peak_*`` fields are an *upper bound* on any
+        simultaneous aggregate peak: per-rank peaks need not coincide in
+        time, and in a process-parallel run (where each rank's tracker
+        lives in its own worker) no global interleaving exists to
+        measure the true aggregate peak against.
+        """
+        merged = {
+            "live_cells": 0,
+            "live_edges": 0,
+            "peak_cells": 0,
+            "peak_edges": 0,
+            "total_packed_cells": 0,
+            "total_edges": 0,
+        }
+        for snap in snapshots:
+            for key in merged:
+                merged[key] += snap.get(key, 0)
+        return merged

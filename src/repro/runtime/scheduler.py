@@ -466,6 +466,29 @@ class TileScheduler:
                 f"{len(self._store)} edge buffers were never released"
             )
 
+    def verify_rank_drained(self, rank: int) -> None:
+        """Per-rank terminal check for distributed drivers.
+
+        A process-backend worker owns exactly one rank of the run: the
+        other ranks' tiles execute in other processes, so the global
+        :meth:`verify_drained` invariant (``finished == T``) can never
+        hold locally.  This checks the worker-local invariant instead —
+        every tile *of this rank* ran, and the rank's tracker holds no
+        live edge buffers.
+        """
+        mine = sum(1 for r in self.rank_of if r == rank)
+        if self.finished_per_rank[rank] != mine:
+            raise RuntimeExecutionError(
+                f"rank {rank} executed {self.finished_per_rank[rank]} of "
+                f"its {mine} tiles; the rank-local schedule deadlocked"
+            )
+        tracker = self.trackers[rank]
+        if tracker.live_edges:
+            raise RuntimeExecutionError(
+                f"rank {rank} finished with {tracker.live_edges} edge "
+                "buffers still live"
+            )
+
     # -- reporting -------------------------------------------------------------
 
     def memory_snapshot(self) -> Dict[str, int]:

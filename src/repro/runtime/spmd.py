@@ -45,10 +45,16 @@ from .fastpath import WavefrontRun
 from .graph import TileGraph, TileIndex, tile_graph
 from .scheduler import TileScheduler, rank_of_rows
 
-__all__ = ["run_spmd", "spmd_rank_assignment"]
+__all__ = ["run_spmd", "spmd_rank_assignment", "validate_rank_of"]
+
+#: The two transports a multi-rank run can use: ``inline`` interleaves
+#: ranks cooperatively in this thread (deterministic, the oracle);
+#: ``process`` runs each rank as a real ``multiprocessing`` worker over
+#: shared-memory segments (:mod:`repro.runtime.parallel`).
+SPMD_BACKENDS = ("inline", "process")
 
 
-def _validate_rank_of(
+def validate_rank_of(
     rank_of, graph: TileGraph, ranks: int
 ) -> np.ndarray:
     """Validate an explicit per-row rank assignment up front.
@@ -119,8 +125,9 @@ def run_spmd(
     lb_method: str = "dimension-cut",
     record_events: bool = False,
     rank_of: Optional[np.ndarray] = None,
+    backend: str = "inline",
 ) -> ExecutionResult:
-    """Execute the program across *ranks* SPMD ranks, in-process.
+    """Execute the program across *ranks* SPMD ranks.
 
     Same signature surface as :func:`repro.runtime.executor.execute`
     plus *lb_method* (how tiles are partitioned) and *rank_of* (an
@@ -130,7 +137,36 @@ def run_spmd(
     (``memory_per_rank``, ``tiles_per_rank``, ``cross_rank_messages``)
     are filled in; ``tile_order`` is the global interleaved execution
     order, a valid topological order of the tile DAG.
+
+    *backend* selects the transport: ``"inline"`` (this module — ranks
+    interleaved cooperatively in one thread, the deterministic oracle)
+    or ``"process"`` (:mod:`repro.runtime.parallel` — one OS process
+    per rank over shared-memory segments, for real wall-clock
+    parallelism; its ``tile_order`` is per-rank-grouped rather than a
+    global interleaving).
     """
+    if backend not in SPMD_BACKENDS:
+        raise RuntimeExecutionError(
+            f"unknown SPMD backend {backend!r}; expected one of "
+            f"{SPMD_BACKENDS}"
+        )
+    if backend == "process":
+        from .parallel import run_spmd_process
+
+        return run_spmd_process(
+            program,
+            params,
+            ranks=ranks,
+            kernel=kernel,
+            priority_scheme=priority_scheme,
+            record_values=record_values,
+            graph=graph,
+            keep_edges=keep_edges,
+            mode=mode,
+            lb_method=lb_method,
+            record_events=record_events,
+            rank_of=rank_of,
+        )
     if ranks < 1:
         raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
     ce = compiled_executor(program)
@@ -143,7 +179,7 @@ def run_spmd(
             program, params, graph, ranks, lb_method=lb_method
         )
     else:
-        rank_of = _validate_rank_of(rank_of, graph, ranks)
+        rank_of = validate_rank_of(rank_of, graph, ranks)
     if resolved == "wavefront":
         return _run_spmd_wavefront(
             ce,
