@@ -26,6 +26,12 @@ from .dependence import check_dependence
 from .kernel_lint import lint_kernel
 from .schedule_audit import audit_schedule
 from .c_audit import audit_emitted_c
+from .concurrency import (
+    audit_pending_counters,
+    audit_protocol,
+    check_concurrency,
+)
+from .tracecheck import check_trace, racecheck_execution
 from .probe import default_params, probe_params
 from .runner import (
     analyze_program,
@@ -53,6 +59,11 @@ __all__ = [
     "lint_kernel",
     "audit_schedule",
     "audit_emitted_c",
+    "audit_pending_counters",
+    "audit_protocol",
+    "check_concurrency",
+    "check_trace",
+    "racecheck_execution",
     "default_params",
     "probe_params",
     "analyze_program",

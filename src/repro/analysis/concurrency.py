@@ -1,0 +1,376 @@
+"""Static concurrency-protocol audit (the ``RPR05x`` pass).
+
+The SPMD runtime realizes one communication protocol: each cross-rank
+edge is packed into a statically assigned shared-memory slab slot and
+announced through a per-``(src, dst)`` FIFO descriptor channel, ghost
+arrays live in per-rank arenas sized for the rank's widest wavefront
+level, and every tile's pending counter counts exactly its producers.
+This pass audits that protocol *before anything runs*, from the same
+inputs the process backend derives it from — the CSR tile graph, the
+rank assignment, and the slot/arena layout of
+:func:`repro.runtime.parallel.cross_edge_slots` /
+:func:`repro.runtime.parallel.arena_capacities`:
+
+``RPR050``
+    The cross-rank sends of one wavefront level form a cyclic wait
+    between ranks.  The implemented transports buffer sends, but the
+    generated MPI program's sends may rendezvous (synchronous mode for
+    large messages), and a cyclic same-level channel dependence then
+    deadlocks.  Monotone assignments (dimension-cut: producer rank <=
+    consumer rank) are acyclic by construction.
+``RPR051``
+    Two slab slots of one channel intersect, or a slot escapes its
+    channel's bounds, or a slot is smaller than the edge packed into it
+    — concurrent producers would overwrite each other's payloads.
+``RPR052``
+    A rank's ghost arena holds fewer planes than its widest wavefront
+    level: two tiles of one fused batch would be evaluated into the
+    same plane (a write-write race on shared memory).
+``RPR053``
+    A cross-rank edge has no slot (its descriptor would be dropped and
+    the consumer starves), a slot names a non-edge (a spurious
+    descriptor underflows the consumer's pending counter), or a slot's
+    channel disagrees with the ranks that own its endpoints (the
+    payload lands in the wrong channel slab).
+``RPR054``
+    The producer-indexed and consumer-indexed CSR views disagree on the
+    edge multiset, so the pending counters (derived from the producer
+    view) cannot match the deliveries (driven by the consumer view):
+    an edge only the consumer view knows underflows the counter, an
+    edge only the producer view knows leaves it forever positive, and a
+    duplicate delivers twice.
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` values —
+never exceptions — capped at :data:`_MAX_PER_CODE` per code, with
+``source="protocol"``.
+"""
+
+from __future__ import annotations
+
+from typing import Counter as CounterType
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..generator.pipeline import GeneratedProgram
+from ..runtime.graph import TileGraph, tile_graph
+from ..runtime.parallel import arena_capacities, cross_edge_slots
+from ..runtime.spmd import spmd_rank_assignment
+from .diagnostics import Diagnostic, make_diagnostic
+from .probe import probe_params
+
+__all__ = [
+    "audit_protocol",
+    "audit_pending_counters",
+    "check_concurrency",
+    "DEFAULT_RANK_COUNTS",
+]
+
+#: Per-code cap: enough instances to localize a systematic bug without
+#: drowning the report (same convention as the schedule audit).
+DEFAULT_RANK_COUNTS: Tuple[int, ...] = (1, 2, 4)
+_MAX_PER_CODE = 5
+
+ChannelCells = Mapping[Tuple[int, int], int]
+Slots = Mapping[Tuple[int, int], Tuple[int, int, int, int]]
+
+
+class _Capped:
+    """Append diagnostics, at most :data:`_MAX_PER_CODE` per code."""
+
+    def __init__(self, diags: List[Diagnostic], problem: str):
+        self._diags = diags
+        self._problem = problem
+        self._counts: CounterType[str] = Counter()
+
+    def add(self, code: str, message: str) -> None:
+        self._counts[code] += 1
+        if self._counts[code] <= _MAX_PER_CODE:
+            self._diags.append(
+                make_diagnostic(
+                    code, message, problem=self._problem, source="protocol"
+                )
+            )
+
+
+def _find_rank_cycle(edges: Mapping[int, set]) -> Optional[List[int]]:
+    """One cycle of the rank digraph as ``[r0, r1, ..., r0]``, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {r: WHITE for r in edges}
+    for root in sorted(edges):
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[int, List[int]]] = [(root, sorted(edges[root]))]
+        path = [root]
+        color[root] = GRAY
+        while stack:
+            node, succs = stack[-1]
+            if succs:
+                nxt = succs.pop(0)
+                if nxt not in color:
+                    continue
+                if color[nxt] == GRAY:
+                    return path[path.index(nxt):] + [nxt]
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, sorted(edges[nxt])))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def _audit_channel_cycles(
+    graph: TileGraph, rank_arr: np.ndarray, out: _Capped
+) -> None:
+    """RPR050: per-level rank digraph of cross-rank sends must be a DAG."""
+    counts = np.diff(graph.cons_ptr)
+    owner = np.repeat(np.arange(counts.size), counts)
+    src = rank_arr[owner]
+    dst = rank_arr[graph.cons_rows]
+    cross = np.flatnonzero(src != dst)
+    if cross.size == 0:
+        return
+    levels = graph.wavefront_levels()
+    send_level = levels[owner[cross]]
+    for level in np.unique(send_level).tolist():
+        sel = cross[send_level == level]
+        digraph: Dict[int, set] = {}
+        for s, d in zip(src[sel].tolist(), dst[sel].tolist()):
+            digraph.setdefault(s, set()).add(d)
+            digraph.setdefault(d, set())
+        cycle = _find_rank_cycle(digraph)
+        if cycle is not None:
+            out.add(
+                "RPR050",
+                f"wavefront level {level}: cross-rank sends form the "
+                f"channel-wait cycle {' -> '.join(f'r{r}' for r in cycle)}; "
+                "a rendezvous send on any channel of the cycle deadlocks "
+                "the level",
+            )
+
+
+def _audit_slots(
+    graph: TileGraph,
+    rank_arr: np.ndarray,
+    channel_cells: ChannelCells,
+    slots: Slots,
+    out: _Capped,
+) -> None:
+    """RPR051 slot aliasing/bounds + RPR053 matching/misrouting."""
+    tt = graph.tile_tuples
+    # Ground truth: the cross-rank edges of the graph under rank_arr.
+    counts = np.diff(graph.cons_ptr)
+    owner = np.repeat(np.arange(counts.size), counts)
+    src = rank_arr[owner]
+    dst = rank_arr[graph.cons_rows]
+    cross = np.flatnonzero(src != dst)
+    cross_edges: Dict[Tuple[int, int], int] = {
+        (int(owner[e]), int(graph.cons_rows[e])): int(graph.cons_cells[e])
+        for e in cross.tolist()
+    }
+
+    per_channel: Dict[Tuple[int, int], List[Tuple[int, int, Tuple[int, int]]]] = {}
+    for edge, (s, d, offset, capacity) in sorted(slots.items()):
+        p, c = edge
+        cells = cross_edges.get(edge)
+        if cells is None:
+            out.add(
+                "RPR053",
+                f"slot for {tt[p]} -> {tt[c]} on channel r{s}->r{d} matches "
+                "no cross-rank edge of the graph; its descriptor would "
+                "underflow the consumer's pending counter",
+            )
+        else:
+            want = (int(rank_arr[p]), int(rank_arr[c]))
+            if (s, d) != want:
+                out.add(
+                    "RPR053",
+                    f"edge {tt[p]} -> {tt[c]} is owned by channel "
+                    f"r{want[0]}->r{want[1]} but its slot lives on "
+                    f"r{s}->r{d}; the payload would land in the wrong slab",
+                )
+            if capacity < cells:
+                out.add(
+                    "RPR051",
+                    f"slot for {tt[p]} -> {tt[c]} holds {capacity} cells "
+                    f"but the edge packs {cells}; the producer would write "
+                    "past the slot",
+                )
+        total = channel_cells.get((s, d))
+        if offset < 0 or (total is not None and offset + capacity > total):
+            out.add(
+                "RPR051",
+                f"slot for {tt[p]} -> {tt[c]} spans "
+                f"[{offset}, {offset + capacity}) outside its channel "
+                f"r{s}->r{d} of {total} cells",
+            )
+        per_channel.setdefault((s, d), []).append((offset, capacity, edge))
+
+    for edge in sorted(cross_edges):
+        if edge not in slots:
+            p, c = edge
+            out.add(
+                "RPR053",
+                f"cross-rank edge {tt[p]} -> {tt[c]} "
+                f"(r{int(rank_arr[p])}->r{int(rank_arr[c])}) has no slab "
+                "slot; its descriptor would be dropped and the consumer "
+                "starves",
+            )
+
+    for (s, d), entries in sorted(per_channel.items()):
+        entries.sort()
+        for (o1, c1, e1), (o2, _, e2) in zip(entries, entries[1:]):
+            if o2 < o1 + c1:
+                out.add(
+                    "RPR051",
+                    f"channel r{s}->r{d}: slot of {tt[e1[0]]} -> {tt[e1[1]]} "
+                    f"[{o1}, {o1 + c1}) overlaps slot of "
+                    f"{tt[e2[0]]} -> {tt[e2[1]]} starting at {o2}; "
+                    "concurrent packs would corrupt each other",
+                )
+
+
+def _audit_arenas(
+    graph: TileGraph,
+    rank_arr: np.ndarray,
+    ranks: int,
+    arena_caps: Sequence[int],
+    resolved: str,
+    out: _Capped,
+) -> None:
+    """RPR052: every rank's arena must hold its widest fused batch."""
+    required = arena_capacities(graph, rank_arr, ranks, resolved)
+    for r in range(min(ranks, len(arena_caps))):
+        if arena_caps[r] < required[r]:
+            out.add(
+                "RPR052",
+                f"rank {r}'s ghost arena holds {arena_caps[r]} planes but "
+                f"its widest wavefront level has {required[r]} tiles; a "
+                "fused batch would write-write overlap arena planes",
+            )
+
+
+def audit_pending_counters(
+    graph: TileGraph, problem: str = ""
+) -> List[Diagnostic]:
+    """RPR054: producer-CSR and consumer-CSR must agree on every edge.
+
+    Pending counters are per-consumer producer counts (the producer
+    view); deliveries walk the consumer lists of finishing producers
+    (the consumer view).  Any disagreement between the two multisets is
+    a counter that cannot drain to exactly zero.  Rank-independent, so
+    callers run it once per graph.
+    """
+    diags: List[Diagnostic] = []
+    out = _Capped(diags, problem)
+    tt = graph.tile_tuples
+    T = len(tt)
+    prod_view: CounterType[Tuple[int, int]] = Counter()
+    for c in range(T):
+        for e in range(int(graph.prod_ptr[c]), int(graph.prod_ptr[c + 1])):
+            prod_view[(int(graph.prod_rows[e]), c)] += 1
+    cons_view: CounterType[Tuple[int, int]] = Counter()
+    for p in range(T):
+        for e in range(int(graph.cons_ptr[p]), int(graph.cons_ptr[p + 1])):
+            cons_view[(p, int(graph.cons_rows[e]))] += 1
+    for edge in sorted(set(prod_view) | set(cons_view)):
+        p, c = edge
+        np_, nc = prod_view.get(edge, 0), cons_view.get(edge, 0)
+        if np_ == nc == 1:
+            continue
+        if nc > np_:
+            out.add(
+                "RPR054",
+                f"edge {tt[p]} -> {tt[c]} appears {nc}x in the consumer "
+                f"view but {np_}x in the pending count; delivery would "
+                "underflow the consumer's pending counter",
+            )
+        else:
+            out.add(
+                "RPR054",
+                f"edge {tt[p]} -> {tt[c]} is counted {np_}x in the pending "
+                f"count but sent {nc}x; the counter never drains and the "
+                "consumer deadlocks",
+            )
+    return diags
+
+
+def audit_protocol(
+    graph: TileGraph,
+    rank_of: Sequence[int],
+    ranks: int,
+    problem: str = "",
+    channel_cells: Optional[ChannelCells] = None,
+    slots: Optional[Slots] = None,
+    arena_caps: Optional[Sequence[int]] = None,
+    resolved: str = "wavefront",
+) -> List[Diagnostic]:
+    """Audit one rank assignment's communication protocol (RPR050-053).
+
+    *channel_cells*/*slots*/*arena_caps* default to the layout the
+    process backend would derive; tests inject mutated layouts here to
+    prove each defect class trips its code.  Add
+    :func:`audit_pending_counters` (rank-independent) for the full
+    RPR05x set.
+    """
+    rank_arr = np.asarray(list(rank_of), dtype=np.int64)
+    if slots is None or channel_cells is None:
+        channel_cells, slots = cross_edge_slots(graph, rank_arr)
+    if arena_caps is None:
+        arena_caps = arena_capacities(graph, rank_arr, ranks, resolved)
+    diags: List[Diagnostic] = []
+    out = _Capped(diags, problem)
+    _audit_channel_cycles(graph, rank_arr, out)
+    _audit_slots(graph, rank_arr, channel_cells, slots, out)
+    _audit_arenas(graph, rank_arr, ranks, arena_caps, resolved, out)
+    return diags
+
+
+def check_concurrency(
+    program: GeneratedProgram,
+    params: Optional[Mapping[str, int]] = None,
+    ranks: Sequence[int] = DEFAULT_RANK_COUNTS,
+    lb_method: str = "dimension-cut",
+) -> List[Diagnostic]:
+    """The full static pass over a generated program (pass 5 of lint).
+
+    Builds the probe tile graph, audits the pending counters once, then
+    audits the protocol under the load balancer's assignment for every
+    rank count in *ranks*.  A rank count the balancer cannot cut the
+    instance into is skipped — that is a capacity limit, not a
+    concurrency bug.  Duplicate findings across rank counts collapse.
+    """
+    spec = program.spec
+    if params is None:
+        params = probe_params(spec)
+    try:
+        graph = tile_graph(program, dict(params))
+    except ReproError as exc:
+        return [
+            make_diagnostic(
+                "RPR002",
+                f"probe graph construction failed: {exc}",
+                problem=spec.name,
+                source="protocol",
+            )
+        ]
+    diags = audit_pending_counters(graph, problem=spec.name)
+    seen = {(d.code, d.message) for d in diags}
+    for count in ranks:
+        try:
+            rank_arr = spmd_rank_assignment(
+                program, params, graph, count, lb_method=lb_method
+            )
+        except ReproError:
+            continue
+        for d in audit_protocol(graph, rank_arr, count, problem=spec.name):
+            key = (d.code, d.message)
+            if key not in seen:
+                seen.add(key)
+                diags.append(d)
+    return diags

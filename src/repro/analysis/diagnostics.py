@@ -45,7 +45,9 @@ class Rule:
 #: The stable rule set.  Codes are grouped by pass:
 #: ``RPR00x`` parsing/construction, ``RPR01x`` dependence legality,
 #: ``RPR02x`` kernel-fragment lint, ``RPR03x`` schedule race/coverage,
-#: ``RPR04x`` emitted-C audit.
+#: ``RPR04x`` emitted-C audit, ``RPR05x`` static concurrency-protocol
+#: audit (:mod:`.concurrency`), ``RPR06x`` dynamic trace sanitizer
+#: (:mod:`.tracecheck`, behind ``repro-racecheck``).
 RULES: Dict[str, Rule] = {
     r.code: r
     for r in (
@@ -68,6 +70,16 @@ RULES: Dict[str, Rule] = {
         Rule("RPR032", ERROR, "priority schedule orders a consumer before a producer"),
         Rule("RPR040", ERROR, "OpenMP parallel region uses a variable with no data-sharing classification"),
         Rule("RPR041", ERROR, "emitted C reads a dependency without its is_valid guard"),
+        Rule("RPR050", ERROR, "cross-rank sends form a channel-wait cycle (rendezvous deadlock)"),
+        Rule("RPR051", ERROR, "shared-memory slab slots alias or escape their channel"),
+        Rule("RPR052", ERROR, "ghost-arena planes admit a write-write overlap"),
+        Rule("RPR053", ERROR, "cross-rank edge has no matching send/recv slot (or is misrouted)"),
+        Rule("RPR054", ERROR, "pending counter can underflow or overflow"),
+        Rule("RPR060", ERROR, "consumer not happens-after its producer (data race)"),
+        Rule("RPR061", ERROR, "edge buffer used outside its tracked lifetime"),
+        Rule("RPR062", ERROR, "FIFO channel delivery order inverted"),
+        Rule("RPR063", WARNING, "transition trace is truncated but race-free"),
+        Rule("RPR064", ERROR, "transition trace is malformed"),
     )
 }
 

@@ -25,7 +25,7 @@ reads whose guards are strictly stronger than the checks.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from ..generator.validity import ValiditySet
 from ..polyhedra import Constraint, parse_constraint
@@ -116,7 +116,7 @@ def implies(constraints: Sequence[Constraint], target: Constraint) -> bool:
         return target.satisfied({})
     index = {n: i for i, n in enumerate(names)}
 
-    def row(c: Constraint):
+    def row(c: Constraint) -> Tuple[List[float], float]:
         coeffs = [0.0] * len(names)
         for n, v in c.expr.coeffs.items():
             coeffs[index[n]] = float(v)

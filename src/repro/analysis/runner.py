@@ -25,9 +25,10 @@ from typing import List, Mapping, Optional
 
 from ..errors import ParseError, ReproError
 from ..generator.pipeline import GeneratedProgram
-from ..generator.validity import build_validity
+from ..generator.validity import ValiditySet, build_validity
 from ..spec import ProblemSpec, build_spec, parse_spec_fields
 from .c_audit import audit_emitted_c
+from .concurrency import check_concurrency
 from .dependence import check_dependence
 from .diagnostics import Diagnostic, has_errors, make_diagnostic
 from .kernel_lint import lint_kernel
@@ -61,7 +62,7 @@ def analyze_spec_text(text: str, source_name: str = "") -> List[Diagnostic]:
     return diags
 
 
-def analyze_spec_file(path) -> List[Diagnostic]:
+def analyze_spec_file(path: str) -> List[Diagnostic]:
     """Full pipeline over a spec file on disk."""
     import os
 
@@ -107,14 +108,21 @@ def analyze_spec(
 def analyze_program(
     program: GeneratedProgram,
     params: Optional[Mapping[str, int]] = None,
-    _validity=None,
+    _validity: Optional[ValiditySet] = None,
 ) -> List[Diagnostic]:
-    """Schedule audit + emitted-C audit for a generated program."""
+    """Schedule, static-concurrency and emitted-C audits for a program.
+
+    The static concurrency pass (``RPR05x``, :mod:`.concurrency`) runs
+    on the same probe instantiation as the schedule audit; the dynamic
+    trace sanitizer (``RPR06x``, :mod:`.tracecheck`) requires executing
+    the program and therefore lives behind ``repro-racecheck`` only.
+    """
     spec = program.spec
     validity = _validity if _validity is not None else build_validity(spec)
     if params is None:
         params = probe_params(spec)
     diags = audit_schedule(program, params)
+    diags.extend(check_concurrency(program, params=params))
     try:
         from ..generator.cgen import emit_c_program
 

@@ -26,7 +26,7 @@ which is exactly the race being hunted.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import RuntimeExecutionError
 from ..generator.pipeline import GeneratedProgram
@@ -43,7 +43,7 @@ _MAX_PER_CODE = 5
 def audit_schedule(
     program: GeneratedProgram,
     params: Mapping[str, int],
-    schemes=("lb-first",),
+    schemes: Sequence[str] = ("lb-first",),
 ) -> List[Diagnostic]:
     """Coverage/race diagnostics for *program* on the probe *params*."""
     spec = program.spec

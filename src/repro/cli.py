@@ -9,7 +9,11 @@ Four entry points (also installed as console scripts):
 * ``repro-simulate --problem bandit2 N=60 --nodes 4 --cores 24`` —
   scaling study on the simulated cluster;
 * ``repro-lint --all``                        — static analysis of specs,
-  kernels, schedules and emitted C (see :mod:`repro.analysis`).
+  kernels, schedules and emitted C (see :mod:`repro.analysis`);
+* ``repro-racecheck --all --ranks 2``         — concurrency correctness:
+  the static protocol audit (``RPR05x``) plus the dynamic trace
+  sanitizer (``RPR06x``) over real executions of every requested
+  problem x rank count x backend.
 
 All entry points share one exit-code convention: 0 on success (for the
 linter: no error-severity diagnostics), 1 on any :class:`ReproError`
@@ -357,22 +361,166 @@ def main_lint(argv=None) -> int:
     )
     ap.add_argument("--tile-width", type=int, default=4)
     ap.add_argument(
+        "--pass",
+        dest="only_pass",
+        choices=("all", "concurrency"),
+        default="all",
+        help="run every pass (default) or only the static concurrency-"
+        "protocol audit (RPR05x)",
+    )
+    ap.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt"
     )
     args = ap.parse_args(argv)
     if not (args.all or args.problem or args.spec):
         ap.error("nothing to lint: pass --all, --problem or --spec")
 
-    from .analysis import analyze_spec, analyze_spec_file, has_errors, render
+    from .analysis import (
+        analyze_spec,
+        analyze_spec_file,
+        check_concurrency,
+        has_errors,
+        make_diagnostic,
+        render,
+    )
+
+    def concurrency_only(spec):
+        try:
+            return check_concurrency(generate(spec))
+        except ReproError as exc:
+            return [
+                make_diagnostic(
+                    "RPR002",
+                    f"code generation failed: {exc}",
+                    problem=spec.name,
+                    source="spec",
+                )
+            ]
 
     problems = sorted(REGISTRY) if args.all else list(args.problem)
     diags = []
     try:
         for name in problems:
             spec = _builtin_spec(name, args.tile_width)
-            diags.extend(analyze_spec(spec))
+            if args.only_pass == "concurrency":
+                diags.extend(concurrency_only(spec))
+            else:
+                diags.extend(analyze_spec(spec))
         for path in args.spec:
-            diags.extend(analyze_spec_file(path))
+            if args.only_pass == "concurrency":
+                diags.extend(concurrency_only(parse_spec_file(path)))
+            else:
+                diags.extend(analyze_spec_file(path))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render(diags, args.fmt))
+    return 1 if has_errors(diags) else 0
+
+
+def main_racecheck(argv=None) -> int:
+    """Concurrency correctness: static protocol audit + trace sanitizer."""
+    ap = argparse.ArgumentParser(
+        prog="repro-racecheck",
+        description=(
+            "Audit the SPMD communication protocol statically (RPR05x) "
+            "and sanitize transition traces from real executions "
+            "(RPR06x) for races, lifetime violations and FIFO "
+            "inversions."
+        ),
+    )
+    ap.add_argument(
+        "--problem",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=f"built-in problem to check (repeatable); one of {sorted(REGISTRY)}",
+    )
+    ap.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="problem-description file to check (repeatable)",
+    )
+    ap.add_argument(
+        "--all", action="store_true", help="check every built-in problem"
+    )
+    ap.add_argument("--tile-width", type=int, default=4)
+    ap.add_argument(
+        "--ranks",
+        type=int,
+        action="append",
+        default=[],
+        metavar="P",
+        help="rank count to execute at (repeatable; default: 1 2 4)",
+    )
+    ap.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        choices=("inline", "process"),
+        help="transport to execute with (repeatable; default: both); "
+        "the process backend is skipped at --ranks 1",
+    )
+    ap.add_argument(
+        "--mode",
+        choices=("auto", "interpret", "vector", "wavefront"),
+        default="auto",
+    )
+    ap.add_argument(
+        "--static-only",
+        action="store_true",
+        help="run only the static RPR05x audit (no executions)",
+    )
+    ap.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
+    args = ap.parse_args(argv)
+    if not (args.all or args.problem or args.spec):
+        ap.error("nothing to check: pass --all, --problem or --spec")
+    ranks_list = args.ranks or [1, 2, 4]
+    backends = args.backend or ["inline", "process"]
+
+    from .analysis import (
+        check_concurrency,
+        has_errors,
+        racecheck_execution,
+        render,
+    )
+
+    specs = []
+    problems = sorted(REGISTRY) if args.all else list(args.problem)
+    diags = []
+    try:
+        for name in problems:
+            specs.append(_builtin_spec(name, args.tile_width))
+        for path in args.spec:
+            specs.append(parse_spec_file(path))
+        for spec in specs:
+            params = _default_params(spec)
+            params.update(_parse_params(args.params))
+            program = generate(spec)
+            diags.extend(
+                check_concurrency(program, params=params, ranks=ranks_list)
+            )
+            if args.static_only:
+                continue
+            for ranks in ranks_list:
+                for backend in backends:
+                    if backend == "process" and ranks == 1:
+                        continue
+                    diags.extend(
+                        racecheck_execution(
+                            program,
+                            params,
+                            ranks=ranks,
+                            backend=backend,
+                            mode=args.mode,
+                            kernel=ensure_kernel(spec),
+                        )
+                    )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -3,8 +3,11 @@
 from .graph import Edge, TileGraph, TileIndex, build_tile_graph_dicts, tile_graph
 from .memory import EdgeMemoryTracker
 from .scheduler import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
     TileScheduler,
     TransitionEvent,
+    decode_events,
     encode_events,
     rank_of_rows,
 )
@@ -22,7 +25,7 @@ from .fastpath import (
     vector_unsupported_reason,
 )
 from .spmd import SPMD_BACKENDS, run_spmd, spmd_rank_assignment, validate_rank_of
-from .parallel import run_spmd_process
+from .parallel import arena_capacities, cross_edge_slots, run_spmd_process
 from .recover import Policy, SolutionRecovery
 
 __all__ = [
@@ -35,6 +38,9 @@ __all__ = [
     "TileScheduler",
     "TransitionEvent",
     "encode_events",
+    "decode_events",
+    "EVENT_KINDS",
+    "TRACE_SCHEMA_VERSION",
     "rank_of_rows",
     "CompiledExecutor",
     "compiled_executor",
@@ -47,6 +53,8 @@ __all__ = [
     "vector_unsupported_reason",
     "run_spmd",
     "run_spmd_process",
+    "cross_edge_slots",
+    "arena_capacities",
     "spmd_rank_assignment",
     "validate_rank_of",
     "SPMD_BACKENDS",

@@ -64,6 +64,15 @@ class EdgeMemoryTracker:
         self.live_edges -= 1
         return cells
 
+    def live_edge_keys(self) -> Tuple[Edge, ...]:
+        """The currently buffered edges, in insertion (buffering) order.
+
+        An export hook for the trace sanitizer: edges still live once
+        every tile finished were packed but never consumed, and the
+        keys name exactly which.
+        """
+        return tuple(self._sizes)
+
     def snapshot(self) -> Dict[str, int]:
         return {
             "live_cells": self.live_cells,

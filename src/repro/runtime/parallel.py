@@ -72,10 +72,10 @@ from .executor import ExecutionResult, compiled_executor
 from .fastpath import WavefrontRun
 from .graph import TileGraph, TileIndex, tile_graph
 from .memory import EdgeMemoryTracker
-from .scheduler import TileScheduler
+from .scheduler import TileScheduler, TransitionEvent
 from .spmd import spmd_rank_assignment, validate_rank_of
 
-__all__ = ["run_spmd_process"]
+__all__ = ["run_spmd_process", "cross_edge_slots", "arena_capacities"]
 
 #: Environment variable naming the worker's rank inside worker
 #: processes — set before any tile executes, so kernels and tests can
@@ -89,7 +89,7 @@ DEFAULT_TIMEOUT = 300.0
 _POLL_S = 0.05
 
 
-def _cross_edge_slots(graph: TileGraph, rank_of: np.ndarray):
+def cross_edge_slots(graph: TileGraph, rank_of: np.ndarray):
     """Static slot layout of every cross-rank edge.
 
     Each cross-rank edge gets a fixed ``[offset, offset + capacity)``
@@ -100,6 +100,10 @@ def _cross_edge_slots(graph: TileGraph, rank_of: np.ndarray):
     ``channel_cells[(src, dst)]`` is the slab size in cells and
     ``slots[(producer_row, consumer_row)]`` is
     ``(src, dst, offset, capacity)``.
+
+    Public because the static concurrency analyzer
+    (:mod:`repro.analysis.concurrency`) audits exactly this layout for
+    slot aliasing and unmatched send/recv pairs.
     """
     counts = np.diff(graph.cons_ptr)
     owner = np.repeat(np.arange(counts.size), counts)
@@ -119,6 +123,34 @@ def _cross_edge_slots(graph: TileGraph, rank_of: np.ndarray):
         )
         channel_cells[key] = offset + capacity
     return channel_cells, slots
+
+
+def arena_capacities(
+    graph: TileGraph,
+    rank_of: np.ndarray,
+    ranks: int,
+    resolved: str = "wavefront",
+) -> List[int]:
+    """Per-rank ghost-arena plane counts for the process backend.
+
+    A wavefront worker evaluates whole fronts into its arena, so the
+    arena needs one padded plane per tile of the rank's *widest* static
+    wavefront level — fewer planes means two tiles of one batch would
+    alias the same plane (a write-write overlap the static analyzer
+    flags as ``RPR052``).  Per-tile engines reuse a single scratch
+    plane; a rank that owns no tiles needs none.
+    """
+    rank_arr = np.asarray(rank_of, dtype=np.int64)
+    caps: List[int] = []
+    if resolved == "wavefront":
+        levels = graph.wavefront_levels()
+        for r in range(ranks):
+            mine = levels[rank_arr == r]
+            caps.append(int(np.bincount(mine).max()) if mine.size else 0)
+    else:
+        for r in range(ranks):
+            caps.append(1 if int((rank_arr == r).sum()) else 0)
+    return caps
 
 
 class _SegmentPool:
@@ -177,6 +209,17 @@ class _WorkerContext:
     arena: Optional[np.ndarray]
     timeout: float
     parent_pid: int
+    #: Messages this worker must receive per source rank (static, from
+    #: the slot layout); a channel hitting EOF while still owed messages
+    #: means the peer died mid-protocol — abort immediately instead of
+    #: starving until *timeout*.
+    expected_in: Dict[int, int]
+    recv_counts: Dict[int, int]
+    #: Other ranks' channel-pipe ends, inherited at fork.  The worker
+    #: closes them on entry: a descriptor pipe must be held open only
+    #: by its owning endpoints, or the reader never sees EOF when its
+    #: peer dies and the fast-abort above can't fire.
+    foreign_conns: Tuple[mp_connection.Connection, ...] = ()
 
 
 def _post_edge(ctx: _WorkerContext, row: int, consumer: int,
@@ -209,9 +252,20 @@ def _drain_inbox(ctx: _WorkerContext, sched: TileScheduler) -> bool:
         while conn.poll():
             try:
                 row, consumer, n = conn.recv()
-            except EOFError:  # pragma: no cover - peer death; parent aborts
+            except EOFError:
+                # The channel is drained *and* closed: the peer exited.
+                # A finished peer owes nothing; one that still owes
+                # messages died mid-protocol, so fail fast (naming the
+                # peer) instead of starving until the timeout.
                 del ctx.in_conns[src]
+                owed = ctx.expected_in[src] - ctx.recv_counts[src]
+                if owed > 0:
+                    raise RuntimeExecutionError(
+                        f"peer rank {src} closed its channel with {owed} "
+                        "of its messages undelivered"
+                    )
                 break
+            ctx.recv_counts[src] += 1
             s, d, offset, _ = ctx.slots[(row, consumer)]
             buffer = np.array(ctx.channel_views[(s, d)][offset:offset + n])
             sched.send_edge(row, consumer, buffer, n)
@@ -248,8 +302,18 @@ def _seed_rank(sched: TileScheduler, graph: TileGraph, rank: int) -> None:
             sched.make_ready(row)
 
 
-def _worker_run(rank: int, ctx: _WorkerContext) -> Dict[str, object]:
-    """One rank's whole run; returns the per-rank result payload."""
+def _worker_run(
+    rank: int,
+    ctx: _WorkerContext,
+    trace_out: Optional[List[Optional[List[TransitionEvent]]]] = None,
+) -> Dict[str, object]:
+    """One rank's whole run; returns the per-rank result payload.
+
+    *trace_out*, when given, receives the scheduler's (live) event list
+    as soon as the scheduler exists, so a failing worker can still ship
+    the partial trace it recorded — the sanitizer's killed-worker
+    classification depends on it.
+    """
     program = ctx.program
     graph = ctx.graph
     params = ctx.params
@@ -270,6 +334,8 @@ def _worker_run(rank: int, ctx: _WorkerContext) -> Dict[str, object]:
         record_events=ctx.record_events,
         batch=wavefront,
     )
+    if trace_out is not None:
+        trace_out.append(sched.events)
     _seed_rank(sched, graph, rank)
     my_total = sum(1 for r in ctx.rank_of if r == rank)
     tile_order: List[TileIndex] = []
@@ -383,20 +449,40 @@ def _worker_run(rank: int, ctx: _WorkerContext) -> Dict[str, object]:
 
 
 def _worker_main(rank: int, ctx: _WorkerContext) -> None:
-    """Worker process entry point: run, then report exactly once."""
+    """Worker process entry point: run, then report exactly once.
+
+    An error report carries the partial transition trace recorded so
+    far (when ``record_events`` is on): the parent re-exports it as
+    ``partial_events`` on the raised error so the trace sanitizer can
+    classify a truncated run.
+    """
     os.environ[RANK_ENV_VAR] = str(rank)
+    for conn in ctx.foreign_conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    trace_out: List[Optional[List[TransitionEvent]]] = []
     try:
-        payload = _worker_run(rank, ctx)
+        payload = _worker_run(rank, ctx, trace_out)
     except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        events = trace_out[0] if trace_out else None
         try:
             ctx.result_conn.send(
-                ("error", rank, f"{type(exc).__name__}: {exc}")
+                ("error", rank,
+                 {"message": f"{type(exc).__name__}: {exc}",
+                  "events": events})
             )
         except Exception:  # pragma: no cover - parent already gone
             pass
         raise SystemExit(1)
     ctx.result_conn.send(("ok", rank, payload))
     ctx.result_conn.close()
+
+
+#: How long the parent keeps draining surviving workers' reports after
+#: the first failure, so partial traces reach ``partial_events``.
+_FAILURE_GRACE_S = 1.5
 
 
 def _collect_results(
@@ -408,24 +494,23 @@ def _collect_results(
 
     Multiplexes the result pipes with the workers' process sentinels:
     a worker that dies without reporting (crash, ``SIGKILL``) raises a
-    :class:`RuntimeExecutionError` naming the rank immediately, and an
-    overall deadline bounds stalls.
+    :class:`RuntimeExecutionError` naming the rank, and an overall
+    deadline bounds stalls.  On any failure the parent briefly keeps
+    draining the *other* workers' reports, then raises an error whose
+    ``partial_events`` attribute maps each reporting rank to the
+    transition events it managed to record (``record_events`` runs
+    only) — the trace sanitizer uses it to classify truncated runs.
+    A dead-without-report rank wins the blame over a worker that merely
+    reported the death of its peer.
     """
     deadline = time.monotonic() + timeout
     results: Dict[int, Dict[str, object]] = {}
+    errors: Dict[int, str] = {}
+    partial_events: Dict[int, List[TransitionEvent]] = {}
+    dead: Dict[int, Optional[int]] = {}
     pending = dict(result_conns)
-    while pending:
-        remaining = deadline - time.monotonic()
-        if remaining <= 0:
-            ranks = sorted(pending)
-            raise RuntimeExecutionError(
-                f"SPMD process backend timed out after {timeout:.0f}s "
-                f"waiting for ranks {ranks}"
-            )
-        waitables = list(pending.values()) + [
-            procs[r].sentinel for r in pending
-        ]
-        mp_connection.wait(waitables, timeout=min(remaining, 1.0))
+
+    def drain_ready() -> None:
         for r in sorted(pending):
             conn = pending[r]
             got = False
@@ -442,19 +527,66 @@ def _collect_results(
                     # to the death check below.
                     got = False
                 else:
-                    if status == "error":
-                        raise RuntimeExecutionError(
-                            f"SPMD worker for rank {r} failed: {payload}"
-                        )
-                    results[r] = payload
                     del pending[r]
+                    if status == "error":
+                        errors[r] = payload["message"]
+                        if payload.get("events") is not None:
+                            partial_events[r] = payload["events"]
+                    else:
+                        results[r] = payload
+                        if payload.get("events") is not None:
+                            partial_events[r] = payload["events"]
                     continue
             proc = procs[r]
             if not got and not proc.is_alive():
-                raise RuntimeExecutionError(
-                    f"SPMD worker for rank {r} died (exit code "
-                    f"{proc.exitcode}) before completing its tiles"
-                )
+                del pending[r]
+                dead[r] = proc.exitcode
+
+    def fail(message: str) -> "RuntimeExecutionError":
+        grace_deadline = time.monotonic() + _FAILURE_GRACE_S
+        while pending and time.monotonic() < grace_deadline:
+            mp_connection.wait(
+                list(pending.values())
+                + [procs[r].sentinel for r in pending],
+                timeout=0.05,
+            )
+            drain_ready()
+        if dead:
+            r = min(dead)
+            message = (
+                f"SPMD worker for rank {r} died (exit code {dead[r]}) "
+                "before completing its tiles"
+            )
+        elif errors:
+            # A worker that merely observed its peer's death (channel
+            # EOF, broken descriptor pipe) is a symptom; blame the rank
+            # whose failure is its own.
+            def symptom(msg: str) -> bool:
+                return "peer rank" in msg or "BrokenPipeError" in msg
+
+            own = [r for r in sorted(errors) if not symptom(errors[r])]
+            r = own[0] if own else min(errors)
+            message = f"SPMD worker for rank {r} failed: {errors[r]}"
+        err = RuntimeExecutionError(message)
+        err.partial_events = dict(partial_events)
+        return err
+
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise fail(
+                f"SPMD process backend timed out after {timeout:.0f}s "
+                f"waiting for ranks {sorted(pending)}"
+            )
+        waitables = list(pending.values()) + [
+            procs[r].sentinel for r in pending
+        ]
+        mp_connection.wait(waitables, timeout=min(remaining, 1.0))
+        drain_ready()
+        if dead or errors:
+            raise fail("")
+    if dead or errors:  # pragma: no cover - raised inside the loop
+        raise fail("")
     return results
 
 
@@ -510,15 +642,20 @@ def run_spmd_process(
     graph.tile_tuples
     if resolved == "wavefront":
         ce.wavefront_engine
-        levels = graph.wavefront_levels()
+        graph.wavefront_levels()
     else:
         graph.priority_tuples(priority_scheme)
         if resolved == "vector":
             ce.vector_engine
 
-    channel_cells, slots = _cross_edge_slots(graph, rank_of)
+    channel_cells, slots = cross_edge_slots(graph, rank_of)
     padded_shape = tuple(program.layout.padded_shape)
-    rank_arr = np.asarray(rank_list, dtype=np.int64)
+    caps = arena_capacities(graph, rank_of, ranks, resolved)
+    expected_in_all: Dict[int, Dict[int, int]] = {r: {} for r in range(ranks)}
+    for (src, dst) in channel_cells:
+        expected_in_all[dst][src] = 0
+    for (src, dst, _offset, _cap) in slots.values():
+        expected_in_all[dst][src] += 1
 
     pool = _SegmentPool()
     procs: Dict[int, multiprocessing.Process] = {}
@@ -546,11 +683,7 @@ def run_spmd_process(
             recv_end, send_end = mp_ctx.Pipe(duplex=False)
             result_conns[r] = recv_end
 
-            if resolved == "wavefront":
-                mine = levels[rank_arr == r]
-                cap = int(np.bincount(mine).max()) if mine.size else 0
-            else:
-                cap = 1 if int((rank_arr == r).sum()) else 0
+            cap = caps[r]
             arena = pool.allocate((cap,) + padded_shape) if cap else None
 
             ctx = _WorkerContext(
@@ -573,6 +706,14 @@ def run_spmd_process(
                 arena=arena,
                 timeout=timeout,
                 parent_pid=os.getpid(),
+                expected_in=expected_in_all[r],
+                recv_counts={src: 0 for src in expected_in_all[r]},
+                foreign_conns=tuple(
+                    conn
+                    for conn in parent_conns
+                    if conn not in in_conns[r].values()
+                    and conn not in out_conns[r].values()
+                ),
             )
             proc = mp_ctx.Process(
                 target=_worker_main, args=(r, ctx),
@@ -583,6 +724,12 @@ def run_spmd_process(
             # The worker inherited its send end at fork; the parent's
             # copy would keep the pipe writable forever.
             send_end.close()
+
+        # Every worker inherited its channel ends at fork; the parent's
+        # copies would keep each descriptor pipe open even after its
+        # writer dies, hiding the EOF the survivors' fast-abort needs.
+        for conn in parent_conns:
+            conn.close()
 
         payloads = _collect_results(procs, result_conns, timeout)
         parent_conns.extend(result_conns.values())

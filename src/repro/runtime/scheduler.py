@@ -37,6 +37,7 @@ plus one aggregate tracker across all ranks.
 from __future__ import annotations
 
 import heapq
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -51,9 +52,19 @@ __all__ = [
     "TileScheduler",
     "rank_of_rows",
     "encode_events",
+    "decode_events",
+    "TRACE_SCHEMA_VERSION",
+    "EVENT_KINDS",
 ]
 
 EVENT_KINDS = ("tile_ready", "tile_start", "edge_sent", "tile_done")
+
+#: Version of the ``encode_events`` wire format.  The trace sanitizer
+#: (:mod:`repro.analysis.tracecheck`) and any external consumer key on
+#: this contract; bump it whenever the line layout of
+#: :meth:`TransitionEvent.encode` changes.  The schema is documented in
+#: ``docs/architecture.md`` ("The transition-trace schema").
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -89,6 +100,72 @@ class TransitionEvent:
 def encode_events(events: Sequence[TransitionEvent]) -> bytes:
     """Serialize a transition trace to bytes for exact comparison."""
     return "\n".join(e.encode() for e in events).encode("ascii")
+
+
+#: One encoded trace line (schema version 1).  ``tile``/``dest`` are the
+#: ``repr`` of the tile-index tuple; the ``->`` tail appears on
+#: ``edge_sent`` lines only.
+_EVENT_LINE = re.compile(
+    r"^(?P<seq>\d+) (?P<kind>[a-z_]+) (?P<tile>\(.*?\)) r(?P<rank>\d+)"
+    r"(?: -> (?P<dest>\(.*?\)) r(?P<dest_rank>\d+) cells=(?P<cells>\d+))?$"
+)
+
+
+def _parse_tile(text: str) -> TileIndex:
+    inner = text.strip("()")
+    return tuple(int(p) for p in inner.split(",") if p.strip())
+
+
+def decode_events(data: bytes) -> List[TransitionEvent]:
+    """Parse an :func:`encode_events` trace back into events.
+
+    The inverse of :func:`encode_events` under schema version
+    :data:`TRACE_SCHEMA_VERSION`: ``encode_events(decode_events(b)) ==
+    b`` for every encoded trace, which tests pin.  Raises
+    :class:`RuntimeExecutionError` naming the offending line on any
+    malformed input — the trace sanitizer turns that into a stable
+    diagnostic rather than a crash.
+    """
+    events: List[TransitionEvent] = []
+    if not data:
+        return events
+    for lineno, line in enumerate(data.decode("ascii").split("\n"), start=1):
+        m = _EVENT_LINE.match(line)
+        if m is None:
+            raise RuntimeExecutionError(
+                f"trace line {lineno} does not match schema version "
+                f"{TRACE_SCHEMA_VERSION}: {line!r}"
+            )
+        kind = m.group("kind")
+        if kind not in EVENT_KINDS:
+            raise RuntimeExecutionError(
+                f"trace line {lineno} has unknown event kind {kind!r}"
+            )
+        if (m.group("dest") is not None) != (kind == "edge_sent"):
+            raise RuntimeExecutionError(
+                f"trace line {lineno}: the '-> dest' tail is required "
+                f"exactly on edge_sent lines: {line!r}"
+            )
+        events.append(
+            TransitionEvent(
+                seq=int(m.group("seq")),
+                kind=kind,
+                tile=_parse_tile(m.group("tile")),
+                rank=int(m.group("rank")),
+                dest=(
+                    _parse_tile(m.group("dest"))
+                    if m.group("dest") is not None
+                    else None
+                ),
+                dest_rank=(
+                    int(m.group("dest_rank"))
+                    if m.group("dest_rank") is not None
+                    else None
+                ),
+                cells=int(m.group("cells") or 0),
+            )
+        )
+    return events
 
 
 def rank_of_rows(graph: TileGraph, balance) -> np.ndarray:

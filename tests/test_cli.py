@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.cli import main_generate, main_lint, main_run, main_simulate
+from repro.cli import (
+    main_generate,
+    main_lint,
+    main_racecheck,
+    main_run,
+    main_simulate,
+)
 
 SPEC = """\
 problem: staircase
@@ -205,6 +211,54 @@ class TestLint:
             main_lint([])
         assert exc.value.code == 2
 
+    def test_concurrency_pass_only(self, capsys):
+        rc = main_lint(
+            ["--problem", "bandit2", "--tile-width", "3",
+             "--pass", "concurrency", "--format", "json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+
+
+class TestRacecheck:
+    def test_clean_problem_exits_zero(self, capsys):
+        rc = main_racecheck(
+            ["--problem", "bandit2", "--tile-width", "3",
+             "--ranks", "2", "--backend", "inline", "N=6"]
+        )
+        assert rc == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_static_only_skips_executions(self, capsys):
+        rc = main_racecheck(
+            ["--problem", "bandit2", "--tile-width", "3", "--static-only"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_process_backend_json(self, capsys):
+        rc = main_racecheck(
+            ["--problem", "bandit2", "--tile-width", "3", "--ranks", "2",
+             "--backend", "process", "--format", "json", "N=6"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+
+    def test_spec_file(self, spec_file, capsys):
+        rc = main_racecheck(
+            ["--spec", str(spec_file), "--ranks", "2",
+             "--backend", "inline", "M=9"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_nothing_to_check_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main_racecheck([])
+        assert exc.value.code == 2
+
 
 class TestExitCodeConvention:
     """All four entry points: 0 success, 1 ReproError/findings, 2 usage."""
@@ -236,8 +290,15 @@ class TestExitCodeConvention:
                 ["--spec", "{bad_spec}"],
                 [],
             ),
+            (
+                main_racecheck,
+                ["--problem", "bandit2", "--tile-width", "3",
+                 "--ranks", "1", "N=6"],
+                ["--spec", "{bad_path}"],
+                ["--backend", "threads"],
+            ),
         ],
-        ids=["generate", "run", "simulate", "lint"],
+        ids=["generate", "run", "simulate", "lint", "racecheck"],
     )
     def test_exit_codes(
         self, entry, ok_argv, fail_argv, usage_argv,

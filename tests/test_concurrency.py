@@ -1,0 +1,213 @@
+"""The static concurrency-protocol audit (RPR05x) catches seeded defects.
+
+Each test injects one concrete protocol bug — overlapping slab slots, a
+dropped descriptor, an undersized ghost arena, a cyclic channel wait, a
+corrupted pending counter — and asserts the expected stable code shows
+up in both the text and JSON renderings, while the unmutated layouts of
+every bundled problem stay clean across rank counts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    audit_pending_counters,
+    audit_protocol,
+    check_concurrency,
+    render_json,
+    render_text,
+)
+from repro.runtime import (
+    TileGraph,
+    arena_capacities,
+    cross_edge_slots,
+    spmd_rank_assignment,
+    tile_graph,
+)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def assert_code_in_renderings(diags, code):
+    assert code in codes(diags)
+    text = render_text(diags)
+    assert code in text
+    doc = json.loads(render_json(diags))
+    assert any(d["code"] == code for d in doc["diagnostics"])
+    assert doc["clean"] is False
+
+
+@pytest.fixture(scope="module")
+def graph(bandit2_program):
+    return tile_graph(bandit2_program, {"N": 9})
+
+
+@pytest.fixture(scope="module")
+def rank_of(bandit2_program, graph):
+    return spmd_rank_assignment(bandit2_program, {"N": 9}, graph, 2)
+
+
+class TestCleanLayouts:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_bundled_assignments_are_clean(
+        self, bandit2_program, graph, ranks
+    ):
+        assignment = spmd_rank_assignment(
+            bandit2_program, {"N": 9}, graph, ranks
+        )
+        assert audit_protocol(graph, assignment, ranks) == []
+
+    def test_pending_counters_clean(self, graph):
+        assert audit_pending_counters(graph) == []
+
+    @pytest.mark.parametrize(
+        "fixture",
+        ["bandit2_program", "edit_program", "lcs3_program", "delayed_program"],
+    )
+    def test_check_concurrency_clean(self, request, fixture):
+        program = request.getfixturevalue(fixture)
+        diags = check_concurrency(program)
+        assert not diags, render_text(diags)
+
+
+class TestSeededDefects:
+    def test_overlapping_slots_are_rpr051(self, graph, rank_of):
+        # Shift a slot back onto its channel neighbour: two producers
+        # now pack into intersecting cell ranges of one slab.
+        channel_cells, slots = cross_edge_slots(graph, rank_of)
+        by_channel = {}
+        for edge, (s, d, off, cap) in sorted(slots.items()):
+            by_channel.setdefault((s, d), []).append((off, cap, edge))
+        entries = next(
+            v for v in by_channel.values() if len(v) >= 2
+        )
+        entries.sort()
+        (o1, c1, e1), (_, c2, e2) = entries[0], entries[1]
+        slots = dict(slots)
+        slots[e2] = (slots[e2][0], slots[e2][1], o1 + c1 - 1, c2)
+        diags = audit_protocol(
+            graph, rank_of, 2, channel_cells=channel_cells, slots=slots
+        )
+        assert_code_in_renderings(diags, "RPR051")
+
+    def test_undersized_slot_is_rpr051(self, graph, rank_of):
+        channel_cells, slots = cross_edge_slots(graph, rank_of)
+        edge = sorted(slots)[0]
+        s, d, off, cap = slots[edge]
+        slots = dict(slots)
+        slots[edge] = (s, d, off, cap - 1)
+        diags = audit_protocol(
+            graph, rank_of, 2, channel_cells=channel_cells, slots=slots
+        )
+        assert_code_in_renderings(diags, "RPR051")
+
+    def test_dropped_descriptor_is_rpr053(self, graph, rank_of):
+        # Remove one cross-rank edge's slot: its descriptor would be
+        # dropped and the consumer starves waiting for the message.
+        channel_cells, slots = cross_edge_slots(graph, rank_of)
+        slots = dict(slots)
+        del slots[sorted(slots)[0]]
+        diags = audit_protocol(
+            graph, rank_of, 2, channel_cells=channel_cells, slots=slots
+        )
+        assert_code_in_renderings(diags, "RPR053")
+
+    def test_spurious_slot_is_rpr053(self, graph, rank_of):
+        # Invent a slot for a same-rank (non-cross) edge: its descriptor
+        # would underflow the consumer's pending counter.
+        channel_cells, slots = cross_edge_slots(graph, rank_of)
+        rank_list = [int(r) for r in rank_of]
+        T = len(graph.tile_tuples)
+        same = next(
+            (p, c)
+            for c in range(T)
+            for p, _ in (graph.producer_edges(c))
+            if rank_list[p] == rank_list[c]
+        )
+        slots = dict(slots)
+        slots[same] = (0, 1, 0, 1)
+        diags = audit_protocol(
+            graph, rank_of, 2, channel_cells=channel_cells, slots=slots
+        )
+        assert_code_in_renderings(diags, "RPR053")
+
+    def test_misrouted_slot_is_rpr053(self, graph, rank_of):
+        channel_cells, slots = cross_edge_slots(graph, rank_of)
+        edge = sorted(slots)[0]
+        s, d, off, cap = slots[edge]
+        slots = dict(slots)
+        slots[edge] = (d, s, off, cap)  # swapped channel direction
+        diags = audit_protocol(
+            graph, rank_of, 2, channel_cells=channel_cells, slots=slots
+        )
+        assert_code_in_renderings(diags, "RPR053")
+
+    def test_undersized_arena_is_rpr052(self, graph, rank_of):
+        caps = arena_capacities(graph, np.asarray(rank_of), 2, "wavefront")
+        caps[0] -= 1
+        diags = audit_protocol(graph, rank_of, 2, arena_caps=caps)
+        assert_code_in_renderings(diags, "RPR052")
+
+    def test_channel_cycle_is_rpr050(self, graph):
+        # Row-parity stripes interleave ranks along each wavefront
+        # level, so one level carries cross-rank sends in both
+        # directions: a rendezvous send on either channel deadlocks it.
+        parity = np.asarray(
+            [t[0] % 2 for t in graph.tile_tuples], dtype=np.int64
+        )
+        diags = audit_protocol(graph, parity, 2)
+        assert_code_in_renderings(diags, "RPR050")
+        assert any("channel-wait cycle" in d.message for d in diags)
+
+    def test_monotone_cut_has_no_cycle(self, graph, rank_of):
+        diags = audit_protocol(graph, rank_of, 2)
+        assert "RPR050" not in codes(diags)
+
+    def test_duplicated_delivery_is_rpr054(self, graph):
+        # Duplicate one edge in the consumer view only: the pending
+        # counter (producer view) counts it once but it delivers twice.
+        e = 0
+        corrupted = TileGraph(
+            program=graph.program,
+            params=graph.params,
+            tile_array=graph.tile_array,
+            work_array=graph.work_array,
+            prod_ptr=graph.prod_ptr,
+            prod_rows=graph.prod_rows,
+            prod_delta=graph.prod_delta,
+            cons_ptr=np.concatenate(
+                [graph.cons_ptr[:1], graph.cons_ptr[1:] + 1]
+            ),
+            cons_rows=np.insert(graph.cons_rows, e, graph.cons_rows[e]),
+            cons_delta=np.insert(graph.cons_delta, e, graph.cons_delta[e]),
+            cons_cells=np.insert(graph.cons_cells, e, graph.cons_cells[e]),
+        )
+        diags = audit_pending_counters(corrupted)
+        assert_code_in_renderings(diags, "RPR054")
+        assert any("underflow" in d.message for d in diags)
+
+    def test_unsent_pending_edge_is_rpr054(self, graph):
+        # Drop one edge from the consumer view only: the counter waits
+        # for a delivery that never happens.
+        corrupted = TileGraph(
+            program=graph.program,
+            params=graph.params,
+            tile_array=graph.tile_array,
+            work_array=graph.work_array,
+            prod_ptr=graph.prod_ptr,
+            prod_rows=graph.prod_rows,
+            prod_delta=graph.prod_delta,
+            cons_ptr=np.concatenate(
+                [graph.cons_ptr[:1], graph.cons_ptr[1:] - 1]
+            ),
+            cons_rows=graph.cons_rows[1:],
+            cons_delta=graph.cons_delta[1:],
+            cons_cells=graph.cons_cells[1:],
+        )
+        diags = audit_pending_counters(corrupted)
+        assert_code_in_renderings(diags, "RPR054")
+        assert any("never drains" in d.message for d in diags)

@@ -7,11 +7,15 @@ loud, not silent.  Corruption happens at the CSR-array level — the
 representation the executor and simulator actually consume.
 """
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
+from repro.analysis import check_trace
 from repro.errors import RuntimeExecutionError, SimulationError
-from repro.runtime import TileGraph, execute
+from repro.runtime import TileGraph, execute, run_spmd, tile_graph
 from repro.simulate import MachineModel, simulate
 
 
@@ -116,3 +120,44 @@ class TestSimulatorDetection:
         bad = _graph_from_edges(graph, edges)
         with pytest.raises(SimulationError):
             simulate(bad, MachineModel(nodes=1, cores_per_node=2))
+
+
+def _rank1_early_killer(point, deps, params):
+    """SIGKILL rank 1's worker mid-protocol, before it packs anything."""
+    if os.environ.get("REPRO_SPMD_RANK") == "1":
+        os.kill(os.getpid(), signal.SIGKILL)
+    vals = [v for v in deps.values() if v is not None]
+    return max(vals) + 1 if vals else 0.0
+
+
+class TestKilledWorkerTrace:
+    def test_partial_trace_classifies_truncated_not_racy(
+        self, bandit2_program
+    ):
+        # A worker killed mid-protocol leaves the survivors' recorded
+        # events behind on the error.  The sanitizer must classify the
+        # merged prefix as truncated-but-race-free (RPR063 warning) —
+        # the kill is a crash, not a concurrency bug.
+        params = {"N": 12}
+        graph = tile_graph(bandit2_program, params)
+        rank_of = np.arange(len(graph.tile_tuples), dtype=np.int64) % 2
+        with pytest.raises(RuntimeExecutionError, match=r"rank 1 died") as ei:
+            run_spmd(
+                bandit2_program, params, ranks=2,
+                kernel=_rank1_early_killer, mode="interpret",
+                rank_of=rank_of, backend="process", record_events=True,
+            )
+        partial = ei.value.partial_events
+        assert set(partial) <= {0, 1}
+        dead = sorted({0, 1} - set(partial))
+        assert dead == [1]
+        events = []
+        for r in sorted(partial):
+            events.extend(partial[r])
+        diags = check_trace(
+            graph, rank_of, events, transport="process",
+            dead_ranks=dead, expect_complete=False,
+        )
+        assert {d.code for d in diags} == {"RPR063"}
+        assert all(d.severity == "warning" for d in diags)
+        assert any("race-free" in d.message for d in diags)

@@ -67,6 +67,83 @@ class TestTracker:
             t.remove_edge(((0, 0), (0, 1)))
 
 
+class TestLiveEdgeKeys:
+    def test_insertion_order_and_removal(self):
+        t = EdgeMemoryTracker()
+        t.add_edge("a", 3)
+        t.add_edge("b", 2)
+        t.add_edge("c", 1)
+        assert t.live_edge_keys() == ("a", "b", "c")
+        t.remove_edge("b")
+        assert t.live_edge_keys() == ("a", "c")
+        t.remove_edge("a")
+        t.remove_edge("c")
+        assert t.live_edge_keys() == ()
+
+
+class TestMergeSnapshots:
+    def test_fields_sum_exactly(self):
+        a = EdgeMemoryTracker()
+        a.add_edge("x", 10)
+        a.add_edge("y", 4)
+        a.remove_edge("x")
+        b = EdgeMemoryTracker()
+        b.add_edge("z", 7)
+        merged = EdgeMemoryTracker.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        assert merged == {
+            "live_cells": 11,
+            "live_edges": 2,
+            "peak_cells": 21,
+            "peak_edges": 3,
+            "total_packed_cells": 21,
+            "total_edges": 3,
+        }
+
+    def test_empty_sequence_is_zero(self):
+        merged = EdgeMemoryTracker.merge_snapshots([])
+        assert set(merged) == {
+            "live_cells", "live_edges", "peak_cells", "peak_edges",
+            "total_packed_cells", "total_edges",
+        }
+        assert all(v == 0 for v in merged.values())
+
+    def test_missing_keys_default_to_zero(self):
+        merged = EdgeMemoryTracker.merge_snapshots(
+            [{"live_cells": 5}, {"peak_edges": 2}]
+        )
+        assert merged["live_cells"] == 5
+        assert merged["peak_edges"] == 2
+        assert merged["total_edges"] == 0
+
+    def test_summed_peaks_bound_any_interleaving(self):
+        # The merged peak is an upper bound: per-rank peaks need not
+        # coincide in time, so replaying both ranks' edges through one
+        # tracker can never exceed the field-wise sum.
+        a = EdgeMemoryTracker()
+        b = EdgeMemoryTracker()
+        union = EdgeMemoryTracker()
+        script = [
+            (a, "add", "a1", 8), (b, "add", "b1", 3),
+            (a, "remove", "a1", 0), (b, "add", "b2", 5),
+            (a, "add", "a2", 2), (b, "remove", "b1", 0),
+        ]
+        for tracker, op, edge, cells in script:
+            if op == "add":
+                tracker.add_edge(edge, cells)
+                union.add_edge(edge, cells)
+            else:
+                tracker.remove_edge(edge)
+                union.remove_edge(edge)
+        merged = EdgeMemoryTracker.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        assert merged["peak_cells"] >= union.peak_cells
+        assert merged["peak_edges"] >= union.peak_edges
+        assert merged["total_packed_cells"] == union.total_packed_cells
+
+
 class TestFigure4:
     """Peak buffered edges: column-major n+1 vs level-set 2(n-1)."""
 

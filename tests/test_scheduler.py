@@ -27,9 +27,11 @@ from hypothesis import strategies as st
 
 from repro.errors import RuntimeExecutionError
 from repro.runtime import (
+    TRACE_SCHEMA_VERSION,
     TileGraph,
     TileScheduler,
     compiled_executor,
+    decode_events,
     encode_events,
     execute,
     run_spmd,
@@ -341,3 +343,88 @@ class TestPublicCheckAPI:
         source = inspect.getsource(recover)
         assert "_compile_checks" not in source
         assert "compile_scanner" not in source
+
+
+def _drive(sched, ranks, skip_consume=None):
+    """Round-robin the ranks through the full state machine."""
+    progressed = True
+    while progressed:
+        progressed = False
+        for rank in range(ranks):
+            while sched.has_ready(rank):
+                row = sched.start_tile(rank)
+                if row != skip_consume:
+                    list(sched.consume_edges(row))
+                for consumer, _d, cells, _r in sched.outgoing(row):
+                    sched.send_edge(row, consumer, cells=cells)
+                    sched.deliver_edge(consumer)
+                sched.finish_tile(row)
+                progressed = True
+
+
+class TestVerifyRankDrained:
+    @pytest.fixture()
+    def rank_of(self, bandit2_program, graph):
+        return spmd_rank_assignment(bandit2_program, {"N": 7}, graph, 2)
+
+    def test_drained_run_passes(self, graph, rank_of):
+        sched = TileScheduler(graph, ranks=2, rank_of=rank_of)
+        sched.seed()
+        _drive(sched, 2)
+        sched.verify_drained()
+        sched.verify_rank_drained(0)
+        sched.verify_rank_drained(1)
+
+    def test_unrun_rank_is_local_deadlock(self, graph, rank_of):
+        sched = TileScheduler(graph, ranks=2, rank_of=rank_of)
+        sched.seed()
+        with pytest.raises(
+            RuntimeExecutionError, match="rank-local schedule deadlocked"
+        ):
+            sched.verify_rank_drained(0)
+
+    def test_unconsumed_edges_named_per_rank(self, graph, rank_of):
+        # Finish every tile but skip one consumer's unpack: only the
+        # rank holding the leaked buffers fails its local check.
+        skip = int(graph.cons_rows[0])
+        sched = TileScheduler(graph, ranks=2, rank_of=rank_of)
+        sched.seed()
+        _drive(sched, 2, skip_consume=skip)
+        leaky = int(rank_of[skip])
+        with pytest.raises(RuntimeExecutionError, match="still live"):
+            sched.verify_rank_drained(leaky)
+        sched.verify_rank_drained(1 - leaky)
+        with pytest.raises(
+            RuntimeExecutionError, match="packed but never consumed"
+        ):
+            sched.verify_drained()
+
+
+class TestTraceCodec:
+    def test_schema_version_is_pinned(self):
+        assert TRACE_SCHEMA_VERSION == 1
+
+    def test_roundtrip_is_byte_identical(self, bandit2_program):
+        res = execute(
+            bandit2_program, {"N": 6}, record_events=True, mode="interpret"
+        )
+        blob = encode_events(res.events)
+        assert decode_events(blob) == list(res.events)
+        assert encode_events(decode_events(blob)) == blob
+
+    def test_empty_trace_roundtrips(self):
+        assert decode_events(encode_events([])) == []
+
+    def test_malformed_line_is_named(self):
+        blob = b"0 tile_ready (0, 0) r0\nnot a trace line"
+        with pytest.raises(RuntimeExecutionError, match="line 2"):
+            decode_events(blob)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="line 1"):
+            decode_events(b"0 tile_burned (0, 0) r0")
+
+    def test_dest_tail_only_on_sends(self):
+        line = b"0 tile_ready (0, 0) r0 -> (0, 1) r1 cells=3"
+        with pytest.raises(RuntimeExecutionError, match="edge_sent"):
+            decode_events(line)

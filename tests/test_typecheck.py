@@ -1,0 +1,32 @@
+"""Strict typing gate for the analysis package (mirrors the CI job).
+
+The diagnostics framework is the repo's stable public reporting
+surface, so ``src/repro/analysis/`` is held to ``mypy --strict`` (with
+imports into the partially-hinted rest of the repo followed silently).
+Skipped when mypy is not installed — CI installs it explicitly.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+mypy = pytest.importorskip("mypy")
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_analysis_package_is_strict_clean():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy", "--strict",
+            "--follow-imports=silent", "--ignore-missing-imports",
+            str(REPO / "src" / "repro" / "analysis"),
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
