@@ -14,7 +14,6 @@ interpreter's here, on the benchmark instances themselves.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -22,7 +21,7 @@ from repro.generator import generate
 from repro.problems import lcs_spec, random_sequence, two_arm_spec
 from repro.runtime import TileGraph, execute
 
-from _common import write_report
+from _common import write_bench_json, write_report
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
 
@@ -82,7 +81,7 @@ def run_bench(repeats=2, quick=False):
         _bench_case("bandit2", bandit_program, {"N": bandit_n}, repeats),
     ]
     if not quick:
-        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+        write_bench_json(BENCH_JSON, rows)
     lines = []
     for r in rows:
         lines.append(

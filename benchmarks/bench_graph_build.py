@@ -16,7 +16,6 @@ the usual textual report in ``benchmarks/out/``.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -25,7 +24,7 @@ from repro.problems import lcs_spec, random_sequence, two_arm_spec
 from repro.runtime import TileGraph, build_tile_graph_dicts, execute
 from repro.runtime.graph import tile_graph
 
-from _common import write_report
+from _common import write_bench_json, write_report
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_graph.json"
 
@@ -136,9 +135,8 @@ def run_bench(repeats=2, quick=False):
     _, t_cached = _best(
         lambda: tile_graph(lcs_program, {"L1": lcs_n, "L2": lcs_n}), 3
     )
-    payload = {"quick": quick, "cached_lookup_s": t_cached, "rows": rows}
     if not quick:
-        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        write_bench_json(BENCH_JSON, rows, cached_lookup_s=t_cached)
     lines = []
     for r in rows:
         lines.append(

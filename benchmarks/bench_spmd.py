@@ -22,7 +22,6 @@ textual report under ``benchmarks/out/``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -31,7 +30,7 @@ from repro.generator import generate
 from repro.problems import lcs_spec, random_sequence
 from repro.runtime import TileGraph, execute
 
-from _common import write_report
+from _common import write_bench_json, write_report
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmd.json"
 
@@ -94,7 +93,7 @@ def run_bench(repeats=2, quick=False, ranks=RANKS):
     }
     rows = [row]
     if not quick:
-        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+        write_bench_json(BENCH_JSON, rows)
     write_report(
         "spmd",
         f"SPMD {row['case']}: {cells} cells on {os.cpu_count()} cpus | "

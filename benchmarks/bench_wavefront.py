@@ -11,16 +11,24 @@ path's regimes:
 * the 4-D 2-arm bandit at N = 60 — thousands of tiny ragged tiles where
   the per-tile path is pure scheduling overhead and fronts are huge.
 
+The same two shapes also time the dynamic heap against the static
+wavefront-level schedule policy (``execute(schedule=...)``), asserting
+bit-identical objectives and recording the timings as
+``BENCH_schedule.json`` — the executed-side companion to the simulated
+tradeoff ``repro-tune`` sweeps.  No speedup gate is placed on the
+policy rows: in-process Python timing is too noisy to stake a
+dynamic-vs-static verdict on, the rows exist to track the trajectory.
+
 Bit-identity is asserted on the benchmark instances themselves
 (objective and cell counts).  Full runs write ``BENCH_wavefront.json``
-at the repository root so later PRs can track the trajectory; ``--quick``
-uses small instances and writes only the textual report under
-``benchmarks/out/`` (it never touches the committed JSON).
+and ``BENCH_schedule.json`` at the repository root so later PRs can
+track the trajectory; ``--quick`` uses small instances and writes only
+the textual report under ``benchmarks/out/`` (it never touches the
+committed JSON).
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -28,9 +36,12 @@ from repro.generator import generate
 from repro.problems import lcs_spec, random_sequence, two_arm_spec
 from repro.runtime import TileGraph, execute
 
-from _common import write_report
+from _common import write_bench_json, write_report
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_wavefront.json"
+BENCH_SCHEDULE_JSON = (
+    Path(__file__).resolve().parent.parent / "BENCH_schedule.json"
+)
 
 LCS_N = 2048
 LCS_TILE = 32
@@ -41,16 +52,18 @@ QUICK_LCS_N = 256
 QUICK_BANDIT_N = 16
 
 
-def _measure(program, params, mode, repeats):
+def _measure(program, params, mode, repeats, schedule="dynamic"):
     graph = TileGraph.build(program, params)
     # Warm-up triggers the one-time per-program compilation (scanner,
     # vector engine, wavefront geometry, static levels).
-    execute(program, params, graph=graph, mode=mode)
+    execute(program, params, graph=graph, mode=mode, schedule=schedule)
     best = float("inf")
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        result = execute(program, params, graph=graph, mode=mode)
+        result = execute(
+            program, params, graph=graph, mode=mode, schedule=schedule
+        )
         best = min(best, time.perf_counter() - t0)
     return result, best
 
@@ -75,6 +88,28 @@ def _bench_case(name, program, params, repeats):
     }
 
 
+def _bench_schedule_case(name, program, params, repeats):
+    dyn, t_d = _measure(program, params, "wavefront", repeats)
+    stat, t_s = _measure(
+        program, params, "wavefront", repeats, schedule="static"
+    )
+    assert stat.objective_value == dyn.objective_value
+    assert stat.cells_computed == dyn.cells_computed
+    cells = dyn.cells_computed
+    return {
+        "case": name,
+        "params": dict(params),
+        "tile_widths": dict(program.spec.tile_widths),
+        "cells": cells,
+        "objective": stat.objective_value,
+        "dynamic_s": t_d,
+        "static_s": t_s,
+        "dynamic_cells_per_s": cells / t_d,
+        "static_cells_per_s": cells / t_s,
+        "static_over_dynamic": t_d / t_s,
+    }
+
+
 def run_bench(repeats=2, quick=False):
     lcs_n = QUICK_LCS_N if quick else LCS_N
     bandit_n = QUICK_BANDIT_N if quick else BANDIT_N
@@ -88,8 +123,17 @@ def run_bench(repeats=2, quick=False):
         ),
         _bench_case("bandit2", bandit_program, {"N": bandit_n}, repeats),
     ]
+    schedule_rows = [
+        _bench_schedule_case(
+            "lcs2", lcs_program, {"L1": lcs_n, "L2": lcs_n}, repeats
+        ),
+        _bench_schedule_case(
+            "bandit2", bandit_program, {"N": bandit_n}, repeats
+        ),
+    ]
     if not quick:
-        BENCH_JSON.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+        write_bench_json(BENCH_JSON, rows)
+        write_bench_json(BENCH_SCHEDULE_JSON, schedule_rows)
     lines = []
     for r in rows:
         lines.append(
@@ -97,6 +141,13 @@ def run_bench(repeats=2, quick=False):
             f"vector {r['vector_cells_per_s'] / 1e6:.2f}M cells/s | "
             f"wavefront {r['wavefront_cells_per_s'] / 1e6:.2f}M cells/s | "
             f"speedup {r['speedup']:.1f}x"
+        )
+    for r in schedule_rows:
+        lines.append(
+            f"SCHED {r['case']}: {r['cells']} cells | "
+            f"dynamic {r['dynamic_cells_per_s'] / 1e6:.2f}M cells/s | "
+            f"static {r['static_cells_per_s'] / 1e6:.2f}M cells/s | "
+            f"static/dynamic {r['static_over_dynamic']:.2f}x"
         )
     write_report("wavefront", "\n".join(lines))
     return rows

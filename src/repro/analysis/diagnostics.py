@@ -68,6 +68,7 @@ RULES: Dict[str, Rule] = {
         Rule("RPR030", ERROR, "tile dependency has no pack region (uncovered cross-tile edge)"),
         Rule("RPR031", ERROR, "cross-tile edge is missing from the tile graph"),
         Rule("RPR032", ERROR, "priority schedule orders a consumer before a producer"),
+        Rule("RPR033", ERROR, "static wavefront level disagrees with the recomputed longest-path level"),
         Rule("RPR040", ERROR, "OpenMP parallel region uses a variable with no data-sharing classification"),
         Rule("RPR041", ERROR, "emitted C reads a dependency without its is_valid guard"),
         Rule("RPR050", ERROR, "cross-rank sends form a channel-wait cycle (rendezvous deadlock)"),

@@ -17,10 +17,17 @@ delta — and compares:
   runtime's actual mechanism, :func:`make_priority_array` keys in a
   heap) pops some consumer before one of its *true* producers finished.
 
+* ``RPR033`` — the graph's cached ``wavefront_levels()`` (the static
+  schedule policy's barrier structure) disagrees with the longest-path
+  levels recomputed here from the independent ``dep_map`` edges.
+
 ``RPR032`` deliberately validates the simulated pop order against the
 independently recomputed producers, not against the graph's own edges:
 a consumer can only overtake a producer the graph does not know about,
-which is exactly the race being hunted.
+which is exactly the race being hunted.  ``RPR033`` plays the same
+trick for the static policy: its level barriers are only safe if every
+true producer sits on a strictly lower level, so the levels are
+re-derived from the recomputed edges and compared entry by entry.
 """
 
 from __future__ import annotations
@@ -110,6 +117,10 @@ def audit_schedule(
         violation = _priority_violation(graph, row_of, expected, scheme)
         if violation is not None:
             diag("RPR032", violation)
+
+    # -- static levels (RPR033) ---------------------------------------------
+    for violation in _static_level_violations(graph, row_of, expected):
+        diag("RPR033", violation)
     return diags
 
 
@@ -120,6 +131,60 @@ def _try_build(
         return TileGraph.build(program, dict(params))
     except (RuntimeExecutionError, KeyError):
         return None
+
+
+def _static_level_violations(
+    graph: TileGraph,
+    row_of: Dict[tuple, int],
+    expected: Dict[tuple, List[tuple]],
+) -> List[str]:
+    """Mismatches between cached and recomputed wavefront levels.
+
+    The static schedule policy releases tiles in (rank, level) barriers
+    keyed by :meth:`TileGraph.wavefront_levels`; a level assignment
+    that places any true producer on the same or a higher level than
+    its consumer is a data race under that policy.  The ground truth is
+    recomputed here as longest-path levels over the *independently*
+    re-derived producer edges (the same ``expected`` set RPR031/RPR032
+    audit), then compared entry by entry with the graph's cached array.
+    """
+    recomputed: Dict[tuple, int] = {}
+    indeg = {tile: len(prods) for tile, prods in expected.items()}
+    consumers: Dict[tuple, List[tuple]] = {t: [] for t in expected}
+    for tile, prods in expected.items():
+        for producer in prods:
+            consumers[producer].append(tile)
+    frontier = [t for t, n in indeg.items() if n == 0]
+    for tile in frontier:
+        recomputed[tile] = 0
+    while frontier:
+        nxt: List[tuple] = []
+        for tile in frontier:
+            for consumer in consumers[tile]:
+                level = recomputed.get(consumer, 0)
+                recomputed[consumer] = max(level, recomputed[tile] + 1)
+                indeg[consumer] -= 1
+                if indeg[consumer] == 0:
+                    nxt.append(consumer)
+        frontier = nxt
+    if len(recomputed) != len(expected) or any(n for n in indeg.values()):
+        return [
+            "recomputed producer edges admit no level order (cyclic); "
+            "the static schedule policy would deadlock or race"
+        ]
+    cached = graph.wavefront_levels().tolist()
+    out: List[str] = []
+    for tile, level in recomputed.items():
+        if cached[row_of[tile]] != level:
+            out.append(
+                f"tile {tile} sits on cached wavefront level "
+                f"{cached[row_of[tile]]} but its recomputed longest-path "
+                f"level is {level}; the static policy's level barrier "
+                "would release it against a same-or-later-level producer"
+            )
+            if len(out) >= _MAX_PER_CODE:
+                break
+    return out
 
 
 def _priority_violation(

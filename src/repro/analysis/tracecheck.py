@@ -550,6 +550,7 @@ def check_trace(
     transport: str = "inline",
     dead_ranks: Iterable[int] = (),
     expect_complete: Optional[bool] = None,
+    schedule: str = "dynamic",
 ) -> List[Diagnostic]:
     """Sanitize one transition trace against its graph and assignment.
 
@@ -559,6 +560,11 @@ def check_trace(
     sends are excused rather than reported as races.  *expect_complete*
     defaults to "no dead ranks": a completed run must account for every
     tile, a truncated one earns an ``RPR063`` classification instead.
+    *schedule* names the policy that produced the trace: under
+    ``"static"`` the per-channel FIFO check (RPR062) is skipped, since
+    its premise — a single-channel consumer becomes ready exactly when
+    its final message arrives — does not hold when readiness is a
+    (rank, level) barrier releasing whole levels in row order.
     """
     diags: List[Diagnostic] = []
     out = _Capped(diags, problem)
@@ -605,7 +611,8 @@ def check_trace(
         model, graph, rank_list, resolved_packing, transport,
         expect_complete, edges, out,
     )
-    _check_fifo(model, graph, rank_list, out)
+    if schedule != "static":
+        _check_fifo(model, graph, rank_list, out)
     _check_completion(model, graph, rank_list, dead, expect_complete, out)
     return diags
 
@@ -619,6 +626,7 @@ def racecheck_execution(
     kernel: Optional[Kernel] = None,
     lb_method: str = "dimension-cut",
     priority_scheme: str = "lb-first",
+    schedule: str = "dynamic",
 ) -> List[Diagnostic]:
     """Execute with event recording, then sanitize the trace.
 
@@ -654,6 +662,7 @@ def racecheck_execution(
             mode=mode,
             priority_scheme=priority_scheme,
             record_events=True,
+            schedule=schedule,
         )
     except ReproError as exc:
         partial = getattr(exc, "partial_events", None)
@@ -678,6 +687,7 @@ def racecheck_execution(
             transport=transport,
             dead_ranks=dead,
             expect_complete=False,
+            schedule=schedule,
         )
     return check_trace(
         graph,
@@ -685,4 +695,5 @@ def racecheck_execution(
         result.events or [],
         problem=problem,
         transport=transport,
+        schedule=schedule,
     )

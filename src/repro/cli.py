@@ -8,6 +8,9 @@ Four entry points (also installed as console scripts):
   with the in-process tiled runtime and check it against the oracle;
 * ``repro-simulate --problem bandit2 N=60 --nodes 4 --cores 24`` —
   scaling study on the simulated cluster;
+* ``repro-tune --problem lcs``              — simulator-driven sweep of
+  schedule policy x tile widths, cached on disk (see
+  :mod:`repro.runtime.tuner`);
 * ``repro-lint --all``                        — static analysis of specs,
   kernels, schedules and emitted C (see :mod:`repro.analysis`);
 * ``repro-racecheck --all --ranks 2``         — concurrency correctness:
@@ -81,6 +84,28 @@ def _builtin_spec(name: str, tile_width: int):
     raise SystemExit(
         f"unknown problem {name!r}; choose one of {sorted(REGISTRY)}"
     )
+
+
+def _heuristic_widths(program, params):
+    """Heuristic tile widths for *program*, or None to keep the spec's.
+
+    Guarded: a width vector that satisfies the per-dimension reach can
+    still yield a *cyclic* tile graph (e.g. splitting viterbi's
+    bidirectional state dimension), so the candidate is probed by
+    building its graph and validating acyclicity before it is adopted.
+    """
+    from .runtime import tile_graph
+    from .runtime.tuner import heuristic_tile_widths, retile_program
+
+    try:
+        widths = heuristic_tile_widths(program.spec, params)
+        if widths == dict(program.spec.tile_widths):
+            return None
+        probe = retile_program(program, widths)
+        tile_graph(probe, params).validate_acyclic()
+        return widths
+    except ReproError:
+        return None
 
 
 def _default_params(spec) -> Dict[str, int]:
@@ -160,11 +185,26 @@ def main_run(argv=None) -> int:
         help="problem-description file; its center_code_py is compiled "
         "into the runtime kernel",
     )
-    ap.add_argument("--tile-width", type=int, default=4)
+    ap.add_argument(
+        "--tile-width",
+        type=int,
+        default=None,
+        help="tile width for every dimension (default: a heuristic "
+        "sized from the problem extents toward O(10^2-10^3) tiles)",
+    )
     ap.add_argument(
         "--priority",
         choices=("column-major", "level-set", "lb-first", "lb-last"),
         default="lb-first",
+    )
+    ap.add_argument(
+        "--schedule",
+        choices=("dynamic", "static", "auto"),
+        default="dynamic",
+        help="ready-set policy: 'dynamic' (default) is the priority "
+        "heap, 'static' precomputes per-rank wavefront-level buckets, "
+        "'auto' asks the simulator-driven tuner (repro-tune) and may "
+        "also retile",
     )
     ap.add_argument(
         "--ranks",
@@ -205,21 +245,28 @@ def main_run(argv=None) -> int:
             spec = parse_spec_file(args.spec)
             kernel = ensure_kernel(spec)
         else:
-            spec = _builtin_spec(args.problem, args.tile_width)
+            spec = _builtin_spec(args.problem, args.tile_width or 4)
             kernel = spec.kernel
         params = _default_params(spec)
         params.update(_parse_params(args.params))
         program = generate(spec)
+        tile_widths = None
+        if args.problem and args.tile_width is None:
+            tile_widths = _heuristic_widths(program, params)
         result = execute(
             program, params, kernel=kernel,
             priority_scheme=args.priority, ranks=args.ranks,
             mode=args.mode, backend=args.backend,
+            schedule=args.schedule, tile_widths=tile_widths,
         )
         single = None
         if args.ranks > 1:
+            # The cross-check reuses the schedule/widths the first run
+            # resolved (under --schedule auto the tuner already chose).
             single = execute(
                 program, params, kernel=kernel,
                 priority_scheme=args.priority, mode=args.mode,
+                schedule=result.schedule, tile_widths=result.tile_widths,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -229,6 +276,8 @@ def main_run(argv=None) -> int:
     print(f"parameters        : {params}")
     print(f"engine mode       : {result.mode}"
           + (f" ({result.backend} backend)" if args.ranks > 1 else ""))
+    print(f"schedule          : {result.schedule}")
+    print(f"tile widths       : {result.tile_widths}")
     print(f"tiles executed    : {result.tiles_executed}")
     print(f"cells computed    : {result.cells_computed}")
     print(f"peak edge buffer  : {result.memory['peak_cells']} cells "
@@ -329,6 +378,97 @@ def main_simulate(argv=None) -> int:
                 )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main_tune(argv=None) -> int:
+    """Simulator-driven tuning of schedule policy and tile widths."""
+    ap = argparse.ArgumentParser(
+        prog="repro-tune",
+        description=(
+            "Sweep schedule policies (dynamic heap vs static wavefront "
+            "levels) and candidate tile widths through the cluster "
+            "simulator; print the winning configuration and cache it "
+            "on disk for execute(schedule='auto')."
+        ),
+    )
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--problem", help=f"one of {sorted(REGISTRY)}")
+    group.add_argument("--spec", help="problem-description file to tune")
+    ap.add_argument(
+        "--tile-width",
+        type=int,
+        default=4,
+        help="starting tile width (the sweep's untuned baseline)",
+    )
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="sweep only the current and heuristic widths (CI-sized)",
+    )
+    ap.add_argument("--nodes", type=int, default=None, metavar="N",
+                    help="machine model nodes (default: 1)")
+    ap.add_argument("--cores", type=int, default=None, metavar="C",
+                    help="cores per node (default: this host's cpu count)")
+    ap.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="tuning-registry file (default: $REPRO_TUNE_CACHE or "
+        "~/.cache/repro/tuning.json)",
+    )
+    ap.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk registry",
+    )
+    ap.add_argument("params", nargs="*", help="NAME=VALUE parameter overrides")
+    args = ap.parse_args(argv)
+
+    from .runtime.tuner import default_tuning_machine, tune
+
+    try:
+        if args.spec:
+            spec = parse_spec_file(args.spec)
+        else:
+            spec = _builtin_spec(args.problem, args.tile_width)
+        params = _default_params(spec)
+        params.update(_parse_params(args.params))
+        program = generate(spec)
+        machine = default_tuning_machine()
+        if args.nodes is not None or args.cores is not None:
+            machine = MachineModel(
+                nodes=args.nodes or 1,
+                cores_per_node=args.cores or machine.cores_per_node,
+            )
+        decision = tune(
+            program,
+            params,
+            machine=machine,
+            quick=args.quick,
+            use_cache=not args.no_cache,
+            cache_path=args.cache,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"problem            : {spec.name} {params}")
+    print(f"machine            : {machine.nodes} nodes x "
+          f"{machine.cores_per_node} cores")
+    print(f"schedule           : {decision.schedule}")
+    print(f"tile widths        : {decision.tile_widths}")
+    print(f"predicted makespan : {decision.predicted_makespan_s:.6f} s")
+    print(f"untuned default    : {decision.default_makespan_s:.6f} s "
+          f"(speedup {decision.predicted_speedup:.2f}x)")
+    print(f"candidates         : {decision.candidates}")
+    print(f"cache              : {'hit' if decision.cache_hit else 'miss'}")
+    if decision.predicted_makespan_s > decision.default_makespan_s:
+        print(
+            "error: tuned configuration is predicted slower than the "
+            "untuned default",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -469,6 +609,14 @@ def main_racecheck(argv=None) -> int:
         default="auto",
     )
     ap.add_argument(
+        "--schedule",
+        choices=("dynamic", "static"),
+        default="dynamic",
+        help="ready-set policy to execute (and sanitize) the traces "
+        "under; 'static' skips the FIFO check RPR062, whose premise "
+        "only holds for the dynamic heap",
+    )
+    ap.add_argument(
         "--static-only",
         action="store_true",
         help="run only the static RPR05x audit (no executions)",
@@ -519,6 +667,7 @@ def main_racecheck(argv=None) -> int:
                             backend=backend,
                             mode=args.mode,
                             kernel=ensure_kernel(spec),
+                            schedule=args.schedule,
                         )
                     )
     except ReproError as exc:

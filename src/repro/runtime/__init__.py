@@ -4,7 +4,11 @@ from .graph import Edge, TileGraph, TileIndex, build_tile_graph_dicts, tile_grap
 from .memory import EdgeMemoryTracker
 from .scheduler import (
     EVENT_KINDS,
+    SCHEDULE_POLICIES,
     TRACE_SCHEMA_VERSION,
+    DynamicHeapPolicy,
+    SchedulePolicy,
+    StaticWavefrontPolicy,
     TileScheduler,
     TransitionEvent,
     decode_events,
@@ -27,6 +31,13 @@ from .fastpath import (
 from .spmd import SPMD_BACKENDS, run_spmd, spmd_rank_assignment, validate_rank_of
 from .parallel import arena_capacities, cross_edge_slots, run_spmd_process
 from .recover import Policy, SolutionRecovery
+from .tuner import (
+    TuningDecision,
+    candidate_tile_widths,
+    heuristic_tile_widths,
+    retile_program,
+    tune,
+)
 
 __all__ = [
     "TileGraph",
@@ -36,6 +47,10 @@ __all__ = [
     "build_tile_graph_dicts",
     "EdgeMemoryTracker",
     "TileScheduler",
+    "SchedulePolicy",
+    "DynamicHeapPolicy",
+    "StaticWavefrontPolicy",
+    "SCHEDULE_POLICIES",
     "TransitionEvent",
     "encode_events",
     "decode_events",
@@ -60,4 +75,9 @@ __all__ = [
     "SPMD_BACKENDS",
     "SolutionRecovery",
     "Policy",
+    "TuningDecision",
+    "tune",
+    "heuristic_tile_widths",
+    "candidate_tile_widths",
+    "retile_program",
 ]

@@ -94,6 +94,13 @@ class ExecutionResult:
     cross_rank_cells: int = 0
     #: With ``record_events=True``: the scheduler's transition trace.
     events: Optional[List[TransitionEvent]] = None
+    #: Which schedule policy ordered the ready set ("dynamic"/"static";
+    #: an ``execute(schedule="auto")`` run reports the tuner's choice).
+    schedule: str = "dynamic"
+    #: The tile widths the run actually used, per loop var — either the
+    #: spec's, an explicit ``tile_widths=`` override, or the tuner's
+    #: choice under ``schedule="auto"``.
+    tile_widths: Optional[Dict[str, int]] = None
 
     def value_at(self, point: Mapping[str, int], loop_vars) -> float:
         if self.values is None:
@@ -463,6 +470,7 @@ class CompiledExecutor:
         keep_edges: bool = False,
         mode: str = "auto",
         record_events: bool = False,
+        schedule: str = "dynamic",
     ) -> ExecutionResult:
         """One single-rank run: drive the scheduler core, tile by tile."""
         program = self.program
@@ -472,7 +480,8 @@ class CompiledExecutor:
             graph = tile_graph(program, params)
         if resolved == "wavefront":
             return self._run_wavefront(
-                params, graph, priority_scheme, record_values, record_events
+                params, graph, priority_scheme, record_values, record_events,
+                schedule,
             )
         spaces = program.spaces
         layout = program.layout
@@ -485,6 +494,7 @@ class CompiledExecutor:
             graph,
             priority_scheme=priority_scheme,
             record_events=record_events,
+            schedule=schedule,
         )
         sched.seed()
 
@@ -545,6 +555,8 @@ class CompiledExecutor:
             memory_per_rank=sched.memory_per_rank(),
             tiles_per_rank=list(sched.finished_per_rank),
             events=sched.events,
+            schedule=schedule,
+            tile_widths=dict(self.spec.tile_widths),
         )
 
     def _run_wavefront(
@@ -554,6 +566,7 @@ class CompiledExecutor:
         priority_scheme: str,
         record_values: bool,
         record_events: bool,
+        schedule: str = "dynamic",
     ) -> ExecutionResult:
         """One single-rank wavefront-fused run: drain whole fronts.
 
@@ -571,6 +584,7 @@ class CompiledExecutor:
             priority_scheme=priority_scheme,
             record_events=record_events,
             batch=True,
+            schedule=schedule,
         )
         sched.seed()
         # One ghost-array arena sized for the widest static front,
@@ -625,6 +639,8 @@ class CompiledExecutor:
             memory_per_rank=sched.memory_per_rank(),
             tiles_per_rank=list(sched.finished_per_rank),
             events=sched.events,
+            schedule=schedule,
+            tile_widths=dict(self.spec.tile_widths),
         )
 
 
@@ -650,6 +666,8 @@ def execute(
     lb_method: str = "dimension-cut",
     record_events: bool = False,
     backend: str = "inline",
+    schedule: str = "dynamic",
+    tile_widths: Optional[Mapping[str, int]] = None,
 ) -> ExecutionResult:
     """Solve the problem instance and return the objective value.
 
@@ -675,8 +693,51 @@ def execute(
     in this thread, the deterministic oracle) or ``"process"`` (one OS
     worker process per rank over ``multiprocessing.shared_memory``
     ghost arrays, for real multi-core wall-clock wins; see
-    :mod:`repro.runtime.parallel`).
+    :mod:`repro.runtime.parallel`).  *schedule* selects the scheduler's
+    ready-set policy: ``"dynamic"`` (priority heaps, the default),
+    ``"static"`` (precomputed wavefront levels released behind arrival
+    barriers), or ``"auto"`` (the simulator-driven tuner of
+    :mod:`repro.runtime.tuner` picks policy *and* tile widths, cached
+    on disk per program/params/machine).  *tile_widths* overrides the
+    spec's widths for this run (an int applies to every loop var); the
+    program is re-tiled through the generator, so pass it instead of —
+    not alongside — a prebuilt *graph*.  Both policies produce
+    bit-identical values; the chosen policy and widths are reported in
+    ``ExecutionResult.schedule``/``tile_widths``.
     """
+    if schedule not in ("dynamic", "static", "auto"):
+        raise RuntimeExecutionError(
+            f"unknown schedule {schedule!r}; expected 'dynamic', "
+            "'static', or 'auto'"
+        )
+    if tile_widths is not None:
+        from .tuner import normalize_tile_widths, retile_program
+
+        widths = normalize_tile_widths(program.spec, tile_widths)
+        if widths != dict(program.spec.tile_widths):
+            if graph is not None:
+                raise RuntimeExecutionError(
+                    "a prebuilt graph fixes the tiling; pass either "
+                    "graph= or tile_widths=, not both"
+                )
+            program = retile_program(program, widths)
+    if schedule == "auto":
+        from .tuner import retile_program, tune
+
+        # A prebuilt graph (or explicit widths) pins the tiling — the
+        # tuner then only chooses the policy for the current widths.
+        pin_widths = graph is not None or tile_widths is not None
+        decision = tune(
+            program,
+            params,
+            quick=True,
+            tile_width_candidates=(
+                [dict(program.spec.tile_widths)] if pin_widths else None
+            ),
+        )
+        schedule = decision.schedule
+        if decision.tile_widths != dict(program.spec.tile_widths):
+            program = retile_program(program, decision.tile_widths)
     if backend != "inline" or ranks > 1:
         from .spmd import run_spmd
 
@@ -693,6 +754,7 @@ def execute(
             lb_method=lb_method,
             record_events=record_events,
             backend=backend,
+            schedule=schedule,
         )
     return compiled_executor(program).run(
         params,
@@ -703,6 +765,7 @@ def execute(
         keep_edges=keep_edges,
         mode=mode,
         record_events=record_events,
+        schedule=schedule,
     )
 
 

@@ -220,6 +220,11 @@ class _WorkerContext:
     #: by its owning endpoints, or the reader never sees EOF when its
     #: peer dies and the fast-abort above can't fire.
     foreign_conns: Tuple[mp_connection.Connection, ...] = ()
+    #: Schedule policy every worker builds its scheduler with.  All
+    #: ranks must agree: the policy decides when tiles leave the ready
+    #: set, and the cross-rank send/recv protocol stays FIFO-identical
+    #: only when both endpoints run the same policy.
+    schedule: str = "dynamic"
 
 
 def _post_edge(ctx: _WorkerContext, row: int, consumer: int,
@@ -333,6 +338,7 @@ def _worker_run(
         priority_scheme=ctx.priority_scheme,
         record_events=ctx.record_events,
         batch=wavefront,
+        schedule=ctx.schedule,
     )
     if trace_out is not None:
         trace_out.append(sched.events)
@@ -604,6 +610,7 @@ def run_spmd_process(
     record_events: bool = False,
     rank_of: Optional[np.ndarray] = None,
     timeout: float = DEFAULT_TIMEOUT,
+    schedule: str = "dynamic",
 ) -> ExecutionResult:
     """Execute across *ranks* real worker processes over shared memory.
 
@@ -640,11 +647,17 @@ def run_spmd_process(
     # Touch every shared compiled artifact *before* forking so workers
     # inherit it copy-on-write instead of re-deriving it P times.
     graph.tile_tuples
+    if schedule == "static":
+        # The static policy derives its level barriers from these in
+        # every worker's scheduler.
+        graph.wavefront_levels()
+        graph.dependency_count_array()
     if resolved == "wavefront":
         ce.wavefront_engine
         graph.wavefront_levels()
     else:
-        graph.priority_tuples(priority_scheme)
+        if schedule == "dynamic":
+            graph.priority_tuples(priority_scheme)
         if resolved == "vector":
             ce.vector_engine
 
@@ -708,6 +721,7 @@ def run_spmd_process(
                 parent_pid=os.getpid(),
                 expected_in=expected_in_all[r],
                 recv_counts={src: 0 for src in expected_in_all[r]},
+                schedule=schedule,
                 foreign_conns=tuple(
                     conn
                     for conn in parent_conns
@@ -754,6 +768,7 @@ def run_spmd_process(
     return _merge_payloads(
         program, params, graph, ranks, resolved, payloads,
         record_values, record_events, keep_edges, len(slots),
+        schedule=schedule,
     )
 
 
@@ -768,6 +783,7 @@ def _merge_payloads(
     record_events: bool,
     keep_edges: bool,
     n_cross_edges: int,
+    schedule: str = "dynamic",
 ) -> ExecutionResult:
     """Fold per-rank payloads into one :class:`ExecutionResult`."""
     cells = sum(p["cells"] for p in payloads.values())
@@ -833,4 +849,6 @@ def _merge_payloads(
             p["cross_rank_cells"] for p in payloads.values()
         ),
         events=events,
+        schedule=schedule,
+        tile_widths=dict(program.spec.tile_widths),
     )

@@ -55,6 +55,7 @@ class SolutionRecovery:
         params: Mapping[str, int],
         kernel: Optional[Kernel] = None,
         cache_tiles: int = 16,
+        schedule: str = "dynamic",
     ):
         self.program = program
         self.params = dict(params)
@@ -64,12 +65,16 @@ class SolutionRecovery:
                 "solution recovery needs a Python kernel"
             )
         self.graph = tile_graph(program, self.params)
+        # The forward pass honors the caller's schedule policy; the
+        # saved edge set is identical either way (every edge is packed
+        # under keep_edges), so recovery itself is policy-blind.
         self.result = execute(
             program,
             self.params,
             kernel=self.kernel,
             graph=self.graph,
             keep_edges=True,
+            schedule=schedule,
         )
         self._cache: "OrderedDict[TileIndex, Dict[Point, float]]" = OrderedDict()
         self._cache_tiles = cache_tiles

@@ -20,6 +20,20 @@ is a thin *driver* of the same engine instead of a re-implementation:
 * solution recovery (:mod:`repro.runtime.recover`) replays the forward
   pass through the executor driver.
 
+Ready-set management is a swappable *schedule policy*
+(:class:`SchedulePolicy`): the paper's dynamic priority-queue protocol
+(:class:`DynamicHeapPolicy`, the default) and a static wavefront
+schedule (:class:`StaticWavefrontPolicy`) that precomputes per-rank
+level buckets from the CSR graph and releases whole levels behind
+arrival barriers — no heap, and no per-tile pending-counter updates in
+the steady state.  Both policies drive the identical edge lifecycle
+(``consume_edges``/``send_edge``/``deliver_edge``), so numerics are
+bit-identical and cross-rank message counts match by construction; only
+the *order* tiles leave the ready set differs.  See Jin et al.,
+"Hybrid Static/Dynamic Schedules for Tiled Polyhedral Programs"
+(arXiv:1610.07236) for the tradeoff, and :mod:`repro.runtime.tuner`
+for the simulator-driven chooser.
+
 State transitions are observable: with ``record_events=True`` the
 scheduler appends one :class:`TransitionEvent` per transition
 (``tile_ready``, ``tile_start``, ``edge_sent``, ``tile_done``), in a
@@ -38,8 +52,9 @@ from __future__ import annotations
 
 import heapq
 import re
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,12 +65,22 @@ from .memory import EdgeMemoryTracker
 __all__ = [
     "TransitionEvent",
     "TileScheduler",
+    "SchedulePolicy",
+    "DynamicHeapPolicy",
+    "StaticWavefrontPolicy",
+    "SCHEDULE_POLICIES",
     "rank_of_rows",
     "encode_events",
     "decode_events",
     "TRACE_SCHEMA_VERSION",
     "EVENT_KINDS",
 ]
+
+#: Schedule policies a :class:`TileScheduler` can be built with.  The
+#: ``execute``/CLI layers additionally accept ``"auto"``, which resolves
+#: to one of these through :mod:`repro.runtime.tuner` before a scheduler
+#: is ever constructed.
+SCHEDULE_POLICIES = ("dynamic", "static")
 
 EVENT_KINDS = ("tile_ready", "tile_start", "edge_sent", "tile_done")
 
@@ -208,6 +233,245 @@ def rank_of_rows(graph: TileGraph, balance) -> np.ndarray:
     return out
 
 
+class SchedulePolicy:
+    """Ready-set management strategy of one :class:`TileScheduler`.
+
+    The scheduler owns the edge lifecycle (buffers, trackers, message
+    counts) and the transition trace; the policy owns only *which tiles
+    are ready and in what order they leave*.  The contract every policy
+    must honor:
+
+    * ``make_ready(row)`` — a driver announced a zero-dependency tile;
+    * ``deliver_edge(consumer)`` — one incoming edge arrived; returns
+      True when the arrival made the consumer startable (its rank's
+      ready set now contains it);
+    * ``has_ready(rank)`` / ``pop_tile(rank)`` — per-tile drain;
+    * ``pop_batch(rank)`` — whole-front drain for the wavefront-fused
+      engine: every returned row belongs to one static wavefront level,
+      in ascending row order.
+
+    Policies emit ``tile_ready`` through ``sched._emit`` at the moment a
+    tile enters the ready set (immediately for the dynamic policy, at
+    its level's release barrier for the static one).  Numerics never
+    depend on the policy: ghost cells fix every tile's inputs, so any
+    topological execution order yields bit-identical values.
+    """
+
+    name = "?"
+
+    def __init__(self, sched: "TileScheduler"):
+        self.sched = sched
+
+    def make_ready(self, row: int) -> None:
+        raise NotImplementedError
+
+    def deliver_edge(self, consumer: int) -> bool:
+        raise NotImplementedError
+
+    def has_ready(self, rank: int) -> bool:
+        raise NotImplementedError
+
+    def pop_tile(self, rank: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def pop_batch(self, rank: int) -> List[int]:
+        raise NotImplementedError
+
+
+class DynamicHeapPolicy(SchedulePolicy):
+    """The paper's dynamic protocol: pending counters + priority heaps.
+
+    Every tile waits on a per-tile pending counter; the delivery that
+    zeroes it pushes the tile onto its rank's priority heap (``(key,
+    row)`` tuples, ties broken by lexicographic tile rank — identical
+    ordering to the scalar heap of the generated C).  In batch mode the
+    heap is replaced by per-level buckets plus a small per-level heap so
+    the wavefront engine pops whole fronts without per-tile heap churn.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, sched: "TileScheduler"):
+        super().__init__(sched)
+        graph = sched.graph
+        self._remaining = graph.dependency_count_array().tolist()
+        self.ready: List[List[Tuple[tuple, int]]] = [
+            [] for _ in range(sched.ranks)
+        ]
+        if sched.batch:
+            self._levels = graph.wavefront_levels().tolist()
+            self._buckets: List[Dict[int, List[int]]] = [
+                {} for _ in range(sched.ranks)
+            ]
+            self._level_heaps: List[List[int]] = [
+                [] for _ in range(sched.ranks)
+            ]
+
+    def make_ready(self, row: int) -> None:
+        sched = self.sched
+        rank = sched.rank_of[row]
+        if sched.batch:
+            level = self._levels[row]
+            bucket = self._buckets[rank]
+            rows = bucket.get(level)
+            if rows is None:
+                bucket[level] = [row]
+                heapq.heappush(self._level_heaps[rank], level)
+            else:
+                rows.append(row)
+        else:
+            heapq.heappush(self.ready[rank], (sched.prio[row], row))
+        sched._emit("tile_ready", row, rank)
+
+    def deliver_edge(self, consumer: int) -> bool:
+        remaining = self._remaining
+        remaining[consumer] -= 1
+        if remaining[consumer] == 0:
+            self.make_ready(consumer)
+            return True
+        if remaining[consumer] < 0:
+            raise RuntimeExecutionError(
+                f"tile {self.sched.tile_tuples[consumer]} received more "
+                "edges than it has producers"
+            )
+        return False
+
+    def has_ready(self, rank: int) -> bool:
+        if self.sched.batch:
+            return bool(self._buckets[rank])
+        return bool(self.ready[rank])
+
+    def pop_tile(self, rank: int) -> Optional[int]:
+        rq = self.ready[rank]
+        if not rq:
+            return None
+        _, row = heapq.heappop(rq)
+        return row
+
+    def pop_batch(self, rank: int) -> List[int]:
+        bucket = self._buckets[rank]
+        if not bucket:
+            return []
+        level = heapq.heappop(self._level_heaps[rank])
+        return sorted(bucket.pop(level))
+
+
+class StaticWavefrontPolicy(SchedulePolicy):
+    """Static wavefront schedule: precomputed level buckets + barriers.
+
+    The per-rank execution order is fixed at construction from
+    :meth:`~repro.runtime.graph.TileGraph.wavefront_levels`: each rank
+    runs its level-``l`` rows in ascending row order, and a level is
+    *released* once the rank has seen every arrival it statically
+    expects for that level — one ``make_ready`` per zero-dependency row
+    (level 0) or one ``deliver_edge`` per incoming edge (level > 0).
+    The steady state is one dict-counter increment per edge: no heap of
+    tiles, and no per-tile pending counters.
+
+    Releases are per (rank, level) barriers, which is *coarser* than
+    per-tile readiness — a level releases only after every one of its
+    tiles is individually startable, so popping its rows in any order is
+    safe.  Deadlock-freedom follows by induction on the globally lowest
+    unfinished level: all its arrivals come from strictly lower levels,
+    which any fair driver has already drained.  Cross-rank timing can
+    release a rank's levels out of order; the released-level heap always
+    pops the lowest, preserving the static order per rank.
+    """
+
+    name = "static"
+
+    def __init__(self, sched: "TileScheduler"):
+        super().__init__(sched)
+        graph = sched.graph
+        ranks = sched.ranks
+        rank_of = sched.rank_of
+        self._levels = graph.wavefront_levels().tolist()
+        indeg = graph.dependency_count_array().tolist()
+        # Per rank: unreleased level -> rows (ascending, by construction
+        # since rows are appended in row order), and the arrival barrier
+        # (expected counts) each level waits behind.
+        buckets: List[Dict[int, List[int]]] = [{} for _ in range(ranks)]
+        expected: List[Dict[int, int]] = [{} for _ in range(ranks)]
+        for row, level in enumerate(self._levels):
+            r = rank_of[row]
+            rows = buckets[r].get(level)
+            if rows is None:
+                buckets[r][level] = [row]
+            else:
+                rows.append(row)
+            # A zero-dependency row arrives once via make_ready; every
+            # other row contributes one arrival per incoming edge.
+            expected[r][level] = expected[r].get(level, 0) + (
+                indeg[row] if indeg[row] else 1
+            )
+        self._buckets = buckets
+        self._expected = expected
+        self._arrived: List[Dict[int, int]] = [{} for _ in range(ranks)]
+        self._released: List[Dict[int, Deque[int]]] = [
+            {} for _ in range(ranks)
+        ]
+        self._released_heap: List[List[int]] = [[] for _ in range(ranks)]
+
+    def _arrival(self, row: int) -> bool:
+        """Count one arrival for *row*'s (rank, level) barrier; True when
+        the arrival released the level (the row is now startable)."""
+        sched = self.sched
+        rank = sched.rank_of[row]
+        level = self._levels[row]
+        expected = self._expected[rank][level]
+        arrived = self._arrived[rank]
+        n = arrived.get(level, 0) + 1
+        if n > expected:
+            raise RuntimeExecutionError(
+                f"tile {sched.tile_tuples[row]} received more edges "
+                "than it has producers"
+            )
+        arrived[level] = n
+        if n < expected:
+            return False
+        rows = self._buckets[rank].pop(level)
+        for r in rows:
+            sched._emit("tile_ready", r, rank)
+        self._released[rank][level] = deque(rows)
+        heapq.heappush(self._released_heap[rank], level)
+        return True
+
+    def make_ready(self, row: int) -> None:
+        self._arrival(row)
+
+    def deliver_edge(self, consumer: int) -> bool:
+        return self._arrival(consumer)
+
+    def has_ready(self, rank: int) -> bool:
+        return bool(self._released[rank])
+
+    def pop_tile(self, rank: int) -> Optional[int]:
+        released = self._released[rank]
+        if not released:
+            return None
+        heap = self._released_heap[rank]
+        level = heap[0]
+        dq = released[level]
+        row = dq.popleft()
+        if not dq:
+            heapq.heappop(heap)
+            del released[level]
+        return row
+
+    def pop_batch(self, rank: int) -> List[int]:
+        released = self._released[rank]
+        if not released:
+            return []
+        level = heapq.heappop(self._released_heap[rank])
+        return list(released.pop(level))
+
+
+_POLICY_CLASSES = {
+    "dynamic": DynamicHeapPolicy,
+    "static": StaticWavefrontPolicy,
+}
+
+
 class TileScheduler:
     """The pending → ready → running → done state machine over one graph.
 
@@ -237,6 +501,11 @@ class TileScheduler:
     Priority heaps hold ``(priority_key[row], row)``; because a row
     number is the tile's lexicographic rank, ordering is identical to
     the scalar ``(priority(tile), tile)`` heap of the generated C.
+
+    *Which* tiles are ready and in what order they pop is delegated to a
+    :class:`SchedulePolicy` selected by ``schedule`` (one of
+    :data:`SCHEDULE_POLICIES`); everything above — edge buffers, memory
+    trackers, message counts, the transition trace — is policy-blind.
     """
 
     def __init__(
@@ -247,9 +516,15 @@ class TileScheduler:
         priority_scheme: str = "lb-first",
         record_events: bool = False,
         batch: bool = False,
+        schedule: str = "dynamic",
     ):
         if ranks < 1:
             raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
+        if schedule not in SCHEDULE_POLICIES:
+            raise RuntimeExecutionError(
+                f"unknown schedule policy {schedule!r}; expected one of "
+                f"{SCHEDULE_POLICIES}"
+            )
         self.graph = graph
         self.ranks = ranks
         self.tile_tuples = graph.tile_tuples
@@ -269,8 +544,13 @@ class TileScheduler:
                         f"row {row} (tile {self.tile_tuples[row]}) assigned "
                         f"to rank {r} outside 0..{ranks - 1}"
                     )
-        self.prio = graph.priority_tuples(priority_scheme)
-        self._remaining = graph.dependency_count_array().tolist()
+        # The static policy never consults priority keys — skip deriving
+        # them so "no heap" also means no priority-array build.
+        self.prio = (
+            graph.priority_tuples(priority_scheme)
+            if schedule == "dynamic"
+            else None
+        )
         self._prod_ptr = graph.prod_ptr.tolist()
         self._prod_rows = graph.prod_rows.tolist()
         self._prod_delta = graph.prod_delta.tolist()
@@ -278,18 +558,12 @@ class TileScheduler:
         self._cons_rows = graph.cons_rows.tolist()
         self._cons_delta = graph.cons_delta.tolist()
         self._cons_cells = graph.cons_cells.tolist()
-        self.ready: List[List[Tuple[tuple, int]]] = [[] for _ in range(ranks)]
-        # Batch mode: ready tiles are bucketed by their static wavefront
-        # level instead of heaped by priority key; start_batch pops a
-        # whole level at once, so the steady state does list appends and
-        # one small per-level heap op instead of per-tile heap churn.
+        # Batch mode: start_batch pops whole static wavefront levels at
+        # once for the wavefront-fused engine, so the steady state does
+        # list appends and one small per-level heap op instead of
+        # per-tile heap churn.
         self.batch = batch
-        if batch:
-            self._levels = graph.wavefront_levels().tolist()
-            self._buckets: List[Dict[int, List[int]]] = [
-                {} for _ in range(ranks)
-            ]
-            self._level_heaps: List[List[int]] = [[] for _ in range(ranks)]
+        self.schedule = schedule
         self.trackers = [EdgeMemoryTracker(rank=r) for r in range(ranks)]
         # Aggregate accounting across ranks; aliases rank 0's tracker in
         # the single-rank case so the hot path pays for one tracker only.
@@ -304,6 +578,7 @@ class TileScheduler:
             [] if record_events else None
         )
         self._seq = 0
+        self.policy: SchedulePolicy = _POLICY_CLASSES[schedule](self)
 
     # -- event plumbing -------------------------------------------------------
 
@@ -342,53 +617,32 @@ class TileScheduler:
             self.make_ready(row)
 
     def make_ready(self, row: int) -> None:
-        rank = self.rank_of[row]
-        if self.batch:
-            level = self._levels[row]
-            bucket = self._buckets[rank]
-            rows = bucket.get(level)
-            if rows is None:
-                bucket[level] = [row]
-                heapq.heappush(self._level_heaps[rank], level)
-            else:
-                rows.append(row)
-        else:
-            heapq.heappush(self.ready[rank], (self.prio[row], row))
-        self._emit("tile_ready", row, rank)
+        self.policy.make_ready(row)
 
     def deliver_edge(self, consumer: int) -> bool:
         """Record the arrival of one incoming edge; True when the
-        consumer became ready (and was pushed onto its rank's queue)."""
-        remaining = self._remaining
-        remaining[consumer] -= 1
-        if remaining[consumer] == 0:
-            self.make_ready(consumer)
-            return True
-        if remaining[consumer] < 0:
-            raise RuntimeExecutionError(
-                f"tile {self.tile_tuples[consumer]} received more edges "
-                "than it has producers"
-            )
-        return False
+        consumer became startable (its rank's ready set now holds it —
+        immediately under the dynamic policy, at its level's release
+        barrier under the static one)."""
+        return self.policy.deliver_edge(consumer)
 
     # -- ready -> running ------------------------------------------------------
 
     def has_ready(self, rank: int = 0) -> bool:
-        if self.batch:
-            return bool(self._buckets[rank])
-        return bool(self.ready[rank])
+        return self.policy.has_ready(rank)
 
     def start_tile(self, rank: int = 0) -> Optional[int]:
-        """Pop the highest-priority ready tile of *rank* (None = idle)."""
+        """Pop the next ready tile of *rank* (None = idle): the highest-
+        priority one under the dynamic policy, the next row of the
+        lowest released level under the static one."""
         if self.batch:
             raise RuntimeExecutionError(
                 "scheduler is in batch mode; pop whole fronts with "
                 "start_batch instead of start_tile"
             )
-        rq = self.ready[rank]
-        if not rq:
+        row = self.policy.pop_tile(rank)
+        if row is None:
             return None
-        _, row = heapq.heappop(rq)
         self.started += 1
         self._emit("tile_start", row, rank)
         return row
@@ -409,11 +663,7 @@ class TileScheduler:
                 "scheduler was not built with batch=True; start_batch "
                 "needs the static wavefront buckets"
             )
-        bucket = self._buckets[rank]
-        if not bucket:
-            return []
-        level = heapq.heappop(self._level_heaps[rank])
-        rows = sorted(bucket.pop(level))
+        rows = self.policy.pop_batch(rank)
         self.started += len(rows)
         for row in rows:
             self._emit("tile_start", row, rank)

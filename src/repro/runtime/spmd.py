@@ -126,6 +126,7 @@ def run_spmd(
     record_events: bool = False,
     rank_of: Optional[np.ndarray] = None,
     backend: str = "inline",
+    schedule: str = "dynamic",
 ) -> ExecutionResult:
     """Execute the program across *ranks* SPMD ranks.
 
@@ -166,6 +167,7 @@ def run_spmd(
             lb_method=lb_method,
             record_events=record_events,
             rank_of=rank_of,
+            schedule=schedule,
         )
     if ranks < 1:
         raise RuntimeExecutionError(f"rank count must be >= 1, got {ranks}")
@@ -191,6 +193,7 @@ def run_spmd(
             priority_scheme,
             record_values,
             record_events,
+            schedule,
         )
 
     spaces = program.spaces
@@ -206,6 +209,7 @@ def run_spmd(
         rank_of=rank_of,
         priority_scheme=priority_scheme,
         record_events=record_events,
+        schedule=schedule,
     )
     sched.seed()
 
@@ -309,6 +313,8 @@ def run_spmd(
         cross_rank_messages=sched.cross_rank_messages,
         cross_rank_cells=sched.cross_rank_cells,
         events=sched.events,
+        schedule=schedule,
+        tile_widths=dict(program.spec.tile_widths),
     )
 
 
@@ -322,6 +328,7 @@ def _run_spmd_wavefront(
     priority_scheme: str,
     record_values: bool,
     record_events: bool,
+    schedule: str = "dynamic",
 ) -> ExecutionResult:
     """The wavefront-fused SPMD driver: each rank drains whole fronts.
 
@@ -351,6 +358,7 @@ def _run_spmd_wavefront(
         priority_scheme=priority_scheme,
         record_events=record_events,
         batch=True,
+        schedule=schedule,
     )
     sched.seed()
     run = WavefrontRun(
@@ -461,4 +469,6 @@ def _run_spmd_wavefront(
         cross_rank_messages=sched.cross_rank_messages,
         cross_rank_cells=sched.cross_rank_cells,
         events=sched.events,
+        schedule=schedule,
+        tile_widths=dict(program.spec.tile_widths),
     )

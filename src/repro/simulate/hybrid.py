@@ -132,13 +132,20 @@ def simulate(
     assignment: Optional[Assignment] = None,
     priority_scheme: str = "lb-first",
     trace: bool = False,
+    schedule: str = "dynamic",
 ) -> SimResult:
     """Simulate the tiled execution of *graph* on *machine*.
 
     *assignment* maps each tile to its owning node — a ``tile -> node``
     mapping or a per-row integer array (default: everything on node 0 —
     pure shared-memory execution).  *trace* additionally records one
-    :class:`~repro.simulate.trace.TileSpan` per tile.
+    :class:`~repro.simulate.trace.TileSpan` per tile.  *schedule*
+    selects the scheduler's ready-set policy (see
+    :data:`~repro.runtime.scheduler.SCHEDULE_POLICIES`); under
+    ``"static"`` the per-tile dequeue lock cost is dropped — the
+    schedule is precomputed, so cores take their next tile without the
+    shared ready-queue critical section (Jin et al., arXiv:1610.07236)
+    — at the price of level-barrier slack the event loop then exposes.
     """
     tile_tuples = graph.tile_tuples
     T = len(tile_tuples)
@@ -151,7 +158,9 @@ def simulate(
         ranks=machine.nodes,
         rank_of=assign,
         priority_scheme=priority_scheme,
+        schedule=schedule,
     )
+    queue_lock_s = 0.0 if schedule == "static" else machine.queue_lock_s
 
     # Per-tile cost: compute cells plus pack/unpack traffic through the tile.
     edge_prod = np.repeat(np.arange(T), np.diff(graph.cons_ptr))
@@ -164,7 +173,7 @@ def simulate(
         machine.tile_duration(w, p) for w, p in zip(work_list, packed_list)
     ]
 
-    serial_time = sum(machine.queue_lock_s + d for d in durations)
+    serial_time = sum(queue_lock_s + d for d in durations)
 
     # Node timing state (the machine model's domain: cores, the dequeue
     # lock, finite send channels).
@@ -205,10 +214,10 @@ def simulate(
             locks = lock_free[node]
             group = min(range(len(locks)), key=locks.__getitem__)
             start = max(now, locks[group])
-            locks[group] = start + machine.queue_lock_s
+            locks[group] = start + queue_lock_s
             dur = durations[row]
-            finish = start + machine.queue_lock_s + dur
-            busy[node] += machine.queue_lock_s + dur
+            finish = start + queue_lock_s + dur
+            busy[node] += queue_lock_s + dur
             if spans is not None:
                 from .trace import TileSpan
 
@@ -278,6 +287,7 @@ def simulate_program(
     lb_method: str = "dimension-cut",
     priority_scheme: str = "lb-first",
     graph: Optional[TileGraph] = None,
+    schedule: str = "dynamic",
 ) -> SimResult:
     """Convenience: fetch the cached graph, load-balance, and simulate.
 
@@ -304,5 +314,6 @@ def simulate_program(
         except RuntimeExecutionError as exc:
             raise SimulationError(str(exc)) from None
     return simulate(
-        graph, machine, assignment=assignment, priority_scheme=priority_scheme
+        graph, machine, assignment=assignment,
+        priority_scheme=priority_scheme, schedule=schedule,
     )

@@ -1,0 +1,306 @@
+"""The pluggable schedule-policy layer (`runtime/scheduler.py`).
+
+`TileScheduler` delegates ready-set management to a `SchedulePolicy`:
+the dynamic priority heap (the paper's protocol, the default) or the
+static wavefront-level policy (per-rank level buckets released at
+arrival barriers — no heap, no per-tile pending counters).  The
+contract these tests pin:
+
+* numerics are policy-blind — objectives and every recorded cell are
+  bit-identical between `schedule="dynamic"` and `"static"`, across
+  rank counts and backends;
+* the communication protocol is policy-blind — cross-rank message
+  counts are equal, and both match the simulator's `messages` for the
+  same machine shape;
+* static traces are deterministic (two runs byte-identical) and
+  level-ordered (a tile's level never decreases within a rank's
+  dispatch order);
+* `wavefront_levels()` is cached per graph object and never leaks
+  across differently-shaped graphs of the same problem;
+* the pass-3 audit's RPR033 fires when the cached levels disagree with
+  the recomputed longest-path levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime import (
+    SCHEDULE_POLICIES,
+    TileGraph,
+    TileScheduler,
+    encode_events,
+    execute,
+    tile_graph,
+)
+from repro.simulate import MachineModel, simulate_program
+
+CASES = [
+    ("bandit2_program", {"N": 8}),
+    ("delayed_program", {"N": 8}),
+    ("lcs3_program", {"L1": 8, "L2": 9, "L3": 10}),
+    ("edit_program", {"LA": 14, "LB": 11}),
+]
+
+
+def _case(request, name):
+    program = request.getfixturevalue(name)
+    params = dict(next(p for n, p in CASES if n == name))
+    return program, params
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", [n for n, _ in CASES])
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_static_matches_dynamic_values(self, request, name, ranks):
+        program, params = _case(request, name)
+        dyn = execute(
+            program, params, ranks=ranks, record_values=True,
+            schedule="dynamic",
+        )
+        stat = execute(
+            program, params, ranks=ranks, record_values=True,
+            schedule="static",
+        )
+        assert stat.objective_value == dyn.objective_value
+        assert stat.values == dyn.values
+        assert stat.cells_computed == dyn.cells_computed
+        assert stat.tiles_executed == dyn.tiles_executed
+        if ranks > 1:
+            assert stat.cross_rank_messages == dyn.cross_rank_messages
+            assert stat.cross_rank_cells == dyn.cross_rank_cells
+
+    @pytest.mark.parametrize("mode", ["interpret", "wavefront"])
+    def test_static_matches_dynamic_across_modes(
+        self, bandit2_program, mode
+    ):
+        dyn = execute(
+            bandit2_program, {"N": 8}, mode=mode, record_values=True
+        )
+        stat = execute(
+            bandit2_program, {"N": 8}, mode=mode, record_values=True,
+            schedule="static",
+        )
+        assert stat.objective_value == dyn.objective_value
+        assert stat.values == dyn.values
+
+    def test_process_backend_static(self, lcs3_program):
+        params = {"L1": 8, "L2": 9, "L3": 10}
+        inline = execute(lcs3_program, params, schedule="static")
+        proc = execute(
+            lcs3_program, params, ranks=2, backend="process",
+            schedule="static",
+        )
+        assert proc.objective_value == inline.objective_value
+        assert proc.schedule == "static"
+
+    def test_simulator_message_parity(self, bandit2_program):
+        params = {"N": 10}
+        executed = execute(
+            bandit2_program, params, ranks=2, schedule="static"
+        )
+        sim = simulate_program(
+            bandit2_program,
+            params,
+            MachineModel(nodes=2, cores_per_node=4),
+            schedule="static",
+        )
+        assert sim.messages == executed.cross_rank_messages
+
+    def test_simulator_static_runs_all_tiles(self, lcs3_program):
+        params = {"L1": 8, "L2": 9, "L3": 10}
+        dyn = simulate_program(
+            lcs3_program, params, MachineModel(nodes=1, cores_per_node=4)
+        )
+        stat = simulate_program(
+            lcs3_program,
+            params,
+            MachineModel(nodes=1, cores_per_node=4),
+            schedule="static",
+        )
+        # Same tiles, same work; only the timing policy differs — and
+        # static pays no dequeue lock, so its serial baseline is no
+        # larger.
+        assert sum(stat.tiles_per_node) == sum(dyn.tiles_per_node)
+        assert stat.total_cells == dyn.total_cells
+        assert stat.serial_time_s <= dyn.serial_time_s
+
+
+class TestResultMetadata:
+    def test_result_records_schedule_and_widths(self, bandit2_program):
+        res = execute(bandit2_program, {"N": 6}, schedule="static")
+        assert res.schedule == "static"
+        assert res.tile_widths == dict(bandit2_program.spec.tile_widths)
+        default = execute(bandit2_program, {"N": 6})
+        assert default.schedule == "dynamic"
+
+    def test_unknown_schedule_rejected(self, bandit2_program):
+        with pytest.raises(RuntimeExecutionError, match="schedule"):
+            execute(bandit2_program, {"N": 6}, schedule="greedy")
+
+
+class TestStaticTrace:
+    def test_static_trace_deterministic(self, bandit2_program):
+        traces = [
+            encode_events(
+                execute(
+                    bandit2_program, {"N": 8}, ranks=2,
+                    record_events=True, schedule="static",
+                ).events
+            )
+            for _ in range(2)
+        ]
+        assert traces[0] == traces[1]
+
+    def test_static_dispatch_is_level_ordered(self, bandit2_program):
+        graph = tile_graph(bandit2_program, {"N": 8})
+        levels = graph.wavefront_levels().tolist()
+        res = execute(
+            bandit2_program, {"N": 8}, graph=graph,
+            record_events=True, schedule="static",
+        )
+        last_level = None
+        for ev in res.events:
+            if ev.kind != "tile_start":
+                continue
+            level = levels[graph.row_of(ev.tile)]
+            if last_level is not None:
+                assert level >= last_level
+            last_level = level
+
+
+class TestSchedulerUnits:
+    def test_policy_names(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        assert SCHEDULE_POLICIES == ("dynamic", "static")
+        for schedule in SCHEDULE_POLICIES:
+            sched = TileScheduler(graph, schedule=schedule)
+            assert sched.schedule == schedule
+            assert sched.policy.name == schedule
+        with pytest.raises(RuntimeExecutionError, match="schedule"):
+            TileScheduler(graph, schedule="nope")
+
+    def test_static_has_no_priority_array(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        assert TileScheduler(graph, schedule="static").prio is None
+        assert TileScheduler(graph).prio is not None
+
+    def test_static_level_barrier_release(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        levels = graph.wavefront_levels().tolist()
+        sched = TileScheduler(graph, schedule="static")
+        sched.seed()
+        # Draining one full level (ready -> run -> deliver) releases
+        # exactly the next level, in row order.
+        drained = 0
+        current = 0
+        while sched.finished < len(levels):
+            rows = []
+            while sched.has_ready(0):
+                rows.append(sched.start_tile(0))
+            assert rows == sorted(rows)
+            assert all(levels[r] == current for r in rows)
+            for r in rows:
+                for consumer, _, cells, _ in sched.outgoing(r):
+                    sched.send_edge(r, consumer, cells=cells)
+                    sched.deliver_edge(consumer)
+                list(sched.consume_edges(r))
+                sched.finish_tile(r)
+            drained += len(rows)
+            current += 1
+        assert drained == len(levels)
+
+    def test_static_over_delivery_raises(self, bandit2_program):
+        # Static readiness is level-granular: the policy detects
+        # over-delivery once a (rank, level) arrival counter exceeds
+        # the level's precomputed expected total.
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        levels = graph.wavefront_levels().tolist()
+        indeg = graph.dependency_count_array().tolist()
+        sched = TileScheduler(graph, schedule="static")
+        sched.seed()
+        row = sched.start_tile(0)
+        consumers = [c for c, _, _, _ in sched.outgoing(row)]
+        if not consumers:
+            pytest.skip("tile has no consumers")
+        target = consumers[0]
+        expected_total = sum(
+            indeg[r] if indeg[r] else 1
+            for r in range(len(levels))
+            if levels[r] == levels[target]
+        )
+        for _ in range(expected_total):
+            sched.deliver_edge(target)
+        with pytest.raises(RuntimeExecutionError, match="more edges"):
+            sched.deliver_edge(target)
+
+    def test_static_pop_batch_returns_whole_level(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        levels = np.asarray(graph.wavefront_levels())
+        sched = TileScheduler(graph, batch=True, schedule="static")
+        sched.seed()
+        rows = sched.start_batch(0)
+        expected = sorted(np.flatnonzero(levels == 0).tolist())
+        assert sorted(rows) == expected
+
+
+class TestWavefrontLevelsCache:
+    def test_cache_hit_same_object(self, bandit2_program):
+        graph = tile_graph(bandit2_program, {"N": 9})
+        first = graph.wavefront_levels()
+        assert graph.wavefront_levels() is first
+
+    def test_no_staleness_across_shapes(self, bandit2_program):
+        small = TileGraph.build(bandit2_program, {"N": 6})
+        large = TileGraph.build(bandit2_program, {"N": 11})
+        lv_small = small.wavefront_levels()
+        lv_large = large.wavefront_levels()
+        assert len(lv_small) == len(small.tile_tuples)
+        assert len(lv_large) == len(large.tile_tuples)
+        assert len(lv_small) != len(lv_large)
+        # Re-asking either graph still answers for *its* shape.
+        assert len(small.wavefront_levels()) == len(small.tile_tuples)
+        assert len(large.wavefront_levels()) == len(large.tile_tuples)
+
+    def test_levels_are_longest_paths(self, bandit2_program):
+        graph = TileGraph.build(bandit2_program, {"N": 8})
+        levels = graph.wavefront_levels().tolist()
+        for row in range(len(graph.tile_tuples)):
+            prods = [p for p, _ in graph.producer_edges(row)]
+            if prods:
+                assert levels[row] == 1 + max(levels[p] for p in prods)
+            else:
+                assert levels[row] == 0
+
+
+class TestStaticLevelAudit:
+    def test_audit_clean_on_builtin(self, bandit2_program):
+        from repro.analysis.schedule_audit import audit_schedule
+
+        diags = audit_schedule(bandit2_program, {"N": 7})
+        assert not [d for d in diags if d.code == "RPR033"]
+
+    def test_rpr033_fires_on_corrupt_levels(self, bandit2_program):
+        from repro.analysis.schedule_audit import _static_level_violations
+        from repro.generator.tile_deps import tile_dependency_map
+
+        graph = TileGraph.build(bandit2_program, {"N": 7})
+        row_of = {t: r for r, t in enumerate(graph.tile_tuples)}
+        dep_map = tile_dependency_map(bandit2_program.spec)
+        tiles = graph.tiles
+        expected = {
+            tile: [
+                tuple(t + d for t, d in zip(tile, delta))
+                for delta in dep_map
+                if tuple(t + d for t, d in zip(tile, delta)) in tiles
+            ]
+            for tile in graph.tile_tuples
+        }
+        assert _static_level_violations(graph, row_of, expected) == []
+        bogus = np.zeros(len(graph.tile_tuples), dtype=np.int64)
+        graph.wavefront_levels = lambda: bogus  # shadow the method
+        violations = _static_level_violations(graph, row_of, expected)
+        assert violations
+        assert "level" in violations[0]

@@ -3,6 +3,8 @@
 The diagnostics framework is the repo's stable public reporting
 surface, so ``src/repro/analysis/`` is held to ``mypy --strict`` (with
 imports into the partially-hinted rest of the repo followed silently).
+The schedule/width tuner's on-disk registry is likewise a stable
+contract, so ``src/repro/runtime/tuner.py`` joins the strict set.
 Skipped when mypy is not installed — CI installs it explicitly.
 """
 
@@ -23,6 +25,7 @@ def test_analysis_package_is_strict_clean():
             sys.executable, "-m", "mypy", "--strict",
             "--follow-imports=silent", "--ignore-missing-imports",
             str(REPO / "src" / "repro" / "analysis"),
+            str(REPO / "src" / "repro" / "runtime" / "tuner.py"),
         ],
         cwd=REPO,
         capture_output=True,
